@@ -1,0 +1,330 @@
+package fuzzydb_test
+
+// One benchmark per experiment in the EXPERIMENTS.md index (E1–E14).
+// Each benchmark measures the wall-clock of the algorithm under its
+// experiment's workload and reports the paper's quantity of interest —
+// the middleware access cost — via b.ReportMetric, so `go test -bench=.`
+// regenerates both the performance and the cost shape of every claim.
+//
+// Workload generation is excluded from timing: databases are drawn once
+// per size outside the timed loop.
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"fuzzydb"
+
+	"fuzzydb/internal/agg"
+	"fuzzydb/internal/core"
+	"fuzzydb/internal/scoredb"
+	"fuzzydb/internal/subsys"
+)
+
+// runCost executes one evaluation on fresh counters and returns the
+// unweighted middleware cost.
+func runCost(b *testing.B, alg core.Algorithm, db *scoredb.Database, f agg.Func, k int) float64 {
+	b.Helper()
+	srcs := make([]subsys.Source, db.M())
+	for i := range srcs {
+		srcs[i] = subsys.FromList(db.List(i))
+	}
+	_, c, err := core.Evaluate(alg, srcs, f, k)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return float64(c.Sum())
+}
+
+// benchOver runs alg over the given databases round-robin, reporting the
+// mean middleware cost per evaluation.
+func benchOver(b *testing.B, alg core.Algorithm, dbs []*scoredb.Database, f agg.Func, k int) {
+	b.Helper()
+	var total float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		total += runCost(b, alg, dbs[i%len(dbs)], f, k)
+	}
+	b.StopTimer()
+	b.ReportMetric(total/float64(b.N), "middleware-cost/op")
+}
+
+func genDBs(n, m, trials int, law scoredb.GradeLaw, seed uint64) []*scoredb.Database {
+	dbs := make([]*scoredb.Database, trials)
+	for i := range dbs {
+		dbs[i] = scoredb.Generator{N: n, M: m, Law: law, Seed: seed + uint64(i)}.MustGenerate()
+	}
+	return dbs
+}
+
+// BenchmarkE1_A0_SqrtN — Thm 5.3, m=2: sublinear cost, fitted exponent 0.5.
+func BenchmarkE1_A0_SqrtN(b *testing.B) {
+	for _, n := range []int{4096, 16384, 65536, 262144} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			dbs := genDBs(n, 2, 4, scoredb.Uniform{}, 1)
+			benchOver(b, core.A0{}, dbs, agg.Min, 10)
+		})
+	}
+}
+
+// BenchmarkE2_A0_GeneralM — Thm 5.3: exponent (m−1)/m across m.
+func BenchmarkE2_A0_GeneralM(b *testing.B) {
+	for _, m := range []int{2, 3, 4, 5} {
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+			dbs := genDBs(32768, m, 4, scoredb.Uniform{}, 2)
+			benchOver(b, core.A0{}, dbs, agg.Min, 10)
+		})
+	}
+}
+
+// BenchmarkE3_A0_KScaling — Thm 5.3: cost ∝ k^(1/m) at fixed N.
+func BenchmarkE3_A0_KScaling(b *testing.B) {
+	dbs := genDBs(65536, 2, 4, scoredb.Uniform{}, 3)
+	for _, k := range []int{1, 16, 256} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			benchOver(b, core.A0{}, dbs, agg.Min, k)
+		})
+	}
+}
+
+// BenchmarkE4_WimmersBound — tail of the per-list sorted depth: reports
+// the max depth/√(Nk) ratio observed; [Wi98b] bounds exceedances of 2 by
+// 2e-8.
+func BenchmarkE4_WimmersBound(b *testing.B) {
+	const n, k = 16384, 10
+	dbs := genDBs(n, 2, 8, scoredb.Uniform{}, 4)
+	var maxRatio float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db := dbs[i%len(dbs)]
+		srcs := []subsys.Source{subsys.FromList(db.List(0)), subsys.FromList(db.List(1))}
+		_, c, err := core.Evaluate(core.A0{}, srcs, agg.Min, k)
+		if err != nil {
+			b.Fatal(err)
+		}
+		depth := float64(c.Sorted) / 2
+		if r := depth / math.Sqrt(float64(n*k)); r > maxRatio {
+			maxRatio = r
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(maxRatio, "max-depth/sqrt(Nk)")
+}
+
+// BenchmarkE5_LowerBound — Thm 6.4: fraction of runs at or below the
+// θ = 0.5 envelope (must be ≤ θ^m = 0.25).
+func BenchmarkE5_LowerBound(b *testing.B) {
+	const n, m, k = 16384, 2, 5
+	dbs := genDBs(n, m, 8, scoredb.Uniform{}, 5)
+	norm := math.Pow(float64(n), 0.5) * math.Pow(k, 0.5)
+	below := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if runCost(b, core.A0{}, dbs[i%len(dbs)], agg.Min, k) <= 0.5*norm {
+			below++
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(below)/float64(b.N), "frac-below-theta-envelope")
+}
+
+// BenchmarkE6_ThetaBound — Thm 6.5: normalized cost stays in a constant
+// band across N.
+func BenchmarkE6_ThetaBound(b *testing.B) {
+	for _, n := range []int{16384, 131072} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			dbs := genDBs(n, 2, 4, scoredb.Uniform{}, 6)
+			norm := math.Sqrt(float64(n) * 10)
+			var total float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				total += runCost(b, core.A0{}, dbs[i%len(dbs)], agg.Min, 10) / norm
+			}
+			b.StopTimer()
+			b.ReportMetric(total/float64(b.N), "cost/theta-bound")
+		})
+	}
+}
+
+// BenchmarkE7_B0_Disjunction — Rem 6.1: B₀ costs exactly mk regardless
+// of N.
+func BenchmarkE7_B0_Disjunction(b *testing.B) {
+	for _, n := range []int{4096, 262144} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			dbs := genDBs(n, 3, 4, scoredb.Uniform{}, 7)
+			benchOver(b, core.B0{}, dbs, agg.Max, 10)
+		})
+	}
+}
+
+// BenchmarkE8_Median — Rem 6.1: subset decomposition beats generic A₀ on
+// the median.
+func BenchmarkE8_Median(b *testing.B) {
+	dbs := genDBs(65536, 3, 4, scoredb.Uniform{}, 8)
+	b.Run("subset-decomposition", func(b *testing.B) {
+		benchOver(b, core.OrderStat{}, dbs, agg.Median, 5)
+	})
+	b.Run("generic-A0", func(b *testing.B) {
+		benchOver(b, core.A0{}, dbs, agg.Median, 5)
+	})
+}
+
+// BenchmarkE9_HardQuery — Thm 7.1: Q ∧ ¬Q costs Θ(N).
+func BenchmarkE9_HardQuery(b *testing.B) {
+	for _, n := range []int{8192, 65536} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			dbs := make([]*scoredb.Database, 4)
+			for i := range dbs {
+				db, err := scoredb.HardQueryPair(n, uint64(9+i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				dbs[i] = db
+			}
+			benchOver(b, core.A0{}, dbs, agg.Min, 1)
+		})
+	}
+}
+
+// BenchmarkE10_Ullman — Sec 9: constant cost on bounded grades, Θ(√N) on
+// uniform.
+func BenchmarkE10_Ullman(b *testing.B) {
+	const n = 65536
+	b.Run("bounded-0.9", func(b *testing.B) {
+		dbs := make([]*scoredb.Database, 4)
+		for i := range dbs {
+			l1 := scoredb.Generator{N: n, M: 1, Law: scoredb.BoundedAbove{Max: 0.9}, Seed: uint64(10 + i)}.MustGenerate().List(0)
+			l2 := scoredb.Generator{N: n, M: 1, Law: scoredb.Uniform{}, Seed: uint64(1010 + i)}.MustGenerate().List(0)
+			db, err := scoredb.New([]*fuzzydb.List{l1, l2})
+			if err != nil {
+				b.Fatal(err)
+			}
+			dbs[i] = db
+		}
+		benchOver(b, core.Ullman{}, dbs, agg.Min, 1)
+	})
+	b.Run("uniform", func(b *testing.B) {
+		dbs := genDBs(n, 2, 4, scoredb.Uniform{}, 11)
+		benchOver(b, core.Ullman{}, dbs, agg.Min, 1)
+	})
+}
+
+// BenchmarkE11_A0Prime — Sec 4: A₀′'s random-access saving over A₀.
+func BenchmarkE11_A0Prime(b *testing.B) {
+	dbs := genDBs(65536, 3, 4, scoredb.Uniform{}, 12)
+	b.Run("A0", func(b *testing.B) {
+		benchOver(b, core.A0{}, dbs, agg.Min, 10)
+	})
+	b.Run("A0Prime", func(b *testing.B) {
+		benchOver(b, core.A0Prime{}, dbs, agg.Min, 10)
+	})
+}
+
+// BenchmarkE12_TNormRobustness — Secs 3/5: TA across strict aggregation
+// functions (and the non-strict max for contrast).
+func BenchmarkE12_TNormRobustness(b *testing.B) {
+	dbs := genDBs(32768, 2, 4, scoredb.Uniform{}, 13)
+	funcs := []agg.Func{agg.Min, agg.AlgebraicProduct, agg.BoundedDifference, agg.ArithmeticMean, agg.Max}
+	for _, f := range funcs {
+		b.Run(f.Name(), func(b *testing.B) {
+			benchOver(b, core.TA{}, dbs, f, 10)
+		})
+	}
+}
+
+// BenchmarkE13_Correlation — Sec 7: cost falls as correlation rises.
+func BenchmarkE13_Correlation(b *testing.B) {
+	for _, rho := range []float64{-1, 0, 1} {
+		b.Run(fmt.Sprintf("rho=%v", rho), func(b *testing.B) {
+			dbs := make([]*scoredb.Database, 4)
+			for i := range dbs {
+				dbs[i] = scoredb.Generator{N: 16384, M: 2, Law: scoredb.Uniform{}, Seed: uint64(14 + i), Correlation: rho}.MustGenerate()
+			}
+			benchOver(b, core.A0{}, dbs, agg.Min, 10)
+		})
+	}
+}
+
+// BenchmarkE14_TAvsFA — the successor-family ablation.
+func BenchmarkE14_TAvsFA(b *testing.B) {
+	dbs := genDBs(65536, 2, 4, scoredb.Uniform{}, 15)
+	algs := []core.Algorithm{core.A0{}, core.A0Prime{}, core.TA{}, core.NRA{}, core.Ullman{}}
+	for _, alg := range algs {
+		b.Run(alg.Name(), func(b *testing.B) {
+			benchOver(b, alg, dbs, agg.Min, 10)
+		})
+	}
+}
+
+// BenchmarkE15_WeightedCostModel — Sec 5 inequality (1): skewed access
+// prices preserve the Θ shape; reported metric is the weighted cost.
+func BenchmarkE15_WeightedCostModel(b *testing.B) {
+	dbs := genDBs(65536, 2, 4, scoredb.Uniform{}, 16)
+	model := fuzzydb.CostModel{C1: 10, C2: 1}
+	var total float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db := dbs[i%len(dbs)]
+		srcs := []subsys.Source{subsys.FromList(db.List(0)), subsys.FromList(db.List(1))}
+		_, c, err := core.Evaluate(core.A0{}, srcs, agg.Min, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += model.Of(c)
+	}
+	b.StopTimer()
+	b.ReportMetric(total/float64(b.N), "weighted-cost/op")
+}
+
+// BenchmarkE16_FilterFirst — Sec 4: the selective-conjunct plan against
+// A0' on a rare binary predicate.
+func BenchmarkE16_FilterFirst(b *testing.B) {
+	const n = 32768
+	dbs := make([]*scoredb.Database, 4)
+	for i := range dbs {
+		l0 := scoredb.Generator{N: n, M: 1, Law: scoredb.Binary{P: 0.002}, Seed: uint64(17 + i)}.MustGenerate().List(0)
+		l1 := scoredb.Generator{N: n, M: 1, Law: scoredb.Uniform{}, Seed: uint64(1700 + i)}.MustGenerate().List(0)
+		db, err := scoredb.New([]*fuzzydb.List{l0, l1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		dbs[i] = db
+	}
+	b.Run("filter-first", func(b *testing.B) {
+		benchOver(b, core.FilterFirst{}, dbs, agg.Min, 5)
+	})
+	b.Run("A0Prime", func(b *testing.B) {
+		benchOver(b, core.A0Prime{}, dbs, agg.Min, 5)
+	})
+}
+
+// BenchmarkEngineEndToEnd measures the full middleware path (parse, plan,
+// evaluate) on the running example, the operation a Garlic deployment
+// performs per user query.
+func BenchmarkEngineEndToEnd(b *testing.B) {
+	const n = 4096
+	artists := make([]string, n)
+	covers := make([][]float64, n)
+	for i := range artists {
+		if i%7 == 0 {
+			artists[i] = "Beatles"
+		} else {
+			artists[i] = fmt.Sprintf("artist-%d", i%50)
+		}
+		covers[i] = []float64{float64(i%11) / 10, float64(i%13) / 12, float64(i%17) / 16}
+	}
+	eng, err := fuzzydb.NewEngine([]fuzzydb.Subsystem{
+		fuzzydb.NewRelationalSubsystem("Artist", artists),
+		fuzzydb.NewVectorSubsystem("AlbumColor", covers, map[string][]float64{"red": {1, 0, 0}}),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.TopKString(`Artist = "Beatles" AND AlbumColor ~ "red"`, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+// Command faginbench regenerates the experiment tables of EXPERIMENTS.md:
+// one table per claim in the paper's analysis (Theorems 5.3–7.1 and the
+// numbered remarks), measured over synthetic workloads drawn from the
+// Section 5 probabilistic model.
+//
+// Usage:
+//
+//	faginbench              # run all experiments at full size
+//	faginbench -quick       # scaled-down sizes/trials (seconds, not minutes)
+//	faginbench -run E9      # one experiment
+//	faginbench -list        # list the experiment index
+//	faginbench -seed 42     # change the master seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fuzzydb/internal/sim"
+)
+
+func main() {
+	var (
+		quick = flag.Bool("quick", false, "run scaled-down sizes and trial counts")
+		runID = flag.String("run", "", "run a single experiment by id (e.g. E3)")
+		list  = flag.Bool("list", false, "list the experiment index and exit")
+		seed  = flag.Uint64("seed", 1, "master seed for all workloads")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range sim.All() {
+			fmt.Printf("%-4s %s\n     %s\n", e.ID, e.Title, e.Claim)
+		}
+		return
+	}
+
+	cfg := sim.DefaultConfig()
+	if *quick {
+		cfg = sim.QuickConfig()
+	}
+	cfg.Seed = *seed
+
+	experiments := sim.All()
+	if *runID != "" {
+		e, ok := sim.ByID(*runID)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "faginbench: unknown experiment %q (try -list)\n", *runID)
+			os.Exit(1)
+		}
+		experiments = []sim.Experiment{e}
+	}
+
+	for i, e := range experiments {
+		if i > 0 {
+			fmt.Println()
+		}
+		tab := e.Run(cfg)
+		tab.ID, tab.Title, tab.Claim = e.ID, e.Title, e.Claim
+		if err := tab.Render(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "faginbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+// Command fuzzygen generates synthetic scoring databases under the
+// paper's Section 5 workload model and writes them as JSON for use with
+// fuzzyquery or external tooling.
+//
+// Usage:
+//
+//	fuzzygen -n 10000 -m 3 -law uniform -o db.json
+//	fuzzygen -n 4096 -m 2 -law binary -p 0.1 -corr 0.5 -o db.json
+//	fuzzygen -n 4096 -hard -o hard.json   # the Section 7 Q AND NOT Q pair
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fuzzydb/internal/scoredb"
+)
+
+func main() {
+	var (
+		n    = flag.Int("n", 10000, "number of objects")
+		m    = flag.Int("m", 2, "number of lists (atomic queries)")
+		law  = flag.String("law", "uniform", "grade law: uniform | binary | bounded | discrete | linear")
+		p    = flag.Float64("p", 0.1, "selectivity for -law binary")
+		max  = flag.Float64("max", 0.9, "upper bound for -law bounded")
+		lvls = flag.Int("levels", 5, "levels for -law discrete")
+		corr = flag.Float64("corr", 0, "rank correlation between lists in [-1, 1]")
+		seed = flag.Uint64("seed", 1, "generator seed")
+		hard = flag.Bool("hard", false, "generate the Section 7 hard-query pair (overrides -m/-law)")
+		out  = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	var (
+		db  *scoredb.Database
+		err error
+	)
+	if *hard {
+		db, err = scoredb.HardQueryPair(*n, *seed)
+	} else {
+		var gl scoredb.GradeLaw
+		switch *law {
+		case "uniform":
+			gl = scoredb.Uniform{}
+		case "binary":
+			gl = scoredb.Binary{P: *p}
+		case "bounded":
+			gl = scoredb.BoundedAbove{Max: *max}
+		case "discrete":
+			gl = scoredb.Discrete{Levels: *lvls}
+		case "linear":
+			gl = scoredb.LinearRank{}
+		default:
+			fmt.Fprintf(os.Stderr, "fuzzygen: unknown law %q\n", *law)
+			os.Exit(1)
+		}
+		db, err = scoredb.Generator{N: *n, M: *m, Law: gl, Seed: *seed, Correlation: *corr}.Generate()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fuzzygen: %v\n", err)
+		os.Exit(1)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fuzzygen: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := db.WriteJSON(w); err != nil {
+		fmt.Fprintf(os.Stderr, "fuzzygen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "fuzzygen: wrote %d lists x %d objects\n", db.M(), db.N())
+}

@@ -1,0 +1,82 @@
+package fuzzydb_test
+
+import (
+	"fmt"
+
+	"fuzzydb"
+)
+
+// The paper's running example: combine a crisp relational predicate with
+// a graded image-similarity query and take the best matches.
+func Example() {
+	eng, err := fuzzydb.NewEngine(
+		[]fuzzydb.Subsystem{
+			fuzzydb.NewRelationalSubsystem("Artist",
+				[]string{"Beatles", "Stones", "Beatles", "Dylan"}),
+			fuzzydb.NewVectorSubsystem("AlbumColor",
+				[][]float64{{0.9, 0.1, 0.0}, {0.8, 0.1, 0.1}, {0.1, 0.1, 0.8}, {0.5, 0.5, 0.5}},
+				map[string][]float64{"red": {1, 0, 0}}),
+		},
+		fuzzydb.WithObjectNames([]string{"Abbey Road", "Sticky Fingers", "Let It Be", "Nashville Skyline"}),
+	)
+	if err != nil {
+		panic(err)
+	}
+	rep, err := eng.TopKString(`Artist = "Beatles" AND AlbumColor ~ "red"`, 2)
+	if err != nil {
+		panic(err)
+	}
+	for i, r := range rep.Results {
+		fmt.Printf("%d. %s %.3f\n", i+1, eng.Name(r.Object), r.Grade)
+	}
+	fmt.Println("plan:", rep.Plan.Algorithm.Name())
+	// Output:
+	// 1. Abbey Road 0.876
+	// 2. Let It Be 0.453
+	// plan: A0'
+}
+
+// Running Fagin's Algorithm directly over two graded lists.
+func ExampleTopK() {
+	colors, _ := fuzzydb.NewList([]fuzzydb.Entry{
+		{Object: 0, Grade: 0.9}, {Object: 1, Grade: 0.8}, {Object: 2, Grade: 0.3},
+	})
+	shapes, _ := fuzzydb.NewList([]fuzzydb.Entry{
+		{Object: 2, Grade: 1.0}, {Object: 0, Grade: 0.7}, {Object: 1, Grade: 0.2},
+	})
+	results, cost, err := fuzzydb.TopK(
+		[]fuzzydb.Source{fuzzydb.SourceFromList(colors), fuzzydb.SourceFromList(shapes)},
+		fuzzydb.Min, 1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("best: object %d, grade %.1f\n", results[0].Object, results[0].Grade)
+	fmt.Printf("accesses: %d\n", cost.Sum())
+	// Output:
+	// best: object 0, grade 0.7
+	// accesses: 6
+}
+
+// Weighted conjunction per Fagin–Wimmers: color twice as important as
+// shape.
+func ExampleNewWeighted() {
+	w, err := fuzzydb.NewWeighted(fuzzydb.Min, []float64{2.0 / 3, 1.0 / 3})
+	if err != nil {
+		panic(err)
+	}
+	// f = (θ1−θ2)·x1 + 2·θ2·min(x1, x2) = (1/3)·x1 + (2/3)·min(x1, x2)
+	fmt.Printf("%.3f\n", w.Apply([]float64{0.9, 0.3}))
+	// Output:
+	// 0.500
+}
+
+// Parsing queries into the AST.
+func ExampleParseQuery() {
+	q, err := fuzzydb.ParseQuery(`Color ~ "red" AND (Shape ~ "round" OR NOT Mono = "yes")`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(q)
+	// Output:
+	// Color = "red" AND (Shape = "round" OR (NOT Mono = "yes"))
+}

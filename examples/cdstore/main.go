@@ -1,0 +1,102 @@
+// The paper's running example in full: a compact-disk store whose Artist
+// attribute lives in a relational database and whose AlbumColor lives in
+// a QBIC-like image subsystem. Demonstrates the engine (parse → plan →
+// evaluate → cost report), Boolean combinations, filtering, and
+// pagination ("the next k best").
+//
+//	go run ./examples/cdstore
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fuzzydb"
+)
+
+func main() {
+	names := []string{
+		"Abbey Road", "Let It Be", "Sticky Fingers", "Beggars Banquet",
+		"Nashville Skyline", "Revolver", "Blood on the Tracks", "Exile on Main St",
+	}
+	artists := []string{
+		"Beatles", "Beatles", "Stones", "Stones", "Dylan", "Beatles", "Dylan", "Stones",
+	}
+	// Synthetic cover colors as RGB histograms.
+	covers := [][]float64{
+		{0.80, 0.10, 0.10}, // Abbey Road: red-leaning (in this fiction)
+		{0.10, 0.10, 0.10}, // Let It Be: dark
+		{0.90, 0.05, 0.05}, // Sticky Fingers: red
+		{0.60, 0.50, 0.30}, // Beggars Banquet: beige
+		{0.10, 0.20, 0.80}, // Nashville Skyline: blue
+		{0.70, 0.20, 0.10}, // Revolver: warm
+		{0.30, 0.10, 0.60}, // Blood on the Tracks: violet
+		{0.85, 0.15, 0.10}, // Exile: red-ish
+	}
+
+	eng, err := fuzzydb.NewEngine(
+		[]fuzzydb.Subsystem{
+			fuzzydb.NewRelationalSubsystem("Artist", artists),
+			fuzzydb.NewVectorSubsystem("AlbumColor", covers, map[string][]float64{
+				"red":  {1, 0, 0},
+				"blue": {0, 0, 1},
+			}),
+		},
+		fuzzydb.WithObjectNames(names),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	show := func(q string, k int) {
+		rep, err := eng.TopKString(q, k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("query: %s\nplan:  %s\n       %s\n", q, rep.Plan.Algorithm.Name(), rep.Plan.Reason)
+		for i, r := range rep.Results {
+			fmt.Printf("  %d. %-20s %.4f\n", i+1, eng.Name(r.Object), r.Grade)
+		}
+		fmt.Printf("cost:  %v\n\n", rep.Cost)
+	}
+
+	// The paper's motivating queries.
+	show(`Artist = "Beatles" AND AlbumColor ~ "red"`, 3)
+	show(`Artist = "Beatles" OR AlbumColor ~ "red"`, 3)
+	show(`Artist = "Dylan" AND NOT AlbumColor ~ "blue"`, 2)
+
+	// Filter conditions (Chaudhuri–Gravano): everything at least 0.6 red.
+	q, err := fuzzydb.ParseQuery(`AlbumColor ~ "red"`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := eng.Filter(q, 0.6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("albums with redness >= 0.6:")
+	for _, r := range rep.Results {
+		fmt.Printf("  %-20s %.4f\n", eng.Name(r.Object), r.Grade)
+	}
+
+	// Pagination: the top 2, then the next 2, continuing where we left
+	// off (the feature noted after Theorem 4.2).
+	q2, err := fuzzydb.ParseQuery(`Artist = "Stones" AND AlbumColor ~ "red"`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := eng.Paginate(q2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nStones albums by redness, two pages of two:")
+	for page := 1; page <= 2; page++ {
+		rs, err := p.NextPage(2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, r := range rs {
+			fmt.Printf("  page %d: %-20s %.4f\n", page, eng.Name(r.Object), r.Grade)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+// Quickstart: build two graded sources by hand, run Fagin's Algorithm,
+// and inspect the answers and the middleware cost.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fuzzydb"
+)
+
+func main() {
+	// Two atomic queries over five objects (0..4): "how red is it?" and
+	// "how round is it?" — the Section 4 example. A graded list is the
+	// result a subsystem such as QBIC would return.
+	red, err := fuzzydb.NewList([]fuzzydb.Entry{
+		{Object: 0, Grade: 0.95},
+		{Object: 1, Grade: 0.80},
+		{Object: 2, Grade: 0.60},
+		{Object: 3, Grade: 0.30},
+		{Object: 4, Grade: 0.10},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	round, err := fuzzydb.NewList([]fuzzydb.Entry{
+		{Object: 3, Grade: 0.90},
+		{Object: 2, Grade: 0.85},
+		{Object: 0, Grade: 0.50},
+		{Object: 4, Grade: 0.40},
+		{Object: 1, Grade: 0.20},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sources := []fuzzydb.Source{
+		fuzzydb.SourceFromList(red),
+		fuzzydb.SourceFromList(round),
+	}
+
+	// Top 2 answers of (Color="red") AND (Shape="round") under the
+	// standard fuzzy conjunction (min).
+	results, cost, err := fuzzydb.TopK(sources, fuzzydb.Min, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("top 2 answers of red AND round (min rule):")
+	for i, r := range results {
+		fmt.Printf("  %d. object %d with grade %.2f\n", i+1, r.Object, r.Grade)
+	}
+	fmt.Printf("middleware cost: %v (sorted + random accesses)\n\n", cost)
+
+	// The same query under a different conjunction rule: the algebraic
+	// product. A₀ is correct for any monotone aggregation (Theorem 4.2).
+	results, _, err = fuzzydb.TopK(sources, fuzzydb.AlgebraicProduct, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("same query under the product t-norm:")
+	for i, r := range results {
+		fmt.Printf("  %d. object %d with grade %.2f\n", i+1, r.Object, r.Grade)
+	}
+}

@@ -1,0 +1,73 @@
+// Text retrieval as a graded subsystem: the other nontraditional data
+// server the paper's introduction names. Combines a text score with a
+// crisp predicate and an image score across three subsystems, including
+// the weighted query syntax (Fagin–Wimmers importance weights).
+//
+//	go run ./examples/textsearch
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fuzzydb"
+)
+
+func main() {
+	names := []string{
+		"Abbey Road", "Let It Be", "Sticky Fingers",
+		"Nashville Skyline", "Revolver", "Blonde on Blonde",
+	}
+	artists := []string{"Beatles", "Beatles", "Stones", "Dylan", "Beatles", "Dylan"}
+	reviews := []string{
+		"a flawless late masterpiece, warm harmonies and a famous crossing",
+		"raw rooftop sessions, stripped back and direct",
+		"swaggering riffs, a masterpiece of grit",
+		"gentle country detour with warm pedal steel",
+		"studio experiments, tape loops, a psychedelic masterpiece",
+		"sprawling double album, surreal and warm",
+	}
+	covers := [][]float64{
+		{0.7, 0.2, 0.1}, {0.1, 0.1, 0.1}, {0.9, 0.05, 0.05},
+		{0.2, 0.3, 0.7}, {0.6, 0.3, 0.1}, {0.4, 0.3, 0.3},
+	}
+
+	eng, err := fuzzydb.NewEngine(
+		[]fuzzydb.Subsystem{
+			fuzzydb.NewRelationalSubsystem("Artist", artists),
+			fuzzydb.NewTextSubsystem("Review", reviews),
+			fuzzydb.NewVectorSubsystem("Cover", covers, map[string][]float64{"red": {1, 0, 0}}),
+		},
+		fuzzydb.WithObjectNames(names),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	show := func(q string, k int) {
+		rep, err := eng.TopKString(q, k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("query: %s\nplan:  %s\n", q, rep.Plan.Algorithm.Name())
+		for i, r := range rep.Results {
+			fmt.Printf("  %d. %-18s %.4f\n", i+1, eng.Name(r.Object), r.Grade)
+		}
+		fmt.Printf("cost:  %v", rep.Cost)
+		for i, c := range rep.PerList {
+			fmt.Printf("  [%s: %v]", rep.Plan.Atoms[i].Attr, c)
+		}
+		fmt.Println()
+		fmt.Println()
+	}
+
+	// Text relevance alone: a graded list like any other subsystem's.
+	show(`Review ~ "warm masterpiece"`, 3)
+
+	// Crisp ∧ fuzzy text: the Beatles' warmest masterpiece.
+	show(`Artist = "Beatles" AND Review ~ "warm masterpiece"`, 2)
+
+	// Three subsystems with weights: the review matters twice as much as
+	// the cover color.
+	show(`Artist = "Beatles" AND Review ~ "masterpiece" ^ 2 AND Cover ~ "red" ^ 1`, 3)
+}

@@ -1,0 +1,302 @@
+// Package fuzzydb is a from-scratch implementation of the system in
+// Ronald Fagin's "Combining Fuzzy Information from Multiple Systems"
+// (PODS 1996 / JCSS 1999): graded-set query semantics for middleware over
+// heterogeneous subsystems, and Fagin's Algorithm (A₀) — the provably
+// optimal algorithm for finding the top k answers to monotone queries
+// with sublinear middleware cost.
+//
+// The package is a facade over the implementation packages. Typical use
+// mirrors the paper's running example — a compact-disk store with a
+// relational subsystem for Artist and a QBIC-like image subsystem for
+// AlbumColor:
+//
+//	artist := fuzzydb.NewRelationalSubsystem("Artist", artists)
+//	color := fuzzydb.NewVectorSubsystem("AlbumColor", covers, targets)
+//	eng, err := fuzzydb.NewEngine([]fuzzydb.Subsystem{artist, color})
+//	rep, err := eng.TopKString(`Artist = "Beatles" AND AlbumColor ~ "red"`, 10)
+//
+// The report carries the answers (a graded set), the exact middleware
+// cost (sorted and random accesses, Section 5 of the paper), and the plan
+// the optimizer chose (A₀′ for min-conjunctions, B₀ for disjunctions,
+// naive for non-monotone queries, A₀ otherwise).
+//
+// Lower-level building blocks — the algorithms, aggregation functions,
+// graded sets, synthetic workload generators, and the experiment harness
+// reproducing the paper's analysis — are exported as aliases so library
+// users can compose them directly; see the type and function groups
+// below.
+package fuzzydb
+
+import (
+	"fuzzydb/internal/agg"
+	"fuzzydb/internal/core"
+	"fuzzydb/internal/cost"
+	"fuzzydb/internal/gradedset"
+	"fuzzydb/internal/middleware"
+	"fuzzydb/internal/query"
+	"fuzzydb/internal/scoredb"
+	"fuzzydb/internal/subsys"
+)
+
+// Graded sets (Section 2 of the paper).
+type (
+	// Entry is one element of a graded set: an object with its grade.
+	Entry = gradedset.Entry
+	// GradedSet is a fuzzy set: objects mapped to grades in [0, 1].
+	GradedSet = gradedset.GradedSet
+	// List is a graded set materialized in descending-grade order.
+	List = gradedset.List
+)
+
+// NewGradedSet returns an empty graded set.
+func NewGradedSet() *GradedSet { return gradedset.New() }
+
+// NewList builds a sorted graded list from entries.
+func NewList(entries []Entry) (*List, error) { return gradedset.NewList(entries) }
+
+// Aggregation functions (Section 3).
+type (
+	// AggFunc maps a grade vector to a grade; Monotone and Strict report
+	// the properties the paper's theorems depend on.
+	AggFunc = agg.Func
+	// TNorm is a triangular norm (conjunction rule).
+	TNorm = agg.TNorm
+	// CoNorm is a triangular co-norm (disjunction rule).
+	CoNorm = agg.CoNorm
+)
+
+// The standard rules and the catalogued t-norm zoo.
+var (
+	// Min is the standard fuzzy conjunction (Zadeh).
+	Min = agg.Min
+	// Max is the standard fuzzy disjunction (Zadeh).
+	Max = agg.Max
+	// Median is the middle order statistic (not strict; Remark 6.1).
+	Median = agg.Median
+	// ArithmeticMean averages grades (monotone and strict; not a t-norm).
+	ArithmeticMean = agg.ArithmeticMean
+	// GeometricMean is the multiplicative mean (monotone and strict).
+	GeometricMean = agg.GeometricMean
+	// AlgebraicProduct is the probabilistic t-norm x·y.
+	AlgebraicProduct = agg.AlgebraicProduct
+	// BoundedDifference is the Łukasiewicz t-norm max(0, x+y−1).
+	BoundedDifference = agg.BoundedDifference
+	// EinsteinProduct is the Einstein t-norm.
+	EinsteinProduct = agg.EinsteinProduct
+	// HamacherProduct is the Hamacher t-norm.
+	HamacherProduct = agg.HamacherProduct
+)
+
+// NewWeighted builds the Fagin–Wimmers weighted form of base under
+// weights (nonnegative, summing to 1).
+func NewWeighted(base AggFunc, weights []float64) (AggFunc, error) {
+	return agg.NewWeighted(base, weights)
+}
+
+// NewOWA builds Yager's ordered weighted averaging operator: grades are
+// sorted descending and combined by the weight vector. OWA interpolates
+// max, min, mean, median, and the gymnastics rule by choice of weights;
+// it is strict exactly when the last weight is positive.
+func NewOWA(weights []float64) (AggFunc, error) {
+	o, err := agg.NewOWA(weights)
+	if err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
+// Parameterized t-norm families (all members monotone and strict, so the
+// paper's bounds apply uniformly across each family).
+var (
+	// YagerTNorm is the Yager family: p=1 is bounded difference, p→∞
+	// approaches min.
+	YagerTNorm = agg.YagerTNorm
+	// HamacherFamily sweeps Hamacher product (γ=0) through algebraic
+	// (γ=1) to Einstein (γ=2) and beyond.
+	HamacherFamily = agg.HamacherFamily
+	// FrankTNorm is the Frank family: s→0 min, s→1 product, s→∞ bounded
+	// difference.
+	FrankTNorm = agg.FrankTNorm
+	// DombiTNorm is the Dombi family: λ→∞ approaches min.
+	DombiTNorm = agg.DombiTNorm
+	// SchweizerSklarTNorm is the positive branch of the Schweizer–Sklar
+	// family.
+	SchweizerSklarTNorm = agg.SchweizerSklarTNorm
+)
+
+// ValidatedSource wraps a source with subsystem-contract checking:
+// descending sorted order, no duplicate objects, grades in [0,1], and
+// random access consistent with sorted access. Violations panic with a
+// diagnostic; use it when integrating an untrusted subsystem.
+func ValidatedSource(src Source) Source { return subsys.Validated(src) }
+
+// Queries (Section 2) and their compiled form.
+type (
+	// Query is a Boolean combination of atomic queries.
+	Query = query.Node
+	// Atomic is an atomic query Attribute = Target.
+	Atomic = query.Atomic
+	// And is a fuzzy conjunction node.
+	And = query.And
+	// Or is a fuzzy disjunction node.
+	Or = query.Or
+	// Not is a fuzzy negation node.
+	Not = query.Not
+	// Semantics selects the connective rules (default: min/max/1−x).
+	Semantics = query.Semantics
+)
+
+// ParseQuery reads a query in concrete syntax, e.g.
+// `(Artist = "Beatles") AND (AlbumColor ~ "red")`.
+func ParseQuery(s string) (Query, error) { return query.Parse(s) }
+
+// StandardSemantics returns Zadeh's rules: min, max, 1−x.
+func StandardSemantics() Semantics { return query.Standard() }
+
+// SemanticsWithTNorm evaluates conjunctions with t and disjunctions with
+// its dual co-norm.
+func SemanticsWithTNorm(t TNorm) Semantics { return query.WithTNorm(t) }
+
+// Subsystems (Section 4's access model).
+type (
+	// Source is a graded query result supporting sorted and random access.
+	Source = subsys.Source
+	// Subsystem answers atomic queries over one attribute.
+	Subsystem = subsys.Subsystem
+	// RelationalSubsystem grades crisply (0/1) from stored values.
+	RelationalSubsystem = subsys.Relational
+	// VectorSubsystem grades by feature-vector similarity (QBIC stand-in).
+	VectorSubsystem = subsys.Vector
+	// TextSubsystem grades by token overlap.
+	TextSubsystem = subsys.Text
+	// StaticSubsystem serves precomputed graded lists.
+	StaticSubsystem = subsys.Static
+)
+
+// NewRelationalSubsystem builds a relational subsystem over values[obj].
+func NewRelationalSubsystem(attr string, values []string) *RelationalSubsystem {
+	return subsys.NewRelational(attr, values)
+}
+
+// NewVectorSubsystem builds a similarity subsystem over features[obj]
+// with named target vectors.
+func NewVectorSubsystem(attr string, features [][]float64, targets map[string][]float64) *VectorSubsystem {
+	return subsys.NewVector(attr, features, targets)
+}
+
+// NewTextSubsystem builds a token-overlap subsystem over documents.
+func NewTextSubsystem(attr string, docs []string) *TextSubsystem {
+	return subsys.NewText(attr, docs)
+}
+
+// NewStaticSubsystem builds a subsystem serving registered graded lists.
+func NewStaticSubsystem(attr string, n int) *StaticSubsystem {
+	return subsys.NewStatic(attr, n)
+}
+
+// SourceFromList wraps a graded list as a Source.
+func SourceFromList(l *List) Source { return subsys.FromList(l) }
+
+// Algorithms (Section 4) and evaluation.
+type (
+	// Algorithm finds top-k answers through sorted and random access.
+	Algorithm = core.Algorithm
+	// Result is one answer: object and overall grade.
+	Result = core.Result
+	// Cost is the middleware access cost (Section 5).
+	Cost = cost.Cost
+	// CostModel prices sorted and random accesses (c₁, c₂).
+	CostModel = cost.Model
+	// Paginator delivers "the next k best" incrementally.
+	Paginator = core.Paginator
+)
+
+// The algorithm family.
+var (
+	// FaginsAlgorithm is A₀: correct for every monotone query, optimal
+	// for monotone strict ones.
+	FaginsAlgorithm Algorithm = core.A0{}
+	// FaginsAlgorithmPrime is A₀′: the min-conjunction refinement.
+	FaginsAlgorithmPrime Algorithm = core.A0Prime{}
+	// DisjunctionAlgorithm is B₀ for max queries: cost mk.
+	DisjunctionAlgorithm Algorithm = core.B0{}
+	// MedianAlgorithm evaluates the median by subset decomposition.
+	MedianAlgorithm Algorithm = core.OrderStat{}
+	// UllmanAlgorithm is the Section 9 sequential-probe algorithm (m=2).
+	UllmanAlgorithm Algorithm = core.Ullman{}
+	// AdaptiveAlgorithm is A₀ with per-list depths chosen by frontier
+	// grade (the Section 4 "Tᵢ ≤ T" refinement direction).
+	AdaptiveAlgorithm Algorithm = core.A0Adaptive{}
+	// FilterFirstAlgorithm evaluates a selective binary conjunct first
+	// (Section 4's opening strategy); list 0 must be 0/1-graded.
+	FilterFirstAlgorithm Algorithm = core.FilterFirst{}
+	// ThresholdAlgorithm is TA, the successor of A₀ (extension).
+	ThresholdAlgorithm Algorithm = core.TA{}
+	// NoRandomAccessAlgorithm is NRA (extension; grades are lower bounds).
+	NoRandomAccessAlgorithm Algorithm = core.NRA{}
+	// NaiveAlgorithm is the linear baseline.
+	NaiveAlgorithm Algorithm = core.NaiveSorted{}
+)
+
+// TopK finds the top k answers of F_t(sources...) with Fagin's Algorithm
+// and reports the exact middleware cost.
+func TopK(sources []Source, t AggFunc, k int) ([]Result, Cost, error) {
+	return core.Evaluate(core.A0{}, sources, t, k)
+}
+
+// TopKWith runs a specific algorithm from the family.
+func TopKWith(alg Algorithm, sources []Source, t AggFunc, k int) ([]Result, Cost, error) {
+	return core.Evaluate(alg, sources, t, k)
+}
+
+// Engine: the Garlic-style middleware.
+type (
+	// Engine routes queries to subsystems, plans, and evaluates.
+	Engine = middleware.Middleware
+	// Report is a query outcome: results, exact cost, and the plan.
+	Report = middleware.Report
+	// Plan describes the chosen algorithm and its justification.
+	Plan = middleware.Plan
+	// EngineOption configures NewEngine.
+	EngineOption = middleware.Option
+)
+
+// NewEngine builds an engine over subsystems sharing one object universe.
+func NewEngine(subsystems []Subsystem, opts ...EngineOption) (*Engine, error) {
+	return middleware.New(subsystems, opts...)
+}
+
+// WithSemantics replaces the standard connective rules.
+func WithSemantics(sem Semantics) EngineOption { return middleware.WithSemantics(sem) }
+
+// WithObjectNames attaches display names to objects.
+func WithObjectNames(names []string) EngineOption { return middleware.WithNames(names) }
+
+// Synthetic workloads (Section 5's probabilistic model).
+type (
+	// Database is a scoring database: m graded lists over N objects.
+	Database = scoredb.Database
+	// DatabaseGenerator draws databases under the paper's workload model.
+	DatabaseGenerator = scoredb.Generator
+	// GradeLaw is a marginal grade distribution.
+	GradeLaw = scoredb.GradeLaw
+)
+
+// Grade laws for the generator.
+type (
+	// UniformLaw is iid Uniform[0,1].
+	UniformLaw = scoredb.Uniform
+	// BinaryLaw is 0/1 with selectivity P.
+	BinaryLaw = scoredb.Binary
+	// BoundedLaw is Uniform[0,Max] (Section 9's regime).
+	BoundedLaw = scoredb.BoundedAbove
+)
+
+// DatabaseSources adapts a scoring database's lists to Sources.
+func DatabaseSources(db *Database) []Source {
+	out := make([]Source, db.M())
+	for i := range out {
+		out[i] = subsys.FromList(db.List(i))
+	}
+	return out
+}

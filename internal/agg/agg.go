@@ -1,0 +1,134 @@
+package agg
+
+import "math"
+
+// Func is an aggregation function: it maps a vector of grades in [0,1] to
+// a single grade in [0,1]. Implementations accept any arity unless
+// documented otherwise (the order-statistic family requires enough
+// arguments).
+//
+// Monotone and Strict report structural properties the algorithms depend
+// on; they are promises about the mathematical definition, verified
+// empirically by this package's test suite. Algorithm A₀ requires
+// Monotone for correctness; the Θ lower bound additionally requires
+// Strict.
+type Func interface {
+	// Name identifies the function in reports and experiment tables.
+	Name() string
+	// Apply evaluates the function. Implementations must not retain or
+	// mutate the slice. Behaviour outside [0,1] inputs is unspecified.
+	Apply(grades []float64) float64
+	// Monotone reports whether the function is monotone in every argument.
+	Monotone() bool
+	// Strict reports whether the function equals 1 exactly when every
+	// argument equals 1.
+	Strict() bool
+}
+
+// Negate is the standard fuzzy negation rule: μ¬A(x) = 1 − μA(x).
+func Negate(g float64) float64 { return 1 - g }
+
+// funcImpl is the common carrier for the package's built-in functions.
+type funcImpl struct {
+	name     string
+	apply    func([]float64) float64
+	monotone bool
+	strict   bool
+}
+
+func (f funcImpl) Name() string                   { return f.name }
+func (f funcImpl) Apply(grades []float64) float64 { return f.apply(grades) }
+func (f funcImpl) Monotone() bool                 { return f.monotone }
+func (f funcImpl) Strict() bool                   { return f.strict }
+
+// Min is the standard fuzzy conjunction rule: the minimum of the grades.
+// By Theorem 3.1 it is the unique monotone conjunction rule preserving
+// logical equivalence. Applying it to no grades yields 1, the identity of
+// conjunction.
+var Min Func = funcImpl{
+	name: "min",
+	apply: func(gs []float64) float64 {
+		min := 1.0
+		for _, g := range gs {
+			if g < min {
+				min = g
+			}
+		}
+		return min
+	},
+	monotone: true,
+	strict:   true,
+}
+
+// Max is the standard fuzzy disjunction rule: the maximum of the grades.
+// It is monotone but not strict (max(1, 0) = 1), which is why the lower
+// bound fails for it and algorithm B₀ beats Θ(N^((m−1)/m)k^(1/m))
+// (Remark 6.1). Applying it to no grades yields 0, the identity of
+// disjunction.
+var Max Func = funcImpl{
+	name: "max",
+	apply: func(gs []float64) float64 {
+		max := 0.0
+		for _, g := range gs {
+			if g > max {
+				max = g
+			}
+		}
+		return max
+	},
+	monotone: true,
+	strict:   false,
+}
+
+// Constant returns the aggregation function that ignores its arguments and
+// always yields c. It is monotone and (unless c = 1 at arity 0, which we
+// do not model) not strict: the degenerate example of Section 4 for which
+// any k objects are a correct answer.
+func Constant(c float64) Func {
+	return funcImpl{
+		name:     "constant",
+		apply:    func([]float64) float64 { return c },
+		monotone: true,
+		strict:   false,
+	}
+}
+
+// ArithmeticMean averages the grades. Thole, Zimmermann and Zysno found it
+// to perform well empirically; it is monotone and strict but not a t-norm
+// (it does not conserve propositional semantics: mean(0,1) = ½). The
+// paper's upper and lower bounds therefore still apply to it. Applying it
+// to no grades yields 1 by convention (empty conjunction).
+var ArithmeticMean Func = funcImpl{
+	name: "arithmetic-mean",
+	apply: func(gs []float64) float64 {
+		if len(gs) == 0 {
+			return 1
+		}
+		sum := 0.0
+		for _, g := range gs {
+			sum += g
+		}
+		return sum / float64(len(gs))
+	},
+	monotone: true,
+	strict:   true,
+}
+
+// GeometricMean is the m-th root of the product of the grades: monotone
+// and strict, and like the arithmetic mean not a t-norm. Applying it to no
+// grades yields 1.
+var GeometricMean Func = funcImpl{
+	name: "geometric-mean",
+	apply: func(gs []float64) float64 {
+		if len(gs) == 0 {
+			return 1
+		}
+		prod := 1.0
+		for _, g := range gs {
+			prod *= g
+		}
+		return math.Pow(prod, 1/float64(len(gs)))
+	},
+	monotone: true,
+	strict:   true,
+}

@@ -1,0 +1,149 @@
+package agg
+
+// CoNorm is a triangular co-norm [DP85]: a 2-ary aggregation function
+// satisfying ∨-conservation (s(1,1)=1, s(x,0)=s(0,x)=x), monotonicity,
+// commutativity, and associativity. Co-norms evaluate disjunctions. Like
+// TNorm, CoNorm implements Func by iterating the 2-ary function.
+//
+// Iterated co-norms are monotone but not strict: s(1, 0) = 1, so the
+// Θ(N^((m−1)/m)k^(1/m)) lower bound does not apply to disjunctions — and
+// indeed B₀ answers the standard fuzzy disjunction with cost mk.
+type CoNorm struct {
+	name    string
+	combine func(x, y float64) float64
+}
+
+// NewCoNorm wraps a 2-ary function asserted to satisfy the co-norm axioms.
+// The axioms are not checked here; use CheckCoNormAxioms in tests.
+func NewCoNorm(name string, combine func(x, y float64) float64) CoNorm {
+	return CoNorm{name: name, combine: combine}
+}
+
+// Name implements Func.
+func (s CoNorm) Name() string { return s.name }
+
+// Combine evaluates the underlying 2-ary function.
+func (s CoNorm) Combine(x, y float64) float64 { return s.combine(x, y) }
+
+// Apply evaluates the m-ary iterated form. The empty disjunction is 0
+// (the co-norm identity).
+func (s CoNorm) Apply(gs []float64) float64 {
+	if len(gs) == 0 {
+		return 0
+	}
+	acc := gs[0]
+	for _, g := range gs[1:] {
+		acc = s.combine(acc, g)
+	}
+	return acc
+}
+
+// Monotone implements Func; every co-norm is monotone.
+func (s CoNorm) Monotone() bool { return true }
+
+// Strict implements Func; no co-norm is strict (s(1,0) = 1).
+func (s CoNorm) Strict() bool { return false }
+
+// The co-norms catalogued in Section 3, duals of the corresponding
+// t-norms.
+var (
+	// MaxNorm is max as a CoNorm (the standard rule; the smallest co-norm).
+	MaxNorm = NewCoNorm("max", func(x, y float64) float64 {
+		if x > y {
+			return x
+		}
+		return y
+	})
+
+	// DrasticSum is the largest co-norm: max(x,y) if min(x,y)=0, else 1.
+	DrasticSum = NewCoNorm("drastic-sum", func(x, y float64) float64 {
+		switch {
+		case x == 0:
+			return y
+		case y == 0:
+			return x
+		default:
+			return 1
+		}
+	})
+
+	// BoundedSum is min(1, x+y).
+	BoundedSum = NewCoNorm("bounded-sum", func(x, y float64) float64 {
+		if s := x + y; s < 1 {
+			return s
+		}
+		return 1
+	})
+
+	// EinsteinSum is (x+y) / (1 + xy), with exact boundary cases and
+	// clamped against roundoff.
+	EinsteinSum = NewCoNorm("einstein-sum", func(x, y float64) float64 {
+		if x == 1 || y == 1 {
+			return 1
+		}
+		if x == 0 {
+			return y
+		}
+		if y == 0 {
+			return x
+		}
+		return clamp01((x + y) / (1 + x*y))
+	})
+
+	// AlgebraicSum is x + y − xy.
+	AlgebraicSum = NewCoNorm("algebraic-sum", func(x, y float64) float64 {
+		return x + y - x*y
+	})
+
+	// HamacherSum is (x + y − 2xy) / (1 − xy), with s(1,1) = 1 by
+	// continuity of the family (the formula is 0/0 there). The quotient is
+	// clamped to [0,1] to keep floating-point roundoff from leaking grades
+	// marginally above 1 into iterated applications.
+	HamacherSum = NewCoNorm("hamacher-sum", func(x, y float64) float64 {
+		// Exact boundary cases first: the rational form is ill-conditioned
+		// near 1 and roundoff would otherwise compound under iteration.
+		if x == 1 || y == 1 {
+			return 1
+		}
+		if x == 0 {
+			return y
+		}
+		if y == 0 {
+			return x
+		}
+		d := 1 - x*y
+		if d <= 0 {
+			return 1
+		}
+		return clamp01((x + y - 2*x*y) / d)
+	})
+)
+
+// CoNorms returns the catalogue of built-in co-norms, ordered from the
+// smallest (max) to the largest (drastic sum).
+func CoNorms() []CoNorm {
+	return []CoNorm{
+		MaxNorm,
+		HamacherSum,
+		AlgebraicSum,
+		EinsteinSum,
+		BoundedSum,
+		DrasticSum,
+	}
+}
+
+// DualCoNorm derives the co-norm of a t-norm through the standard
+// negation: s(x,y) = 1 − t(1−x, 1−y) [Al85].
+func DualCoNorm(t TNorm) CoNorm {
+	return NewCoNorm(t.Name()+"-dual", func(x, y float64) float64 {
+		return 1 - t.Combine(1-x, 1-y)
+	})
+}
+
+// DualTNorm derives the t-norm of a co-norm through the standard negation:
+// t(x,y) = 1 − s(1−x, 1−y).
+func DualTNorm(s CoNorm) TNorm {
+	return NewTNorm(s.Name()+"-dual", func(x, y float64) float64 {
+		return 1 - s.Combine(1-x, 1-y)
+	})
+}

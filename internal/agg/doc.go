@@ -1,0 +1,27 @@
+// Package agg implements the aggregation functions of Section 3: the rules
+// that assign a grade to a Boolean combination of atomic queries as a
+// function of the grades of its parts.
+//
+// An m-ary aggregation function is a function from [0,1]^m to [0,1]. The
+// paper's algorithmic results need exactly two properties of it:
+//
+//   - Monotonicity: t(x₁,…,xₘ) ≤ t(x₁′,…,xₘ′) whenever xᵢ ≤ xᵢ′ for all i.
+//     Monotonicity makes algorithm A₀ correct (Theorem 4.2) and drives the
+//     sublinear upper bound (Theorem 5.3).
+//   - Strictness: t(x₁,…,xₘ) = 1 iff every xᵢ = 1. Strictness drives the
+//     matching lower bound (Theorem 6.4).
+//
+// The package ships the full zoo the paper surveys: the standard fuzzy
+// rules min and max [Za65]; the classical triangular norms and co-norms
+// (drastic, bounded difference/sum, Einstein, algebraic, Hamacher)
+// [SS63, DP80, BD86, Mi89]; arithmetic and geometric means (monotone and
+// strict but not t-norms) [TZZ79]; the median and the gymnastics rule
+// (monotone but not strict — the cases where the lower bound fails,
+// Remark 6.1); and weighted aggregation following Fagin–Wimmers [FW97].
+//
+// Property metadata is carried on each Func, and the package also provides
+// empirical verifiers (grid and randomized) used by the test suite to
+// confirm the metadata against the definitions, mirroring the paper's
+// axiomatic treatment (7-conservation, commutativity, associativity,
+// monotonicity, and the drastic ≤ t ≤ min envelope).
+package agg

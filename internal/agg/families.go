@@ -1,0 +1,153 @@
+package agg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Parameterized t-norm families. Section 3 surveys individual t-norms;
+// the fuzzy-logic literature it draws on (Dubois–Prade, Zimmermann)
+// organizes them into one-parameter families that sweep continuously
+// between the extreme norms (drastic product at one end, min at the
+// other) and pass through the classical members on the way. The paper's
+// bounds apply uniformly across every member — all are monotone and
+// strict — which makes the families the natural parameter sweep for the
+// robustness experiment (E12).
+//
+// Each constructor validates its parameter and clamps floating-point
+// roundoff back into [0, 1].
+
+// YagerTNorm returns the Yager family member
+//
+//	t_p(x,y) = max(0, 1 − ((1−x)^p + (1−y)^p)^(1/p)),   p > 0.
+//
+// p = 1 is the bounded difference; p → ∞ approaches min; p → 0
+// approaches the drastic product. It panics if p ≤ 0.
+func YagerTNorm(p float64) TNorm {
+	if p <= 0 {
+		panic(fmt.Sprintf("agg: YagerTNorm(%v): p must be > 0", p))
+	}
+	return NewTNorm(fmt.Sprintf("yager(%g)", p), func(x, y float64) float64 {
+		if x == 1 {
+			return y
+		}
+		if y == 1 {
+			return x
+		}
+		s := math.Pow(1-x, p) + math.Pow(1-y, p)
+		v := 1 - math.Pow(s, 1/p)
+		return clamp01(v)
+	})
+}
+
+// HamacherFamily returns the Hamacher family member
+//
+//	t_γ(x,y) = xy / (γ + (1−γ)(x+y−xy)),   γ ≥ 0.
+//
+// γ = 0 is the Hamacher product, γ = 1 the algebraic product, γ = 2 the
+// Einstein product. It panics if γ < 0.
+func HamacherFamily(gamma float64) TNorm {
+	if gamma < 0 {
+		panic(fmt.Sprintf("agg: HamacherFamily(%v): gamma must be >= 0", gamma))
+	}
+	return NewTNorm(fmt.Sprintf("hamacher(%g)", gamma), func(x, y float64) float64 {
+		if x == 0 || y == 0 {
+			return 0
+		}
+		if x == 1 {
+			return y
+		}
+		if y == 1 {
+			return x
+		}
+		d := gamma + (1-gamma)*(x+y-x*y)
+		if d <= 0 {
+			return 0
+		}
+		return clamp01(x * y / d)
+	})
+}
+
+// FrankTNorm returns the Frank family member
+//
+//	t_s(x,y) = log_s(1 + (s^x − 1)(s^y − 1)/(s − 1)),   s > 0, s ≠ 1.
+//
+// s → 0 approaches min, s → 1 the algebraic product, s → ∞ the bounded
+// difference. It panics if s ≤ 0 or s = 1 (use AlgebraicProduct for the
+// limit).
+func FrankTNorm(s float64) TNorm {
+	if s <= 0 || s == 1 {
+		panic(fmt.Sprintf("agg: FrankTNorm(%v): s must be positive and != 1", s))
+	}
+	lnS := math.Log(s)
+	return NewTNorm(fmt.Sprintf("frank(%g)", s), func(x, y float64) float64 {
+		if x == 0 || y == 0 {
+			return 0
+		}
+		if x == 1 {
+			return y
+		}
+		if y == 1 {
+			return x
+		}
+		num := (math.Pow(s, x) - 1) * (math.Pow(s, y) - 1)
+		v := math.Log1p(num/(s-1)) / lnS
+		return clamp01(v)
+	})
+}
+
+// DombiTNorm returns the Dombi family member
+//
+//	t_λ(x,y) = 1 / (1 + (((1−x)/x)^λ + ((1−y)/y)^λ)^(1/λ)),   λ > 0,
+//
+// with t(x,y) = 0 when either argument is 0. λ → ∞ approaches min, λ → 0
+// the drastic product. It panics if λ ≤ 0.
+func DombiTNorm(lambda float64) TNorm {
+	if lambda <= 0 {
+		panic(fmt.Sprintf("agg: DombiTNorm(%v): lambda must be > 0", lambda))
+	}
+	return NewTNorm(fmt.Sprintf("dombi(%g)", lambda), func(x, y float64) float64 {
+		if x == 0 || y == 0 {
+			return 0
+		}
+		if x == 1 {
+			return y
+		}
+		if y == 1 {
+			return x
+		}
+		a := math.Pow((1-x)/x, lambda)
+		b := math.Pow((1-y)/y, lambda)
+		v := 1 / (1 + math.Pow(a+b, 1/lambda))
+		return clamp01(v)
+	})
+}
+
+// SchweizerSklarTNorm returns the Schweizer–Sklar family member
+//
+//	t_p(x,y) = max(0, x^p + y^p − 1)^(1/p),   p > 0.
+//
+// p = 1 is the bounded difference; p → 0 approaches the algebraic
+// product. (Negative p gives further members; this constructor covers the
+// positive branch and panics otherwise.)
+func SchweizerSklarTNorm(p float64) TNorm {
+	if p <= 0 {
+		panic(fmt.Sprintf("agg: SchweizerSklarTNorm(%v): p must be > 0", p))
+	}
+	return NewTNorm(fmt.Sprintf("schweizer-sklar(%g)", p), func(x, y float64) float64 {
+		if x == 0 || y == 0 {
+			return 0
+		}
+		if x == 1 {
+			return y
+		}
+		if y == 1 {
+			return x
+		}
+		s := math.Pow(x, p) + math.Pow(y, p) - 1
+		if s <= 0 {
+			return 0
+		}
+		return clamp01(math.Pow(s, 1/p))
+	})
+}

@@ -1,0 +1,145 @@
+package agg
+
+import (
+	"math"
+	"testing"
+)
+
+// familyMembers enumerates representative members of every family.
+func familyMembers() []TNorm {
+	return []TNorm{
+		YagerTNorm(0.5), YagerTNorm(1), YagerTNorm(2), YagerTNorm(5),
+		HamacherFamily(0), HamacherFamily(0.5), HamacherFamily(1), HamacherFamily(2), HamacherFamily(5),
+		FrankTNorm(0.1), FrankTNorm(2), FrankTNorm(10),
+		DombiTNorm(0.5), DombiTNorm(1), DombiTNorm(2),
+		SchweizerSklarTNorm(0.5), SchweizerSklarTNorm(1), SchweizerSklarTNorm(2),
+	}
+}
+
+// Every family member must satisfy all t-norm axioms: conservation,
+// commutativity, associativity, monotonicity, and the drastic ≤ t ≤ min
+// envelope from which strictness follows.
+func TestFamilyAxioms(t *testing.T) {
+	for _, tn := range familyMembers() {
+		tn := tn
+		t.Run(tn.Name(), func(t *testing.T) {
+			if err := CheckTNormAxioms(tn, 10); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// Family members are monotone+strict as m-ary iterated functions, so the
+// paper's upper AND lower bounds apply to all of them.
+func TestFamilyStrictness(t *testing.T) {
+	for _, tn := range familyMembers() {
+		for _, arity := range []int{2, 4} {
+			if err := VerifyMonotone(tn, arity, 300, 81); err != nil {
+				t.Errorf("%s: %v", tn.Name(), err)
+			}
+			if err := VerifyStrict(tn, arity, 300, 82); err != nil {
+				t.Errorf("%s: %v", tn.Name(), err)
+			}
+		}
+	}
+}
+
+// Known coincidences at specific parameters.
+func TestFamilyClassicalMembers(t *testing.T) {
+	agree := func(name string, a, b TNorm, tol float64) {
+		for _, x := range grid(20) {
+			for _, y := range grid(20) {
+				if math.Abs(a.Combine(x, y)-b.Combine(x, y)) > tol {
+					t.Errorf("%s: %v vs %v at (%v,%v)", name, a.Combine(x, y), b.Combine(x, y), x, y)
+					return
+				}
+			}
+		}
+	}
+	agree("yager(1) = bounded difference", YagerTNorm(1), BoundedDifference, 1e-12)
+	agree("hamacher(0) = hamacher product", HamacherFamily(0), HamacherProduct, 1e-12)
+	agree("hamacher(1) = algebraic product", HamacherFamily(1), AlgebraicProduct, 1e-12)
+	agree("hamacher(2) = einstein product", HamacherFamily(2), EinsteinProduct, 1e-12)
+	agree("schweizer-sklar(1) = bounded difference", SchweizerSklarTNorm(1), BoundedDifference, 1e-12)
+	// Frank s → 1 approaches the algebraic product.
+	agree("frank(1.0001) ~ product", FrankTNorm(1.0001), AlgebraicProduct, 1e-3)
+}
+
+// Limit behaviour: large parameters approach min (Yager, Dombi); small
+// Yager parameters approach the drastic product.
+func TestFamilyLimits(t *testing.T) {
+	big := YagerTNorm(200)
+	for _, x := range grid(10) {
+		for _, y := range grid(10) {
+			if math.Abs(big.Combine(x, y)-MinNorm.Combine(x, y)) > 0.02 {
+				t.Errorf("yager(200)(%v,%v) = %v, min = %v", x, y, big.Combine(x, y), MinNorm.Combine(x, y))
+			}
+		}
+	}
+	bigD := DombiTNorm(100)
+	for _, x := range grid(10) {
+		for _, y := range grid(10) {
+			if math.Abs(bigD.Combine(x, y)-MinNorm.Combine(x, y)) > 0.02 {
+				t.Errorf("dombi(100)(%v,%v) = %v, min = %v", x, y, bigD.Combine(x, y), MinNorm.Combine(x, y))
+			}
+		}
+	}
+	// Small Yager p: everything interior collapses toward 0.
+	tiny := YagerTNorm(0.05)
+	if v := tiny.Combine(0.9, 0.9); v > 0.3 {
+		t.Errorf("yager(0.05)(0.9,0.9) = %v, want near drastic (0)", v)
+	}
+}
+
+// Family ordering in the parameter: Yager and Dombi are increasing in
+// their parameter (pointwise).
+func TestFamilyParameterMonotone(t *testing.T) {
+	pairs := [][2]TNorm{
+		{YagerTNorm(0.5), YagerTNorm(2)},
+		{YagerTNorm(2), YagerTNorm(10)},
+		{DombiTNorm(0.5), DombiTNorm(2)},
+	}
+	for _, pr := range pairs {
+		lo, hi := pr[0], pr[1]
+		for _, x := range grid(10) {
+			for _, y := range grid(10) {
+				if lo.Combine(x, y) > hi.Combine(x, y)+1e-9 {
+					t.Errorf("%s(%v,%v)=%v above %s=%v", lo.Name(), x, y, lo.Combine(x, y), hi.Name(), hi.Combine(x, y))
+				}
+			}
+		}
+	}
+}
+
+// Duals of family members satisfy the co-norm axioms.
+func TestFamilyDualsAreCoNorms(t *testing.T) {
+	for _, tn := range []TNorm{YagerTNorm(2), HamacherFamily(0.5), FrankTNorm(2), DombiTNorm(1)} {
+		if err := CheckCoNormAxioms(DualCoNorm(tn), 8); err != nil {
+			t.Errorf("%s dual: %v", tn.Name(), err)
+		}
+	}
+}
+
+func TestFamilyParameterValidation(t *testing.T) {
+	cases := []func(){
+		func() { YagerTNorm(0) },
+		func() { YagerTNorm(-1) },
+		func() { HamacherFamily(-0.1) },
+		func() { FrankTNorm(1) },
+		func() { FrankTNorm(0) },
+		func() { FrankTNorm(-2) },
+		func() { DombiTNorm(0) },
+		func() { SchweizerSklarTNorm(0) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic on invalid parameter", i)
+				}
+			}()
+			f()
+		}()
+	}
+}

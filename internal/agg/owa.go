@@ -1,0 +1,96 @@
+package agg
+
+import (
+	"fmt"
+	"sort"
+)
+
+// OWA is Yager's ordered weighted averaging operator: the grades are
+// sorted in descending order and combined by a fixed weight vector,
+//
+//	OWA_w(x₁,…,xₘ) = Σᵢ wᵢ · x₍ᵢ₎,   x₍₁₎ ≥ x₍₂₎ ≥ … ≥ x₍ₘ₎,
+//
+// with wᵢ ≥ 0 and Σwᵢ = 1. The family interpolates the whole spectrum of
+// Section 3's operators by choice of w:
+//
+//	(1, 0, …, 0)      → max
+//	(0, …, 0, 1)      → min
+//	(1/m, …, 1/m)     → arithmetic mean
+//	e_{⌈(m+1)/2⌉}     → median
+//	(0, 1/(m−2), …, 0) → the gymnastics rule
+//
+// Every OWA operator is monotone, so A₀ evaluates OWA queries correctly
+// (Theorem 4.2). It is strict exactly when the last weight (the one
+// applied to the minimum) is positive — the same strictness dichotomy
+// that separates min (lower bound applies) from max and median (lower
+// bound fails), now as a property of one parameter vector.
+type OWA struct {
+	weights []float64
+}
+
+// NewOWA validates the weight vector (nonnegative, summing to 1 within a
+// small tolerance, then renormalized exactly).
+func NewOWA(weights []float64) (*OWA, error) {
+	if len(weights) == 0 {
+		return nil, fmt.Errorf("%w: no weights", ErrBadWeights)
+	}
+	sum := 0.0
+	for _, w := range weights {
+		if w < 0 {
+			return nil, fmt.Errorf("%w: negative weight %v", ErrBadWeights, w)
+		}
+		sum += w
+	}
+	if sum < 1-1e-9 || sum > 1+1e-9 {
+		return nil, fmt.Errorf("%w: sum = %v", ErrBadWeights, sum)
+	}
+	ws := make([]float64, len(weights))
+	for i, w := range weights {
+		ws[i] = w / sum
+	}
+	return &OWA{weights: ws}, nil
+}
+
+// Name implements Func.
+func (o *OWA) Name() string { return fmt.Sprintf("owa-%d", len(o.weights)) }
+
+// Arity returns the required number of grades.
+func (o *OWA) Arity() int { return len(o.weights) }
+
+// Apply implements Func. It panics if the number of grades differs from
+// the number of weights.
+func (o *OWA) Apply(gs []float64) float64 {
+	if len(gs) != len(o.weights) {
+		panic(fmt.Sprintf("agg: OWA.Apply: %d grades for %d weights", len(gs), len(o.weights)))
+	}
+	sorted := append([]float64(nil), gs...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+	v := 0.0
+	for i, w := range o.weights {
+		v += w * sorted[i]
+	}
+	return clamp01(v)
+}
+
+// Monotone implements Func: increasing any argument cannot decrease any
+// order statistic, and the weights are nonnegative.
+func (o *OWA) Monotone() bool { return true }
+
+// Strict implements Func: with weight on the minimum, the value is 1 only
+// if the minimum is 1.
+func (o *OWA) Strict() bool { return o.weights[len(o.weights)-1] > 0 }
+
+// Orness is Yager's degree-of-disjunction measure: 1 for max, 0 for min,
+// ½ for the mean. It summarizes where in the and–or spectrum the operator
+// sits.
+func (o *OWA) Orness() float64 {
+	m := len(o.weights)
+	if m == 1 {
+		return 0.5
+	}
+	v := 0.0
+	for i, w := range o.weights {
+		v += w * float64(m-1-i)
+	}
+	return v / float64(m-1)
+}

@@ -1,0 +1,121 @@
+package agg
+
+import (
+	"errors"
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func mustOWA(t *testing.T, ws []float64) *OWA {
+	t.Helper()
+	o, err := NewOWA(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func TestOWAValidation(t *testing.T) {
+	if _, err := NewOWA(nil); !errors.Is(err, ErrBadWeights) {
+		t.Error("empty weights accepted")
+	}
+	if _, err := NewOWA([]float64{0.5, -0.1, 0.6}); !errors.Is(err, ErrBadWeights) {
+		t.Error("negative weight accepted")
+	}
+	if _, err := NewOWA([]float64{0.5, 0.4}); !errors.Is(err, ErrBadWeights) {
+		t.Error("bad sum accepted")
+	}
+}
+
+// OWA specializes to max, min, mean, median, and gymnastics.
+func TestOWASpecializations(t *testing.T) {
+	maxO := mustOWA(t, []float64{1, 0, 0})
+	minO := mustOWA(t, []float64{0, 0, 1})
+	meanO := mustOWA(t, []float64{1.0 / 3, 1.0 / 3, 1.0 / 3})
+	medO := mustOWA(t, []float64{0, 1, 0})
+	gymO := mustOWA(t, []float64{0, 0.5, 0.5, 0}) // 4 judges: drop best & worst
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 91))
+		gs := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		if math.Abs(maxO.Apply(gs)-Max.Apply(gs)) > 1e-12 {
+			return false
+		}
+		if math.Abs(minO.Apply(gs)-Min.Apply(gs)) > 1e-12 {
+			return false
+		}
+		if math.Abs(meanO.Apply(gs)-ArithmeticMean.Apply(gs)) > 1e-12 {
+			return false
+		}
+		if math.Abs(medO.Apply(gs)-Median.Apply(gs)) > 1e-12 {
+			return false
+		}
+		gs4 := []float64{rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()}
+		if math.Abs(gymO.Apply(gs4)-Gymnastics.Apply(gs4)) > 1e-12 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOWAStrictness(t *testing.T) {
+	if !mustOWA(t, []float64{0, 0, 1}).Strict() {
+		t.Error("min-OWA should be strict")
+	}
+	if !mustOWA(t, []float64{0.2, 0.3, 0.5}).Strict() {
+		t.Error("positive-tail OWA should be strict")
+	}
+	if mustOWA(t, []float64{0.5, 0.5, 0}).Strict() {
+		t.Error("zero-tail OWA should not be strict")
+	}
+	// Verify the metadata against behaviour.
+	strict := mustOWA(t, []float64{0.2, 0.3, 0.5})
+	if err := VerifyStrict(strict, 3, 300, 92); err != nil {
+		t.Error(err)
+	}
+	if err := VerifyMonotone(strict, 3, 500, 93); err != nil {
+		t.Error(err)
+	}
+	loose := mustOWA(t, []float64{0.5, 0.5, 0})
+	if VerifyStrict(loose, 3, 300, 94) == nil {
+		t.Error("VerifyStrict failed to refute a zero-tail OWA")
+	}
+}
+
+func TestOWAOrness(t *testing.T) {
+	cases := []struct {
+		ws   []float64
+		want float64
+	}{
+		{[]float64{1, 0, 0}, 1},                     // max
+		{[]float64{0, 0, 1}, 0},                     // min
+		{[]float64{1.0 / 3, 1.0 / 3, 1.0 / 3}, 0.5}, // mean
+		{[]float64{1}, 0.5},                         // singleton
+	}
+	for _, c := range cases {
+		if got := mustOWA(t, c.ws).Orness(); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Orness(%v) = %v, want %v", c.ws, got, c.want)
+		}
+	}
+}
+
+func TestOWAArityPanics(t *testing.T) {
+	o := mustOWA(t, []float64{0.5, 0.5})
+	defer func() {
+		if recover() == nil {
+			t.Error("arity mismatch should panic")
+		}
+	}()
+	o.Apply([]float64{1})
+}
+
+func TestOWAMetadata(t *testing.T) {
+	o := mustOWA(t, []float64{0.5, 0.5})
+	if o.Name() != "owa-2" || o.Arity() != 2 || !o.Monotone() {
+		t.Errorf("metadata: name=%s arity=%d monotone=%v", o.Name(), o.Arity(), o.Monotone())
+	}
+}

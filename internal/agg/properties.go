@@ -1,0 +1,201 @@
+package agg
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// This file provides empirical verifiers for the axioms of Section 3. They
+// are used by the test suite to confirm the Monotone/Strict metadata each
+// Func carries, and are exported so downstream users can sanity-check
+// custom aggregation functions before trusting A₀'s correctness with them.
+
+// grid returns an evenly spaced sample of [0,1] with n+1 points including
+// both endpoints.
+func grid(n int) []float64 {
+	gs := make([]float64, n+1)
+	for i := 0; i <= n; i++ {
+		gs[i] = float64(i) / float64(n)
+	}
+	return gs
+}
+
+const verifyEps = 1e-9
+
+// VerifyConservationTNorm checks ∧-conservation on a grid: t(0,0) = 0 and
+// t(x,1) = t(1,x) = x.
+func VerifyConservationTNorm(t TNorm, gridSize int) error {
+	if got := t.Combine(0, 0); math.Abs(got) > verifyEps {
+		return fmt.Errorf("%s: t(0,0) = %v, want 0", t.Name(), got)
+	}
+	for _, x := range grid(gridSize) {
+		if got := t.Combine(x, 1); math.Abs(got-x) > verifyEps {
+			return fmt.Errorf("%s: t(%v,1) = %v, want %v", t.Name(), x, got, x)
+		}
+		if got := t.Combine(1, x); math.Abs(got-x) > verifyEps {
+			return fmt.Errorf("%s: t(1,%v) = %v, want %v", t.Name(), x, got, x)
+		}
+	}
+	return nil
+}
+
+// VerifyConservationCoNorm checks ∨-conservation on a grid: s(1,1) = 1 and
+// s(x,0) = s(0,x) = x.
+func VerifyConservationCoNorm(s CoNorm, gridSize int) error {
+	if got := s.Combine(1, 1); math.Abs(got-1) > verifyEps {
+		return fmt.Errorf("%s: s(1,1) = %v, want 1", s.Name(), got)
+	}
+	for _, x := range grid(gridSize) {
+		if got := s.Combine(x, 0); math.Abs(got-x) > verifyEps {
+			return fmt.Errorf("%s: s(%v,0) = %v, want %v", s.Name(), x, got, x)
+		}
+		if got := s.Combine(0, x); math.Abs(got-x) > verifyEps {
+			return fmt.Errorf("%s: s(0,%v) = %v, want %v", s.Name(), x, got, x)
+		}
+	}
+	return nil
+}
+
+// VerifyCommutative2 checks f(x,y) = f(y,x) on a grid for a 2-ary combine.
+func VerifyCommutative2(name string, f func(x, y float64) float64, gridSize int) error {
+	for _, x := range grid(gridSize) {
+		for _, y := range grid(gridSize) {
+			if math.Abs(f(x, y)-f(y, x)) > verifyEps {
+				return fmt.Errorf("%s: f(%v,%v) != f(%v,%v)", name, x, y, y, x)
+			}
+		}
+	}
+	return nil
+}
+
+// VerifyAssociative2 checks f(f(x,y),z) = f(x,f(y,z)) on a grid.
+func VerifyAssociative2(name string, f func(x, y float64) float64, gridSize int) error {
+	for _, x := range grid(gridSize) {
+		for _, y := range grid(gridSize) {
+			for _, z := range grid(gridSize) {
+				l := f(f(x, y), z)
+				r := f(x, f(y, z))
+				if math.Abs(l-r) > 1e-6 {
+					return fmt.Errorf("%s: assoc fails at (%v,%v,%v): %v vs %v", name, x, y, z, l, r)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// VerifyMonotone2 checks 2-ary monotonicity on a grid: f(x,y) ≤ f(x',y')
+// whenever x ≤ x' and y ≤ y'.
+func VerifyMonotone2(name string, f func(x, y float64) float64, gridSize int) error {
+	gs := grid(gridSize)
+	for i, x := range gs {
+		for j, y := range gs {
+			for _, x2 := range gs[i:] {
+				for _, y2 := range gs[j:] {
+					if f(x, y) > f(x2, y2)+verifyEps {
+						return fmt.Errorf("%s: f(%v,%v) > f(%v,%v)", name, x, y, x2, y2)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// VerifyEnvelope checks drastic ≤ t ≤ min on a grid, the property from
+// which strictness of every t-norm follows (Section 3).
+func VerifyEnvelope(t TNorm, gridSize int) error {
+	for _, x := range grid(gridSize) {
+		for _, y := range grid(gridSize) {
+			v := t.Combine(x, y)
+			lo := DrasticProduct.Combine(x, y)
+			hi := MinNorm.Combine(x, y)
+			if v < lo-verifyEps || v > hi+verifyEps {
+				return fmt.Errorf("%s: t(%v,%v)=%v outside [%v,%v]", t.Name(), x, y, v, lo, hi)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckTNormAxioms verifies all four t-norm axioms plus the envelope, on a
+// grid of the given resolution.
+func CheckTNormAxioms(t TNorm, gridSize int) error {
+	if err := VerifyConservationTNorm(t, gridSize); err != nil {
+		return err
+	}
+	if err := VerifyCommutative2(t.Name(), t.Combine, gridSize); err != nil {
+		return err
+	}
+	if err := VerifyAssociative2(t.Name(), t.Combine, gridSize); err != nil {
+		return err
+	}
+	if err := VerifyMonotone2(t.Name(), t.Combine, gridSize); err != nil {
+		return err
+	}
+	return VerifyEnvelope(t, gridSize)
+}
+
+// CheckCoNormAxioms verifies all four co-norm axioms on a grid.
+func CheckCoNormAxioms(s CoNorm, gridSize int) error {
+	if err := VerifyConservationCoNorm(s, gridSize); err != nil {
+		return err
+	}
+	if err := VerifyCommutative2(s.Name(), s.Combine, gridSize); err != nil {
+		return err
+	}
+	if err := VerifyAssociative2(s.Name(), s.Combine, gridSize); err != nil {
+		return err
+	}
+	return VerifyMonotone2(s.Name(), s.Combine, gridSize)
+}
+
+// VerifyMonotone randomly samples pairs of dominated grade vectors of the
+// given arity and checks f's monotonicity on them. It returns the first
+// counterexample found, or nil.
+func VerifyMonotone(f Func, arity, samples int, seed uint64) error {
+	rng := rand.New(rand.NewPCG(seed, 0xa99))
+	lo := make([]float64, arity)
+	hi := make([]float64, arity)
+	for s := 0; s < samples; s++ {
+		for i := 0; i < arity; i++ {
+			a, b := rng.Float64(), rng.Float64()
+			if a > b {
+				a, b = b, a
+			}
+			lo[i], hi[i] = a, b
+		}
+		if f.Apply(lo) > f.Apply(hi)+verifyEps {
+			return fmt.Errorf("%s: f(%v) > f(%v)", f.Name(), lo, hi)
+		}
+	}
+	return nil
+}
+
+// VerifyStrict checks strictness at the given arity: f(1,…,1) = 1, and
+// degrading any single coordinate (and random subsets) drops the value
+// below 1. It returns the first counterexample found, or nil.
+func VerifyStrict(f Func, arity, samples int, seed uint64) error {
+	rng := rand.New(rand.NewPCG(seed, 0x57f))
+	ones := make([]float64, arity)
+	for i := range ones {
+		ones[i] = 1
+	}
+	if got := f.Apply(ones); math.Abs(got-1) > verifyEps {
+		return fmt.Errorf("%s: f(1,…,1) = %v, want 1", f.Name(), got)
+	}
+	gs := make([]float64, arity)
+	for s := 0; s < samples; s++ {
+		copy(gs, ones)
+		// Degrade a random nonempty subset of coordinates.
+		n := 1 + rng.IntN(arity)
+		for j := 0; j < n; j++ {
+			gs[rng.IntN(arity)] = rng.Float64() * 0.999
+		}
+		if got := f.Apply(gs); got >= 1-verifyEps {
+			return fmt.Errorf("%s: f(%v) = %v, want < 1", f.Name(), gs, got)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,146 @@
+package agg
+
+// TNorm is a triangular norm [SS63, DP80]: a 2-ary aggregation function
+// satisfying ∧-conservation (t(0,0)=0, t(x,1)=t(1,x)=x), monotonicity,
+// commutativity, and associativity. Associativity lets an m-ary
+// conjunction be evaluated by iterating the 2-ary function, which is how
+// TNorm implements Func.
+//
+// Every iterated t-norm is monotone and strict: strictness follows from
+// the fact that every t-norm is bounded below by the drastic product and
+// above by min (Section 3), so both of the paper's bounds apply to every
+// t-norm.
+type TNorm struct {
+	name    string
+	combine func(x, y float64) float64
+}
+
+// NewTNorm wraps a 2-ary function asserted to satisfy the t-norm axioms.
+// The axioms are not checked here; use CheckTNormAxioms in tests.
+func NewTNorm(name string, combine func(x, y float64) float64) TNorm {
+	return TNorm{name: name, combine: combine}
+}
+
+// Name implements Func.
+func (t TNorm) Name() string { return t.name }
+
+// Combine evaluates the underlying 2-ary function.
+func (t TNorm) Combine(x, y float64) float64 { return t.combine(x, y) }
+
+// Apply evaluates the m-ary iterated form t(…t(t(x₁,x₂),x₃)…,xₘ). The
+// empty conjunction is 1 (the t-norm identity), and a single grade is
+// returned unchanged.
+func (t TNorm) Apply(gs []float64) float64 {
+	if len(gs) == 0 {
+		return 1
+	}
+	acc := gs[0]
+	for _, g := range gs[1:] {
+		acc = t.combine(acc, g)
+	}
+	return acc
+}
+
+// Monotone implements Func; every t-norm is monotone.
+func (t TNorm) Monotone() bool { return true }
+
+// Strict implements Func; every iterated t-norm is strict.
+func (t TNorm) Strict() bool { return true }
+
+// The t-norms catalogued in Section 3 [BD86, Mi89].
+var (
+	// MinNorm is min as a TNorm (the standard rule; the largest t-norm).
+	MinNorm = NewTNorm("min", func(x, y float64) float64 {
+		if x < y {
+			return x
+		}
+		return y
+	})
+
+	// DrasticProduct is the smallest t-norm: min(x,y) if max(x,y)=1,
+	// otherwise 0.
+	DrasticProduct = NewTNorm("drastic-product", func(x, y float64) float64 {
+		switch {
+		case x == 1:
+			return y
+		case y == 1:
+			return x
+		default:
+			return 0
+		}
+	})
+
+	// BoundedDifference is the Łukasiewicz t-norm max(0, x+y−1).
+	BoundedDifference = NewTNorm("bounded-difference", func(x, y float64) float64 {
+		if s := x + y - 1; s > 0 {
+			return s
+		}
+		return 0
+	})
+
+	// EinsteinProduct is xy / (2 − (x + y − xy)), with exact boundary
+	// cases and clamped against roundoff.
+	EinsteinProduct = NewTNorm("einstein-product", func(x, y float64) float64 {
+		if x == 0 || y == 0 {
+			return 0
+		}
+		if x == 1 {
+			return y
+		}
+		if y == 1 {
+			return x
+		}
+		return clamp01(x * y / (2 - (x + y - x*y)))
+	})
+
+	// AlgebraicProduct is the probabilistic product xy.
+	AlgebraicProduct = NewTNorm("algebraic-product", func(x, y float64) float64 {
+		return x * y
+	})
+
+	// HamacherProduct is xy / (x + y − xy), with t(0,0) = 0 by continuity
+	// of the family (the formula is 0/0 there). The quotient is clamped to
+	// [0,1] against floating-point roundoff.
+	HamacherProduct = NewTNorm("hamacher-product", func(x, y float64) float64 {
+		// Exact boundary cases first: the rational form is ill-conditioned
+		// near 0 and roundoff would otherwise compound under iteration.
+		if x == 0 || y == 0 {
+			return 0
+		}
+		if x == 1 {
+			return y
+		}
+		if y == 1 {
+			return x
+		}
+		d := x + y - x*y
+		if d <= 0 {
+			return 0
+		}
+		return clamp01(x * y / d)
+	})
+)
+
+// clamp01 forces floating-point roundoff back into the grade interval.
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// TNorms returns the catalogue of built-in t-norms, ordered from the
+// largest (min) to the smallest (drastic product).
+func TNorms() []TNorm {
+	return []TNorm{
+		MinNorm,
+		HamacherProduct,
+		AlgebraicProduct,
+		EinsteinProduct,
+		BoundedDifference,
+		DrasticProduct,
+	}
+}

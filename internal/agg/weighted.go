@@ -1,0 +1,123 @@
+package agg
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Weighted implements the Fagin–Wimmers formula [FW97] for incorporating
+// user-supplied importance weights into an unweighted aggregation function
+// (for example, "color matters twice as much as shape"). Given weights
+// θ₁ ≥ θ₂ ≥ … ≥ θₘ ≥ 0 with Σθᵢ = 1 (arguments are sorted by weight
+// internally) and a base function f, the weighted value is
+//
+//	f_θ(x₁,…,xₘ) = Σᵢ i·(θᵢ − θᵢ₊₁)·f(x₁,…,xᵢ),   θₘ₊₁ = 0,
+//
+// where the xᵢ are listed in decreasing-weight order. The formula is the
+// unique one agreeing with f on equal weights, ignoring zero-weight
+// arguments, and varying linearly in θ. Weighted conjunctions built this
+// way are monotone whenever f is, so algorithm A₀ applies to them
+// (Section 4).
+type Weighted struct {
+	base    Func
+	weights []float64 // sorted descending
+	order   []int     // original index of each sorted weight
+}
+
+// ErrBadWeights reports weights that are negative or do not sum to 1.
+var ErrBadWeights = errors.New("agg: weights must be nonnegative and sum to 1")
+
+// NewWeighted builds the weighted form of base under weights. The weights
+// must be nonnegative and sum to 1 (within a small tolerance, after which
+// they are renormalized exactly). Apply must later be called with exactly
+// len(weights) grades, in the same positions as the weights.
+func NewWeighted(base Func, weights []float64) (*Weighted, error) {
+	if len(weights) == 0 {
+		return nil, fmt.Errorf("%w: no weights", ErrBadWeights)
+	}
+	sum := 0.0
+	for _, w := range weights {
+		if w < 0 {
+			return nil, fmt.Errorf("%w: negative weight %v", ErrBadWeights, w)
+		}
+		sum += w
+	}
+	if sum < 1-1e-9 || sum > 1+1e-9 {
+		return nil, fmt.Errorf("%w: sum = %v", ErrBadWeights, sum)
+	}
+	order := make([]int, len(weights))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return weights[order[a]] > weights[order[b]]
+	})
+	sorted := make([]float64, len(weights))
+	for i, idx := range order {
+		sorted[i] = weights[idx] / sum
+	}
+	return &Weighted{base: base, weights: sorted, order: order}, nil
+}
+
+// Name implements Func.
+func (w *Weighted) Name() string { return "weighted-" + w.base.Name() }
+
+// Arity returns the number of weights (and required grades).
+func (w *Weighted) Arity() int { return len(w.weights) }
+
+// Apply implements Func. It panics if the number of grades differs from
+// the number of weights.
+func (w *Weighted) Apply(gs []float64) float64 {
+	if len(gs) != len(w.weights) {
+		panic(fmt.Sprintf("agg: Weighted.Apply: %d grades for %d weights", len(gs), len(w.weights)))
+	}
+	// Reorder grades into decreasing-weight position.
+	ordered := make([]float64, len(gs))
+	for i, idx := range w.order {
+		ordered[i] = gs[idx]
+	}
+	total := 0.0
+	for i := range ordered {
+		next := 0.0
+		if i+1 < len(w.weights) {
+			next = w.weights[i+1]
+		}
+		coeff := float64(i+1) * (w.weights[i] - next)
+		if coeff == 0 {
+			continue
+		}
+		total += coeff * w.base.Apply(ordered[:i+1])
+	}
+	return total
+}
+
+// Monotone implements Func: the weighted form is a nonnegative linear
+// combination of monotone functions of prefixes, so it is monotone iff the
+// base is.
+func (w *Weighted) Monotone() bool { return w.base.Monotone() }
+
+// Strict implements Func: with every weight positive, the last term
+// involves all arguments and the combination equals 1 only if every prefix
+// value is 1; with some weight zero, arguments can be ignored and
+// strictness is lost.
+func (w *Weighted) Strict() bool {
+	if !w.base.Strict() {
+		return false
+	}
+	for _, t := range w.weights {
+		if t == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Weights returns the weights in original argument positions.
+func (w *Weighted) Weights() []float64 {
+	out := make([]float64, len(w.weights))
+	for i, idx := range w.order {
+		out[idx] = w.weights[i]
+	}
+	return out
+}

@@ -1,0 +1,163 @@
+package agg
+
+import (
+	"errors"
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func mustWeighted(t *testing.T, base Func, ws []float64) *Weighted {
+	t.Helper()
+	w, err := NewWeighted(base, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestWeightedRejectsBadWeights(t *testing.T) {
+	if _, err := NewWeighted(Min, nil); !errors.Is(err, ErrBadWeights) {
+		t.Errorf("empty weights: err = %v", err)
+	}
+	if _, err := NewWeighted(Min, []float64{0.5, -0.1, 0.6}); !errors.Is(err, ErrBadWeights) {
+		t.Errorf("negative weight: err = %v", err)
+	}
+	if _, err := NewWeighted(Min, []float64{0.5, 0.2}); !errors.Is(err, ErrBadWeights) {
+		t.Errorf("sum != 1: err = %v", err)
+	}
+}
+
+// FW97 requirement: with equal weights, the weighted function reduces to
+// the unweighted one.
+func TestWeightedEqualWeightsReduceToBase(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 31))
+		m := 2 + rng.IntN(4)
+		ws := make([]float64, m)
+		for i := range ws {
+			ws[i] = 1 / float64(m)
+		}
+		w, err := NewWeighted(Min, ws)
+		if err != nil {
+			return false
+		}
+		gs := make([]float64, m)
+		for i := range gs {
+			gs[i] = rng.Float64()
+		}
+		return math.Abs(w.Apply(gs)-Min.Apply(gs)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// FW97 requirement: a zero-weight argument is ignored.
+func TestWeightedZeroWeightIgnored(t *testing.T) {
+	w := mustWeighted(t, Min, []float64{0.5, 0.5, 0})
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 32))
+		a, b := rng.Float64(), rng.Float64()
+		noise := rng.Float64()
+		want := Min.Apply([]float64{a, b})
+		return math.Abs(w.Apply([]float64{a, b, noise})-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// A weight of 1 on one argument projects onto it.
+func TestWeightedFullWeightProjects(t *testing.T) {
+	w := mustWeighted(t, Min, []float64{0, 1})
+	if got := w.Apply([]float64{0.3, 0.8}); math.Abs(got-0.8) > 1e-12 {
+		t.Errorf("projection = %v, want 0.8", got)
+	}
+}
+
+// Worked example from FW97 with min: weights (0.6, 0.4), grades (x1, x2):
+// f = (0.6-0.4)*x1 + 2*0.4*min(x1,x2) = 0.2*x1 + 0.8*min(x1,x2).
+func TestWeightedWorkedExample(t *testing.T) {
+	w := mustWeighted(t, Min, []float64{0.6, 0.4})
+	x1, x2 := 0.9, 0.5
+	want := 0.2*x1 + 0.8*math.Min(x1, x2)
+	if got := w.Apply([]float64{x1, x2}); math.Abs(got-want) > 1e-12 {
+		t.Errorf("weighted = %v, want %v", got, want)
+	}
+	// Weight order must not matter to the formula: swapping weights and
+	// arguments together is invariant.
+	w2 := mustWeighted(t, Min, []float64{0.4, 0.6})
+	if got := w2.Apply([]float64{x2, x1}); math.Abs(got-want) > 1e-12 {
+		t.Errorf("swapped weighted = %v, want %v", got, want)
+	}
+}
+
+func TestWeightedMonotoneProperty(t *testing.T) {
+	w := mustWeighted(t, Min, []float64{0.5, 0.3, 0.2})
+	if !w.Monotone() {
+		t.Fatal("weighted min should be monotone")
+	}
+	if err := VerifyMonotone(w, 3, 2000, 77); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWeightedStrictness(t *testing.T) {
+	strictW := mustWeighted(t, Min, []float64{0.5, 0.3, 0.2})
+	if !strictW.Strict() {
+		t.Error("all-positive weights on strict base should be strict")
+	}
+	if err := VerifyStrict(strictW, 3, 500, 78); err != nil {
+		t.Error(err)
+	}
+	zeroW := mustWeighted(t, Min, []float64{0.5, 0.5, 0})
+	if zeroW.Strict() {
+		t.Error("zero weight should lose strictness")
+	}
+	nonStrictBase := mustWeighted(t, Max, []float64{0.5, 0.5})
+	if nonStrictBase.Strict() {
+		t.Error("weighted max should not be strict")
+	}
+}
+
+func TestWeightedGradesInRangeProperty(t *testing.T) {
+	w := mustWeighted(t, AlgebraicProduct, []float64{0.7, 0.2, 0.1})
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 33))
+		gs := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		v := w.Apply(gs)
+		return v >= -1e-12 && v <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWeightedArityMismatchPanics(t *testing.T) {
+	w := mustWeighted(t, Min, []float64{0.5, 0.5})
+	defer func() {
+		if recover() == nil {
+			t.Error("arity mismatch should panic")
+		}
+	}()
+	w.Apply([]float64{0.1})
+}
+
+func TestWeightsAccessor(t *testing.T) {
+	in := []float64{0.2, 0.5, 0.3}
+	w := mustWeighted(t, Min, in)
+	got := w.Weights()
+	for i := range in {
+		if math.Abs(got[i]-in[i]) > 1e-12 {
+			t.Errorf("Weights()[%d] = %v, want %v", i, got[i], in[i])
+		}
+	}
+	if w.Arity() != 3 {
+		t.Errorf("Arity = %d, want 3", w.Arity())
+	}
+	if w.Name() != "weighted-min" {
+		t.Errorf("Name = %q", w.Name())
+	}
+}

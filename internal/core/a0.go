@@ -1,0 +1,191 @@
+package core
+
+import (
+	"fuzzydb/internal/agg"
+	"fuzzydb/internal/gradedset"
+	"fuzzydb/internal/subsys"
+)
+
+// A0 is Fagin's Algorithm (algorithm A₀ of Section 4) for an arbitrary
+// monotone query F_t(A₁,…,Aₘ).
+//
+// Sorted access phase: every list is read in parallel (round-robin, one
+// entry per list per round, so all lists reach a common depth T) until at
+// least k objects have been seen in every list — the "matches".
+//
+// Random access phase: for every object seen in any list, the grades in
+// the remaining lists are fetched by random access.
+//
+// Computation phase: the overall grade t(μ₁(x),…,μₘ(x)) is computed for
+// every seen object, and the best k are returned.
+//
+// Correctness for monotone t is Theorem 4.2: the prefixes X^i_T are
+// upward closed, so by Proposition 4.1 any object beating a member of the
+// match set L must itself have been seen in every list.
+type A0 struct {
+	// MidRoundStop stops the sorted phase the moment the k-th match
+	// appears, rather than at the end of the full round, giving the
+	// per-list depths Tᵢ ≤ T refinement mentioned in Section 4 (after the
+	// Ait-Bouziad–Kassel improvement). Correctness is unaffected: every
+	// X^i_{Tᵢ} is still upward closed and the intersection still has k
+	// members. The paper's plain A₀ uses a uniform depth; leave this
+	// false to reproduce it exactly.
+	MidRoundStop bool
+	// StrictMonotoneCheck rejects aggregation functions whose Monotone()
+	// metadata is false instead of running anyway (the run would risk
+	// wrong answers; Theorem 4.2 needs monotonicity).
+	StrictMonotoneCheck bool
+}
+
+// Name implements Algorithm.
+func (a A0) Name() string {
+	if a.MidRoundStop {
+		return "A0-midround"
+	}
+	return "A0"
+}
+
+// Exact implements Algorithm.
+func (A0) Exact() bool { return true }
+
+// TopK implements Algorithm.
+func (a A0) TopK(lists []*subsys.Counted, t agg.Func, k int) ([]Result, error) {
+	if _, err := checkArgs(lists, k); err != nil {
+		return nil, err
+	}
+	if a.StrictMonotoneCheck && !t.Monotone() {
+		return nil, ErrNotMonotone
+	}
+
+	seen, _ := a.sortedPhase(lists, k)
+
+	// Random access phase: complete every seen object's grade vector.
+	// Grades already delivered by sorted access are served from the
+	// middleware's cache at no cost.
+	entries := make([]gradedset.Entry, 0, len(seen))
+	for obj := range seen {
+		entries = append(entries, gradedset.Entry{Object: obj, Grade: t.Apply(gradesFor(lists, obj))})
+	}
+
+	// Computation phase.
+	return topKResults(entries, k), nil
+}
+
+// sortedPhase runs round-robin sorted access until the intersection of
+// the per-list prefixes holds at least k objects (or the lists are
+// exhausted, which by k ≤ N also yields k matches). It returns the set of
+// objects seen under sorted access in any list, and the set of matches L.
+func (a A0) sortedPhase(lists []*subsys.Counted, k int) (seen map[int]bool, matches map[int]bool) {
+	m := len(lists)
+	cursors := subsys.Cursors(lists)
+	seen = make(map[int]bool)
+	matches = make(map[int]bool)
+	counts := make(map[int]int)
+	for len(matches) < k {
+		exhausted := true
+		for _, cu := range cursors {
+			e, ok := cu.Next()
+			if !ok {
+				continue
+			}
+			exhausted = false
+			seen[e.Object] = true
+			counts[e.Object]++
+			if counts[e.Object] == m {
+				matches[e.Object] = true
+				if a.MidRoundStop && len(matches) >= k {
+					return seen, matches
+				}
+			}
+		}
+		if exhausted {
+			break
+		}
+	}
+	return seen, matches
+}
+
+// A0Prime is algorithm A₀′ of Section 4: the refinement for the standard
+// fuzzy conjunction (t = min). The sorted phase is that of A₀. Then,
+// instead of probing every seen object, it probes only the candidates:
+// with x₀ a match of least overall grade g₀ and i₀ a list where x₀
+// attains it, the candidates are the objects of X^{i₀}_T whose grade in
+// list i₀ is at least g₀. By Proposition 4.3, any object beating a match
+// must lie in X^{i₀}_T, so the candidates suffice (Theorem 4.4). The
+// saving over A₀ is a constant factor of random accesses.
+type A0Prime struct {
+	// MidRoundStop as in A0.
+	MidRoundStop bool
+}
+
+// Name implements Algorithm.
+func (a A0Prime) Name() string { return "A0'" }
+
+// Exact implements Algorithm.
+func (A0Prime) Exact() bool { return true }
+
+// TopK implements Algorithm. The aggregation function must behave as min;
+// it is applied to compute overall grades, but the candidate pruning is
+// justified only for min (the middleware's planner enforces this).
+func (a A0Prime) TopK(lists []*subsys.Counted, t agg.Func, k int) ([]Result, error) {
+	if _, err := checkArgs(lists, k); err != nil {
+		return nil, err
+	}
+
+	// Sorted access phase, tracking per-list prefix order so the i₀
+	// prefix can be scanned afterwards.
+	m := len(lists)
+	cursors := subsys.Cursors(lists)
+	prefixes := make([][]gradedset.Entry, m)
+	counts := make(map[int]int)
+	matches := make(map[int]bool)
+	for len(matches) < k {
+		exhausted := true
+		stop := false
+		for i, cu := range cursors {
+			e, ok := cu.Next()
+			if !ok {
+				continue
+			}
+			exhausted = false
+			prefixes[i] = append(prefixes[i], e)
+			counts[e.Object]++
+			if counts[e.Object] == m {
+				matches[e.Object] = true
+				if a.MidRoundStop && len(matches) >= k {
+					stop = true
+					break
+				}
+			}
+		}
+		if exhausted || stop {
+			break
+		}
+	}
+
+	// Locate x₀ (least overall grade among matches) and i₀ (a list where
+	// x₀ attains it). Matches were seen in every list, so their grade
+	// vectors are already known and free.
+	g0 := 2.0
+	i0 := 0
+	for obj := range matches {
+		for j, l := range lists {
+			g, _ := l.Known(obj)
+			if g < g0 {
+				g0 = g
+				i0 = j
+			}
+		}
+	}
+
+	// Candidates: members of the i₀ prefix graded at least g₀ there.
+	entries := make([]gradedset.Entry, 0, len(prefixes[i0]))
+	for _, e := range prefixes[i0] {
+		if e.Grade < g0 {
+			continue
+		}
+		entries = append(entries, gradedset.Entry{Object: e.Object, Grade: t.Apply(gradesFor(lists, e.Object))})
+	}
+
+	return topKResults(entries, k), nil
+}

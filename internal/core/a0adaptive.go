@@ -1,0 +1,81 @@
+package core
+
+import (
+	"fuzzydb/internal/agg"
+	"fuzzydb/internal/gradedset"
+	"fuzzydb/internal/subsys"
+)
+
+// A0Adaptive is the per-list-depth refinement of A₀ sketched in Section 4
+// ("instead of using a uniform value of T, we might find Tᵢ ≤ T for each
+// i", the direction of the Ait-Bouziad–Kassel improvement): rather than
+// advancing every list in lock-step, each sorted access goes to the list
+// whose reading frontier still shows the highest grade — the list most
+// likely to reveal objects that matter. The stopping rule is unchanged
+// (at least k objects seen in every scanned prefix), and correctness
+// follows from the same Proposition 4.1 argument: per-list prefixes are
+// upward closed whatever their individual depths, so every object beating
+// a match has been seen and is probed in the random-access phase.
+//
+// The variant demonstrates that A₀'s correctness is independent of the
+// scheduling policy: any sequence of sorted accesses whose per-list
+// prefixes jointly contain k matches supports the same random-access and
+// computation phases. Cost-wise it is a heuristic, not a dominance — on
+// symmetric workloads it tracks round-robin, while on mismatched grade
+// scales chasing the higher frontier can scan deeper than the uniform
+// rule (whose stop condition is satisfied by any k co-occurring objects,
+// high grades or not). A₀ therefore remains the planner's default.
+type A0Adaptive struct{}
+
+// Name implements Algorithm.
+func (A0Adaptive) Name() string { return "A0-adaptive" }
+
+// Exact implements Algorithm.
+func (A0Adaptive) Exact() bool { return true }
+
+// TopK implements Algorithm.
+func (a A0Adaptive) TopK(lists []*subsys.Counted, t agg.Func, k int) ([]Result, error) {
+	if _, err := checkArgs(lists, k); err != nil {
+		return nil, err
+	}
+	m := len(lists)
+	cursors := subsys.Cursors(lists)
+	seen := make(map[int]bool)
+	counts := make(map[int]int)
+	matches := 0
+	for matches < k {
+		// Pick the live cursor with the highest frontier grade; ties go
+		// to the lowest index, which reduces to round-robin order on
+		// fully tied frontiers only by virtue of LastGrade decreasing as
+		// a list is consumed.
+		best := -1
+		bestGrade := -1.0
+		for i, cu := range cursors {
+			if cu.Exhausted() {
+				continue
+			}
+			if g := cu.LastGrade(); g > bestGrade {
+				bestGrade = g
+				best = i
+			}
+		}
+		if best < 0 {
+			break // all lists exhausted; k <= N guarantees matches >= k
+		}
+		e, ok := cursors[best].Next()
+		if !ok {
+			continue
+		}
+		seen[e.Object] = true
+		counts[e.Object]++
+		if counts[e.Object] == m {
+			matches++
+		}
+	}
+
+	entries := make([]gradedset.Entry, 0, len(seen))
+	for obj := range seen {
+		entries = append(entries, gradedset.Entry{Object: obj, Grade: t.Apply(gradesFor(lists, obj))})
+	}
+	return topKResults(entries, k), nil
+}

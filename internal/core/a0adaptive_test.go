@@ -1,0 +1,82 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"fuzzydb/internal/agg"
+	"fuzzydb/internal/gradedset"
+	"fuzzydb/internal/scoredb"
+)
+
+func TestA0AdaptiveAgreesWithNaiveProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		laws := []scoredb.GradeLaw{
+			scoredb.Uniform{}, scoredb.Discrete{Levels: 4},
+			scoredb.Binary{P: 0.3}, scoredb.BoundedAbove{Max: 0.7},
+		}
+		law := laws[seed%uint64(len(laws))]
+		n := 5 + int(seed%60)
+		m := 2 + int(seed%3)
+		k := 1 + int(seed%uint64(n))
+		fns := []agg.Func{agg.Min, agg.AlgebraicProduct, agg.ArithmeticMean, agg.Median}
+		fn := fns[seed%4]
+		db, err := (scoredb.Generator{N: n, M: m, Law: law, Seed: seed}).Generate()
+		if err != nil {
+			return false
+		}
+		want, _ := run(t, NaiveSorted{}, db, fn, k)
+		got, _ := run(t, A0Adaptive{}, db, fn, k)
+		if !gradedset.SameGradeMultiset(entriesOf(got), entriesOf(want), 1e-12) {
+			t.Logf("seed=%d n=%d m=%d k=%d law=%s fn=%s: got=%v want=%v",
+				seed, n, m, k, law.Name(), fn.Name(), got, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestA0AdaptiveOnHardQuery(t *testing.T) {
+	db, err := scoredb.HardQueryPair(80, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := run(t, NaiveSorted{}, db, agg.Min, 3)
+	got, _ := run(t, A0Adaptive{}, db, agg.Min, 3)
+	if !gradedset.SameGradeMultiset(entriesOf(got), entriesOf(want), 1e-12) {
+		t.Errorf("hard query: got=%v want=%v", got, want)
+	}
+}
+
+// Scheduling independence on an asymmetric workload: the adaptive policy
+// takes a completely different access path (it drains the binary list's
+// matches before touching the fuzzy list) yet returns the same answers.
+func TestA0AdaptiveCorrectOnAsymmetricLists(t *testing.T) {
+	const n = 20000
+	db := binaryPlusFuzzy(n, 2, 0.002, 22)
+	want, _ := run(t, NaiveSorted{}, db, agg.Min, 5)
+	got, cAdaptive := run(t, A0Adaptive{}, db, agg.Min, 5)
+	if !gradedset.SameGradeMultiset(entriesOf(got), entriesOf(want), 1e-12) {
+		t.Errorf("asymmetric: got=%v want=%v", got, want)
+	}
+	// Still sublinear on this workload, even if not optimal.
+	if cAdaptive.Sum() >= n {
+		t.Errorf("adaptive cost %v reached linear", cAdaptive)
+	}
+}
+
+// On symmetric uniform lists the adaptive policy stays within a small
+// factor of uniform-depth A0 (it is the same algorithm up to scheduling).
+func TestA0AdaptiveComparableOnSymmetricLists(t *testing.T) {
+	for seed := uint64(0); seed < 5; seed++ {
+		db := scoredb.Generator{N: 10000, M: 2, Seed: seed}.MustGenerate()
+		_, cAdaptive := run(t, A0Adaptive{}, db, agg.Min, 10)
+		_, cUniform := run(t, A0{}, db, agg.Min, 10)
+		if cAdaptive.Sum() > 3*cUniform.Sum() {
+			t.Errorf("seed %d: adaptive %v far above uniform %v", seed, cAdaptive, cUniform)
+		}
+	}
+}

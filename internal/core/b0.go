@@ -1,0 +1,53 @@
+package core
+
+import (
+	"fuzzydb/internal/agg"
+	"fuzzydb/internal/gradedset"
+	"fuzzydb/internal/subsys"
+)
+
+// B0 is algorithm B₀ of Section 4: the evaluator for the standard fuzzy
+// disjunction A₁ ∨ … ∨ Aₘ (t = max). It performs exactly k sorted
+// accesses per list and no random accesses, then returns the k seen
+// objects with the highest single-list grade h(x) = max over the lists
+// where x was seen (Theorem 4.5).
+//
+// Its middleware cost is mk, independent of N — the demonstration that
+// the Θ(N^((m−1)/m)k^(1/m)) lower bound genuinely needs strictness, which
+// max lacks (Remark 6.1).
+type B0 struct{}
+
+// Name implements Algorithm.
+func (B0) Name() string { return "B0" }
+
+// Exact implements Algorithm. For every object B₀ outputs, h(x) equals
+// the true max grade: if the list attaining x's max had ranked x below
+// its top k, the k objects above x there would all beat x's h-value, and
+// x would not have been output.
+func (B0) Exact() bool { return true }
+
+// TopK implements Algorithm. The aggregation function must behave as max;
+// the middleware's planner selects B0 only in that case.
+func (B0) TopK(lists []*subsys.Counted, t agg.Func, k int) ([]Result, error) {
+	if _, err := checkArgs(lists, k); err != nil {
+		return nil, err
+	}
+	h := make(map[int]float64)
+	for _, l := range lists {
+		cu := subsys.NewCursor(l)
+		for j := 0; j < k; j++ {
+			e, ok := cu.Next()
+			if !ok {
+				break
+			}
+			if g, seen := h[e.Object]; !seen || e.Grade > g {
+				h[e.Object] = e.Grade
+			}
+		}
+	}
+	entries := make([]gradedset.Entry, 0, len(h))
+	for obj, g := range h {
+		entries = append(entries, gradedset.Entry{Object: obj, Grade: g})
+	}
+	return topKResults(entries, k), nil
+}

@@ -1,0 +1,44 @@
+// Package core implements the paper's primary contribution: algorithms
+// for finding the top k answers to a query F_t(A₁,…,Aₘ) over m graded
+// lists, touching the lists only through sorted and random access.
+//
+// The algorithms:
+//
+//   - A0 (Fagin's Algorithm): three phases — sorted access round-robin
+//     until at least k objects have been seen in every list, random access
+//     to complete the grades of every seen object, then computation.
+//     Correct for every monotone aggregation function (Theorem 4.2), with
+//     middleware cost O(N^((m−1)/m)·k^(1/m)) with arbitrarily high
+//     probability when the lists are independent (Theorem 5.3), which is
+//     optimal for monotone strict functions (Theorem 6.5).
+//   - A0Prime: the min-specific refinement of Section 4 — after the
+//     sorted phase, random accesses are restricted to the "candidates",
+//     the members of one list's prefix (Theorem 4.4), saving a constant
+//     factor of random accesses.
+//   - B0: the disjunction algorithm for max — k sorted accesses per list,
+//     no random accesses, cost mk independent of the database size
+//     (Theorem 4.5, Remark 6.1).
+//   - OrderStat: the Remark 6.1 construction generalized — the j-th
+//     largest of m grades is the max over j-subsets of the min over the
+//     subset, so a median query runs one A0Prime per subset and merges
+//     B0-style. For m = 3 this is exactly the paper's median algorithm
+//     with cost O(√(Nk)).
+//   - Ullman: the Section 9 sequential probe algorithm for binary min
+//     conjunctions — sorted access on one list, an immediate random probe
+//     on the other, stopping when the k-th best candidate is at least the
+//     last sorted grade. Expected constant cost when one list's grades
+//     are bounded away from 1; Θ(√N) when both are uniform (Landau).
+//   - NaiveSorted and NaiveRandom: the two linear baselines of Section 4.
+//   - TA and NRA: the successor algorithms of the FA lineage (the
+//     threshold algorithm with immediate random access, and the no-random-
+//     access algorithm with lower/upper bound bookkeeping), implemented as
+//     documented extensions for the ablation experiments.
+//
+// Package core also provides threshold (filter-condition) evaluation in
+// the style of Chaudhuri–Gravano, and a Paginator implementing the "find
+// the next k best answers by continuing where we left off" feature noted
+// after Theorem 4.2.
+//
+// All algorithms interact with data exclusively through subsys.Counted,
+// so reported costs are exactly the S and R of the Section 5 cost model.
+package core

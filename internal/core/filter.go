@@ -1,0 +1,77 @@
+package core
+
+import (
+	"fmt"
+
+	"fuzzydb/internal/agg"
+	"fuzzydb/internal/gradedset"
+	"fuzzydb/internal/subsys"
+)
+
+// Filter evaluates a threshold ("filter condition") query in the style of
+// Chaudhuri–Gravano [CG96]: return every object whose overall grade under
+// the monotone query F_t(A₁,…,Aₘ) is at least theta, in descending grade
+// order.
+//
+// The prefix argument: for monotone t, an object x with overall grade
+// ≥ θ satisfies t(1,…,μᵢ(x),…,1) ≥ t(μ₁(x),…,μₘ(x)) ≥ θ in every
+// coordinate i. Each list is therefore drained exactly while
+// t(1,…,g,…,1) ≥ θ holds for the grade g at its reading frontier; x must
+// appear in every list's drained prefix, so the candidates are the
+// intersection of the prefixes. Random access then completes the
+// candidates' grade vectors and the exact test is applied.
+//
+// For t = min the per-coordinate bound is just g ≥ θ: drain each list
+// down to grade θ, exactly the "color score at least 0.2" filter of the
+// related-work discussion.
+func Filter(lists []*subsys.Counted, t agg.Func, theta float64) ([]Result, error) {
+	if len(lists) == 0 {
+		return nil, ErrNoLists
+	}
+	if theta < 0 || theta > 1 {
+		return nil, fmt.Errorf("core: threshold %v outside [0,1]", theta)
+	}
+	m := len(lists)
+
+	// coordBound(i, g) = t with g in coordinate i and 1 elsewhere.
+	buf := make([]float64, m)
+	coordBound := func(i int, g float64) float64 {
+		for j := range buf {
+			buf[j] = 1
+		}
+		buf[i] = g
+		return t.Apply(buf)
+	}
+
+	counts := make(map[int]int)
+	for i := range lists {
+		cu := subsys.NewCursor(lists[i])
+		for {
+			e, ok := cu.Next()
+			if !ok {
+				break
+			}
+			if coordBound(i, e.Grade) < theta {
+				break
+			}
+			counts[e.Object]++
+		}
+	}
+
+	var out []gradedset.Entry
+	for obj, c := range counts {
+		if c < m {
+			continue
+		}
+		g := t.Apply(gradesFor(lists, obj))
+		if g >= theta {
+			out = append(out, gradedset.Entry{Object: obj, Grade: g})
+		}
+	}
+	gradedset.SortEntries(out)
+	results := make([]Result, len(out))
+	for i, e := range out {
+		results[i] = Result{Object: e.Object, Grade: e.Grade}
+	}
+	return results, nil
+}

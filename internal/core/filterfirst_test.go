@@ -1,0 +1,114 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"fuzzydb/internal/agg"
+	"fuzzydb/internal/gradedset"
+	"fuzzydb/internal/scoredb"
+	"fuzzydb/internal/subsys"
+)
+
+// binaryPlusFuzzy builds the Beatles-query workload: list 0 binary with
+// the given selectivity, the rest uniform.
+func binaryPlusFuzzy(n, m int, p float64, seed uint64) *scoredb.Database {
+	lists := make([]*gradedset.List, m)
+	lists[0] = scoredb.Generator{N: n, M: 1, Law: scoredb.Binary{P: p}, Seed: seed}.MustGenerate().List(0)
+	for i := 1; i < m; i++ {
+		lists[i] = scoredb.Generator{N: n, M: 1, Law: scoredb.Uniform{}, Seed: seed + uint64(i)*131}.MustGenerate().List(0)
+	}
+	db, err := scoredb.New(lists)
+	if err != nil {
+		panic(err)
+	}
+	return db
+}
+
+func TestFilterFirstAgreesWithNaiveProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		n := 10 + int(seed%80)
+		m := 2 + int(seed%3)
+		k := 1 + int(seed%uint64(n))
+		p := float64(seed%10) / 10 // includes 0: no matches at all
+		db := binaryPlusFuzzy(n, m, p, seed)
+		want, _ := run(t, NaiveSorted{}, db, agg.Min, k)
+		got, _ := run(t, FilterFirst{}, db, agg.Min, k)
+		if !gradedset.SameGradeMultiset(entriesOf(got), entriesOf(want), 1e-12) {
+			t.Logf("seed=%d n=%d m=%d k=%d p=%v: got=%v want=%v", seed, n, m, k, p, got, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFilterFirstCostTracksSelectivity(t *testing.T) {
+	// With selectivity s the cost is about s·N sorted + (m−1)·s·N random:
+	// far below A0's cost for rare predicates, worse for common ones.
+	const n = 20000
+	rare := binaryPlusFuzzy(n, 2, 0.002, 7)
+	_, cRare := run(t, FilterFirst{}, rare, agg.Min, 5)
+	_, cA0 := run(t, A0{}, rare, agg.Min, 5)
+	if cRare.Sum() >= cA0.Sum() {
+		t.Errorf("rare predicate: filter-first %v not below A0 %v", cRare, cA0)
+	}
+	common := binaryPlusFuzzy(n, 2, 0.5, 8)
+	_, cCommon := run(t, FilterFirst{}, common, agg.Min, 5)
+	if cCommon.Sum() < n/2 {
+		t.Errorf("common predicate: filter-first %v suspiciously cheap", cCommon)
+	}
+}
+
+func TestFilterFirstRejectsFuzzyDrivingList(t *testing.T) {
+	db := scoredb.Generator{N: 50, M: 2, Law: scoredb.Uniform{}, Seed: 9}.MustGenerate()
+	lists := subsys.CountAll(sourcesOf(db))
+	if _, err := (FilterFirst{}).TopK(lists, agg.Min, 3); !errors.Is(err, ErrNotBinary) {
+		t.Errorf("fuzzy driving list error = %v", err)
+	}
+}
+
+func TestFilterFirstDriveSelection(t *testing.T) {
+	// Binary list in position 1: Drive selects it.
+	n := 40
+	uniform := scoredb.Generator{N: n, M: 1, Law: scoredb.Uniform{}, Seed: 10}.MustGenerate().List(0)
+	binary := scoredb.Generator{N: n, M: 1, Law: scoredb.Binary{P: 0.2}, Seed: 11}.MustGenerate().List(0)
+	db, err := scoredb.New([]*gradedset.List{uniform, binary})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := run(t, NaiveSorted{}, db, agg.Min, 5)
+	got, _ := run(t, FilterFirst{Drive: 1}, db, agg.Min, 5)
+	if !gradedset.SameGradeMultiset(entriesOf(got), entriesOf(want), 1e-12) {
+		t.Errorf("drive=1: got=%v want=%v", got, want)
+	}
+	lists := subsys.CountAll(sourcesOf(db))
+	if _, err := (FilterFirst{Drive: 5}).TopK(lists, agg.Min, 3); !errors.Is(err, ErrArity) {
+		t.Errorf("bad drive error = %v", err)
+	}
+}
+
+func TestFilterFirstAllMatchesAndNoMatches(t *testing.T) {
+	n := 20
+	// All objects match the predicate.
+	all := binaryPlusFuzzy(n, 2, 1, 12)
+	want, _ := run(t, NaiveSorted{}, all, agg.Min, 4)
+	got, _ := run(t, FilterFirst{}, all, agg.Min, 4)
+	if !gradedset.SameGradeMultiset(entriesOf(got), entriesOf(want), 1e-12) {
+		t.Errorf("p=1: got=%v want=%v", got, want)
+	}
+	// No object matches: all grades 0, any k objects are correct.
+	none := binaryPlusFuzzy(n, 2, 0, 13)
+	got, _ = run(t, FilterFirst{}, none, agg.Min, 4)
+	if len(got) != 4 {
+		t.Fatalf("p=0 returned %d results", len(got))
+	}
+	for _, r := range got {
+		if r.Grade != 0 {
+			t.Errorf("p=0 grade %v, want 0", r.Grade)
+		}
+	}
+}

@@ -1,0 +1,208 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"fuzzydb/internal/agg"
+	"fuzzydb/internal/scoredb"
+	"fuzzydb/internal/subsys"
+)
+
+// These tests check the paper's structural propositions directly, not
+// through algorithm outputs: they are the machinery both the upper and
+// lower bounds stand on.
+
+// Proposition 4.1: if Xᵢ is upward closed w.r.t. Aᵢ for each i, the query
+// is monotone, x ∈ ∩Xᵢ (a "match"), and overall(z) > overall(x), then
+// z ∈ ∪Xᵢ — any object beating a match has been seen in at least one
+// list, which is exactly why A₀'s random-access phase over the seen set
+// suffices. Prefixes of the sorted lists are the upward-closed sets the
+// algorithm uses.
+func TestProposition41Property(t *testing.T) {
+	funcs := []agg.Func{agg.Min, agg.AlgebraicProduct, agg.ArithmeticMean, agg.Median, agg.Max}
+	f := func(seed uint64) bool {
+		n := 6 + int(seed%30)
+		m := 2 + int(seed%3)
+		db, err := (scoredb.Generator{N: n, M: m, Law: scoredb.Discrete{Levels: 5}, Seed: seed}).Generate()
+		if err != nil {
+			return false
+		}
+		fn := funcs[seed%uint64(len(funcs))]
+		// Random per-list prefix depths. A prefix X^i_d must include every
+		// object with grade strictly above the d-th grade, so with ties it
+		// is upward closed by construction of the sorted list.
+		depths := make([]int, m)
+		for i := range depths {
+			depths[i] = 1 + int((seed/uint64(3*i+7))%uint64(n))
+		}
+		inPrefix := func(i, obj int) bool {
+			r := db.List(i).Rank(obj)
+			if r < depths[i] {
+				return true
+			}
+			// Ties at the boundary: an object tied with the last included
+			// grade may be outside the counted prefix; to get a genuinely
+			// upward-closed set, extend the prefix across the tie.
+			g, _ := db.List(i).Grade(obj)
+			boundary := db.List(i).Entry(depths[i] - 1).Grade
+			return g > boundary || g == boundary
+		}
+		overall := func(obj int) float64 {
+			gs, err := db.Grades(obj)
+			if err != nil {
+				panic(err)
+			}
+			return fn.Apply(gs)
+		}
+		inAll := func(obj int) bool {
+			for i := 0; i < m; i++ {
+				if !inPrefix(i, obj) {
+					return false
+				}
+			}
+			return true
+		}
+		inAny := func(obj int) bool {
+			for i := 0; i < m; i++ {
+				if inPrefix(i, obj) {
+					return true
+				}
+			}
+			return false
+		}
+		for x := 0; x < n; x++ {
+			if !inAll(x) {
+				continue
+			}
+			ox := overall(x)
+			for z := 0; z < n; z++ {
+				if overall(z) > ox && !inAny(z) {
+					t.Logf("seed=%d fn=%s: z=%d beats match x=%d but was never seen", seed, fn.Name(), z, x)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Proposition 4.3 (min only): with i₀, x₀ minimizing μ_{Ai}(x) over seen
+// pairs, any z with overall(z) > overall(x₀) lies in X^{i₀}. We verify on
+// the tie-free uniform law where prefixes are exactly upward closed.
+func TestProposition43Property(t *testing.T) {
+	f := func(seed uint64) bool {
+		n := 6 + int(seed%30)
+		m := 2 + int(seed%3)
+		db, err := (scoredb.Generator{N: n, M: m, Law: scoredb.Uniform{}, Seed: seed}).Generate()
+		if err != nil {
+			return false
+		}
+		d := 1 + int(seed%uint64(n)) // uniform prefix depth
+		// x₀, i₀: minimize the grade over all prefix entries.
+		g0 := 2.0
+		i0 := 0
+		for i := 0; i < m; i++ {
+			for r := 0; r < d; r++ {
+				e := db.List(i).Entry(r)
+				if e.Grade < g0 {
+					g0 = e.Grade
+					i0 = i
+				}
+			}
+		}
+		// Check: any object whose min-grade exceeds g0 appears in list
+		// i₀'s prefix.
+		for z := 0; z < n; z++ {
+			gs, err := db.Grades(z)
+			if err != nil {
+				return false
+			}
+			if agg.Min.Apply(gs) > g0 && db.List(i0).Rank(z) >= d {
+				t.Logf("seed=%d: object %d has min %v > g0=%v but rank %d in list %d",
+					seed, z, agg.Min.Apply(gs), g0, db.List(i0).Rank(z), i0)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// A₀'s cost is monotone in k on a fixed skeleton: asking for more answers
+// can only scan deeper.
+func TestA0CostMonotoneInK(t *testing.T) {
+	f := func(seed uint64) bool {
+		db, err := (scoredb.Generator{N: 500, M: 2, Seed: seed}).Generate()
+		if err != nil {
+			return false
+		}
+		prev := -1
+		for _, k := range []int{1, 5, 25, 125, 500} {
+			_, c := run(t, A0{}, db, agg.Min, k)
+			if c.Sum() < prev {
+				t.Logf("seed=%d: cost dropped from %d to %d as k grew to %d", seed, prev, c.Sum(), k)
+				return false
+			}
+			prev = c.Sum()
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Lemma 6.2's contrapositive, checked constructively: whenever A₀ stops
+// with sorted depth T per list and pays fewer than N accesses, the
+// intersection of the depth-T prefixes holds at least k objects.
+func TestLemma62IntersectionProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		n := 20 + int(seed%200)
+		m := 2 + int(seed%2)
+		k := 1 + int(seed%8)
+		db, err := (scoredb.Generator{N: n, M: m, Law: scoredb.Uniform{}, Seed: seed}).Generate()
+		if err != nil {
+			return false
+		}
+		srcs := make([]subsys.Source, m)
+		for i := range srcs {
+			srcs[i] = subsys.FromList(db.List(i))
+		}
+		counted := subsys.CountAll(srcs)
+		if _, err := (A0{}).TopK(counted, agg.Min, k); err != nil {
+			return false
+		}
+		c := subsys.TotalCost(counted)
+		if c.Sum() >= n {
+			return true // the lemma only speaks below N
+		}
+		T := counted[0].Depth() // uniform-depth A0: all lists equal
+		count := 0
+		for obj := 0; obj < n; obj++ {
+			in := true
+			for i := 0; i < m; i++ {
+				if db.List(i).Rank(obj) >= T {
+					in = false
+					break
+				}
+			}
+			if in {
+				count++
+			}
+		}
+		if count < k {
+			t.Logf("seed=%d: depth-%d intersection has %d < k=%d members", seed, T, count, k)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

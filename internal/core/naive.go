@@ -1,0 +1,74 @@
+package core
+
+import (
+	"fuzzydb/internal/agg"
+	"fuzzydb/internal/gradedset"
+	"fuzzydb/internal/subsys"
+)
+
+// NaiveSorted is the baseline of Section 4: each subsystem outputs its
+// entire graded set under sorted access, the middleware computes every
+// object's overall grade, and keeps the best k. Sorted cost mN, random
+// cost 0: linear in the database size regardless of k.
+type NaiveSorted struct{}
+
+// Name implements Algorithm.
+func (NaiveSorted) Name() string { return "naive-sorted" }
+
+// Exact implements Algorithm.
+func (NaiveSorted) Exact() bool { return true }
+
+// TopK implements Algorithm. It is correct for every aggregation
+// function, monotone or not, since it sees every grade.
+func (NaiveSorted) TopK(lists []*subsys.Counted, t agg.Func, k int) ([]Result, error) {
+	n, err := checkArgs(lists, k)
+	if err != nil {
+		return nil, err
+	}
+	grades := make([][]float64, len(lists))
+	for i, l := range lists {
+		cu := subsys.NewCursor(l)
+		grades[i] = make([]float64, n)
+		for {
+			e, ok := cu.Next()
+			if !ok {
+				break
+			}
+			grades[i][e.Object] = e.Grade
+		}
+	}
+	entries := make([]gradedset.Entry, n)
+	buf := make([]float64, len(lists))
+	for obj := 0; obj < n; obj++ {
+		for i := range lists {
+			buf[i] = grades[i][obj]
+		}
+		entries[obj] = gradedset.Entry{Object: obj, Grade: t.Apply(buf)}
+	}
+	return topKResults(entries, k), nil
+}
+
+// NaiveRandom is the all-random-access variant noted before Theorem 6.6:
+// probe every object in every list by random access. Sorted cost 0,
+// random cost mN — the reason the sorted-access lower bound must exclude
+// algorithms with linear random cost.
+type NaiveRandom struct{}
+
+// Name implements Algorithm.
+func (NaiveRandom) Name() string { return "naive-random" }
+
+// Exact implements Algorithm.
+func (NaiveRandom) Exact() bool { return true }
+
+// TopK implements Algorithm.
+func (NaiveRandom) TopK(lists []*subsys.Counted, t agg.Func, k int) ([]Result, error) {
+	n, err := checkArgs(lists, k)
+	if err != nil {
+		return nil, err
+	}
+	entries := make([]gradedset.Entry, n)
+	for obj := 0; obj < n; obj++ {
+		entries[obj] = gradedset.Entry{Object: obj, Grade: t.Apply(gradesFor(lists, obj))}
+	}
+	return topKResults(entries, k), nil
+}

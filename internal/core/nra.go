@@ -1,0 +1,142 @@
+package core
+
+import (
+	"fuzzydb/internal/agg"
+	"fuzzydb/internal/gradedset"
+	"fuzzydb/internal/subsys"
+)
+
+// NRA ("no random access") is the other member of the successor family,
+// implemented as a documented extension: it uses sorted access only,
+// maintaining for every seen object a worst-case grade W(x) (unknown
+// grades taken as 0) and a best-case grade B(x) (unknown grades taken as
+// the last grade its list has shown). It stops when the k-th best
+// worst-case grade is at least both the best case of every other seen
+// object and the threshold t(g̲₁,…,g̲ₘ) bounding all unseen objects.
+//
+// The returned objects are a correct top-k set for any monotone t, but
+// the reported grades are the lower bounds W(x), not necessarily the
+// exact grades — hence Exact() is false. (A grade is exact whenever the
+// object was seen in every list before the stop.)
+type NRA struct {
+	// StrictMonotoneCheck as in A0.
+	StrictMonotoneCheck bool
+}
+
+// Name implements Algorithm.
+func (NRA) Name() string { return "NRA" }
+
+// Exact implements Algorithm: grades are lower bounds.
+func (NRA) Exact() bool { return false }
+
+// nraState tracks one seen object's partial grade vector.
+type nraState struct {
+	grades []float64
+	known  []bool
+}
+
+// TopK implements Algorithm.
+func (nra NRA) TopK(lists []*subsys.Counted, t agg.Func, k int) ([]Result, error) {
+	if _, err := checkArgs(lists, k); err != nil {
+		return nil, err
+	}
+	if nra.StrictMonotoneCheck && !t.Monotone() {
+		return nil, ErrNotMonotone
+	}
+	m := len(lists)
+	cursors := subsys.Cursors(lists)
+	states := make(map[int]*nraState)
+	lasts := make([]float64, m)
+	for i := range lasts {
+		lasts[i] = 1
+	}
+	buf := make([]float64, m)
+
+	// worst substitutes 0 for unknown grades; best substitutes the last
+	// grade the list has shown, an upper bound since grades arrive in
+	// descending order. Both are monotone substitutions, so W(x) ≤
+	// grade(x) ≤ B(x) for monotone t.
+	worst := func(s *nraState) float64 {
+		for j := 0; j < m; j++ {
+			if s.known[j] {
+				buf[j] = s.grades[j]
+			} else {
+				buf[j] = 0
+			}
+		}
+		return t.Apply(buf)
+	}
+	best := func(s *nraState) float64 {
+		for j := 0; j < m; j++ {
+			if s.known[j] {
+				buf[j] = s.grades[j]
+			} else {
+				buf[j] = lasts[j]
+			}
+		}
+		return t.Apply(buf)
+	}
+
+	for {
+		exhausted := true
+		for i, cu := range cursors {
+			e, ok := cu.Next()
+			if !ok {
+				continue
+			}
+			exhausted = false
+			lasts[i] = e.Grade
+			s := states[e.Object]
+			if s == nil {
+				s = &nraState{grades: make([]float64, m), known: make([]bool, m)}
+				states[e.Object] = s
+			}
+			if !s.known[i] {
+				s.known[i] = true
+				s.grades[i] = e.Grade
+			}
+		}
+		if exhausted {
+			break
+		}
+
+		// Cheap gate first: unseen objects are bounded by t(lasts). Only
+		// when that bar falls to the current k-th worst-case grade is the
+		// full stop test worth running.
+		entries := make([]gradedset.Entry, 0, len(states))
+		for obj, s := range states {
+			entries = append(entries, gradedset.Entry{Object: obj, Grade: worst(s)})
+		}
+		top := gradedset.TopK(entries, k)
+		if len(top) < k {
+			continue
+		}
+		kth := top[len(top)-1].Grade
+		if t.Apply(lasts) > kth {
+			continue
+		}
+		inTop := make(map[int]bool, k)
+		for _, e := range top {
+			inTop[e.Object] = true
+		}
+		stop := true
+		for obj, s := range states {
+			if inTop[obj] {
+				continue
+			}
+			if best(s) > kth {
+				stop = false
+				break
+			}
+		}
+		if stop {
+			break
+		}
+	}
+
+	entries := make([]gradedset.Entry, 0, len(states))
+	for obj, s := range states {
+		entries = append(entries, gradedset.Entry{Object: obj, Grade: worst(s)})
+	}
+	return topKResults(entries, k), nil
+}

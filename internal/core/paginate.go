@@ -1,0 +1,64 @@
+package core
+
+import (
+	"fmt"
+
+	"fuzzydb/internal/agg"
+	"fuzzydb/internal/subsys"
+)
+
+// Paginator implements the "nice feature" noted after Theorem 4.2: after
+// finding the top k answers, the next k best can be found by continuing
+// where the evaluation left off. Each page widens the underlying top-r
+// computation (r = answers delivered so far plus the page size) over the
+// same counted lists — sorted access resumes from the deepest prefix
+// already paid for, and previously fetched grades are served from the
+// cache — then returns only the new answers.
+type Paginator struct {
+	alg      Algorithm
+	lists    []*subsys.Counted
+	t        agg.Func
+	returned map[int]bool
+	count    int
+}
+
+// NewPaginator prepares paginated evaluation of F_t(A₁,…,Aₘ) with the
+// given algorithm (A0, A0Prime, or TA — any exact monotone-query
+// algorithm works).
+func NewPaginator(alg Algorithm, lists []*subsys.Counted, t agg.Func) *Paginator {
+	return &Paginator{alg: alg, lists: lists, t: t, returned: make(map[int]bool)}
+}
+
+// Delivered returns how many answers have been produced so far.
+func (p *Paginator) Delivered() int { return p.count }
+
+// NextPage returns the next pageSize best answers, in descending grade
+// order, excluding everything already delivered. Fewer than pageSize
+// results are returned when the database runs out of objects.
+func (p *Paginator) NextPage(pageSize int) ([]Result, error) {
+	if pageSize < 1 {
+		return nil, fmt.Errorf("%w: page size %d", ErrBadK, pageSize)
+	}
+	n := p.lists[0].Len()
+	if p.count >= n {
+		return nil, nil
+	}
+	r := p.count + pageSize
+	if r > n {
+		r = n
+	}
+	all, err := p.alg.TopK(p.lists, p.t, r)
+	if err != nil {
+		return nil, err
+	}
+	var page []Result
+	for _, res := range all {
+		if p.returned[res.Object] {
+			continue
+		}
+		p.returned[res.Object] = true
+		page = append(page, res)
+	}
+	p.count += len(page)
+	return page, nil
+}

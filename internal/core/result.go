@@ -1,0 +1,94 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"fuzzydb/internal/agg"
+	"fuzzydb/internal/cost"
+	"fuzzydb/internal/gradedset"
+	"fuzzydb/internal/subsys"
+)
+
+// Result is one answer: an object with its overall grade under the query.
+type Result struct {
+	Object int
+	Grade  float64
+}
+
+// String renders "(object, grade)".
+func (r Result) String() string { return fmt.Sprintf("(%d, %.4f)", r.Object, r.Grade) }
+
+// Algorithm finds the top k answers of F_t(A₁,…,Aₘ) where list i is the
+// graded answer of atomic query Aᵢ. Implementations touch the lists only
+// through the Counted access interface, so every grade they learn is
+// metered.
+type Algorithm interface {
+	// Name identifies the algorithm in experiment tables.
+	Name() string
+	// Exact reports whether returned grades are exact overall grades. It
+	// is true for every algorithm except NRA, whose grades are lower
+	// bounds (the returned objects are still a correct top-k set).
+	Exact() bool
+	// TopK returns k results in descending grade order.
+	TopK(lists []*subsys.Counted, t agg.Func, k int) ([]Result, error)
+}
+
+// Errors shared by the algorithms.
+var (
+	// ErrBadK reports k outside [1, N].
+	ErrBadK = errors.New("core: k must satisfy 1 <= k <= N")
+	// ErrNoLists reports an empty list set.
+	ErrNoLists = errors.New("core: no lists")
+	// ErrArity reports an algorithm applied at an unsupported arity.
+	ErrArity = errors.New("core: unsupported number of lists")
+	// ErrNotMonotone reports an aggregation function without the
+	// monotonicity guarantee A₀-family correctness requires.
+	ErrNotMonotone = errors.New("core: aggregation function is not monotone")
+)
+
+// checkArgs validates the common preconditions and returns N.
+func checkArgs(lists []*subsys.Counted, k int) (int, error) {
+	if len(lists) == 0 {
+		return 0, ErrNoLists
+	}
+	n := lists[0].Len()
+	for i, l := range lists {
+		if l.Len() != n {
+			return 0, fmt.Errorf("%w: list %d has %d objects, want %d", ErrArity, i, l.Len(), n)
+		}
+	}
+	if k < 1 || k > n {
+		return 0, fmt.Errorf("%w: k=%d, N=%d", ErrBadK, k, n)
+	}
+	return n, nil
+}
+
+// topKResults selects the k best (object, grade) pairs in descending
+// grade order with the package-wide deterministic tie-break.
+func topKResults(entries []gradedset.Entry, k int) []Result {
+	top := gradedset.TopK(entries, k)
+	out := make([]Result, len(top))
+	for i, e := range top {
+		out[i] = Result{Object: e.Object, Grade: e.Grade}
+	}
+	return out
+}
+
+// Evaluate wraps sources in counters, runs the algorithm, and returns the
+// results together with the exact middleware access cost incurred.
+func Evaluate(alg Algorithm, srcs []subsys.Source, t agg.Func, k int) ([]Result, cost.Cost, error) {
+	counted := subsys.CountAll(srcs)
+	res, err := alg.TopK(counted, t, k)
+	return res, subsys.TotalCost(counted), err
+}
+
+// gradesFor fetches (via metered random access, free when already known)
+// the grade of obj in every list.
+func gradesFor(lists []*subsys.Counted, obj int) []float64 {
+	gs := make([]float64, len(lists))
+	for j, l := range lists {
+		gs[j] = l.Grade(obj)
+	}
+	return gs
+}

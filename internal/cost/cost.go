@@ -1,0 +1,60 @@
+// Package cost implements the middleware cost model of Section 5.
+//
+// The sorted access cost S is the total number of objects obtained from
+// the database under sorted access; the random access cost R is the total
+// obtained under random access. The middleware cost is c₁·S + c₂·R for
+// positive constants c₁, c₂ reflecting that the two access modes may be
+// priced differently; the unweighted middleware cost S + R (c₁ = c₂ = 1)
+// is within a constant factor of it, which is why the paper's Θ bounds
+// are insensitive to the choice of constants.
+package cost
+
+import "fmt"
+
+// Cost records the two access tallies of a query evaluation.
+type Cost struct {
+	// Sorted is S: objects obtained by sorted access, summed across lists.
+	Sorted int
+	// Random is R: objects obtained by random access, summed across lists.
+	Random int
+}
+
+// Sum returns the unweighted middleware cost S + R.
+func (c Cost) Sum() int { return c.Sorted + c.Random }
+
+// Add returns the componentwise sum of two costs.
+func (c Cost) Add(d Cost) Cost {
+	return Cost{Sorted: c.Sorted + d.Sorted, Random: c.Random + d.Random}
+}
+
+// String renders "S=… R=… total=…".
+func (c Cost) String() string {
+	return fmt.Sprintf("S=%d R=%d total=%d", c.Sorted, c.Random, c.Sum())
+}
+
+// Model carries the per-access prices of the weighted middleware cost.
+type Model struct {
+	// C1 prices one sorted access; C2 one random access. Both must be
+	// positive for the paper's equivalence (inequality (1)) to hold.
+	C1, C2 float64
+}
+
+// Unweighted is the model with C1 = C2 = 1.
+var Unweighted = Model{C1: 1, C2: 1}
+
+// Of returns the weighted middleware cost c₁·S + c₂·R.
+func (m Model) Of(c Cost) float64 {
+	return m.C1*float64(c.Sorted) + m.C2*float64(c.Random)
+}
+
+// Valid reports whether both prices are positive.
+func (m Model) Valid() bool { return m.C1 > 0 && m.C2 > 0 }
+
+// Bounds returns the constants of inequality (1):
+// max(c₁,c₂)·(S+R) ≥ cost ≥ min(c₁,c₂)·(S+R).
+func (m Model) Bounds() (lo, hi float64) {
+	if m.C1 < m.C2 {
+		return m.C1, m.C2
+	}
+	return m.C2, m.C1
+}

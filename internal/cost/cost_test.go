@@ -1,0 +1,42 @@
+package cost
+
+import "testing"
+
+func TestCostArithmetic(t *testing.T) {
+	c := Cost{Sorted: 3, Random: 2}
+	if c.Sum() != 5 {
+		t.Errorf("Sum = %d, want 5", c.Sum())
+	}
+	d := c.Add(Cost{Sorted: 1, Random: 4})
+	if d != (Cost{Sorted: 4, Random: 6}) {
+		t.Errorf("Add = %+v", d)
+	}
+	if got := c.String(); got != "S=3 R=2 total=5" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestModel(t *testing.T) {
+	m := Model{C1: 2, C2: 0.5}
+	c := Cost{Sorted: 10, Random: 4}
+	if got := m.Of(c); got != 22 {
+		t.Errorf("Of = %v, want 22", got)
+	}
+	if Unweighted.Of(c) != float64(c.Sum()) {
+		t.Error("Unweighted.Of != Sum")
+	}
+	if !m.Valid() {
+		t.Error("positive model reported invalid")
+	}
+	if (Model{C1: 0, C2: 1}).Valid() {
+		t.Error("zero price reported valid")
+	}
+	lo, hi := m.Bounds()
+	if lo != 0.5 || hi != 2 {
+		t.Errorf("Bounds = %v, %v", lo, hi)
+	}
+	// Inequality (1): min(c1,c2)(S+R) <= cost <= max(c1,c2)(S+R).
+	if !(lo*float64(c.Sum()) <= m.Of(c) && m.Of(c) <= hi*float64(c.Sum())) {
+		t.Error("inequality (1) violated")
+	}
+}

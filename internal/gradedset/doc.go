@@ -1,0 +1,24 @@
+// Package gradedset implements graded ("fuzzy") sets, the semantic
+// foundation of the paper (Section 2).
+//
+// A graded set is a set of pairs (x, g) where x is an object and g, the
+// grade, is a real number in [0, 1]. A grade of 1 is a perfect match and a
+// grade of 0 means the object does not satisfy the query at all. A graded
+// set generalizes both a classical set (grades restricted to {0, 1}) and a
+// sorted list (objects ordered by descending grade).
+//
+// The package provides two representations:
+//
+//   - GradedSet: an unordered object → grade mapping, convenient for
+//     random-access style manipulation and set algebra.
+//   - List: a materialized descending-grade ordering of entries, the shape
+//     in which subsystems such as QBIC deliver results under sorted access.
+//
+// It also provides top-k selection (the paper's "top k answers"), which
+// must tolerate ties: when several objects share the k-th grade, any
+// maximal selection is correct, so comparisons in tests are made on grade
+// multisets rather than on object identity.
+//
+// Objects are dense integers in [0, N). Higher layers (the middleware)
+// map application-level identifiers such as album names onto this space.
+package gradedset

@@ -1,0 +1,289 @@
+package gradedset
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Entry is one element of a graded set: an object together with its grade.
+type Entry struct {
+	Object int
+	Grade  float64
+}
+
+// String renders the entry as "(object, grade)".
+func (e Entry) String() string {
+	return fmt.Sprintf("(%d, %.4f)", e.Object, e.Grade)
+}
+
+// ErrBadGrade reports a grade outside the closed interval [0, 1].
+var ErrBadGrade = errors.New("gradedset: grade outside [0, 1]")
+
+// ValidGrade reports whether g is a legal grade: a real number in [0, 1].
+// NaN and infinities are rejected.
+func ValidGrade(g float64) bool {
+	return !math.IsNaN(g) && g >= 0 && g <= 1
+}
+
+// ClampGrade forces g into [0, 1]. NaN clamps to 0.
+func ClampGrade(g float64) float64 {
+	if math.IsNaN(g) || g < 0 {
+		return 0
+	}
+	if g > 1 {
+		return 1
+	}
+	return g
+}
+
+// CheckGrade returns ErrBadGrade (wrapped with the offending value) if g is
+// not a legal grade.
+func CheckGrade(g float64) error {
+	if !ValidGrade(g) {
+		return fmt.Errorf("%w: %v", ErrBadGrade, g)
+	}
+	return nil
+}
+
+// GradedSet is a fuzzy set: a mapping from objects to grades in [0, 1].
+// Objects absent from the map implicitly have grade 0, matching the
+// convention of Section 2 (a false traditional predicate grades 0).
+//
+// The zero value is not usable; call New or NewWithCapacity.
+type GradedSet struct {
+	grades map[int]float64
+}
+
+// New returns an empty graded set.
+func New() *GradedSet {
+	return &GradedSet{grades: make(map[int]float64)}
+}
+
+// NewWithCapacity returns an empty graded set with capacity hint n.
+func NewWithCapacity(n int) *GradedSet {
+	return &GradedSet{grades: make(map[int]float64, n)}
+}
+
+// FromEntries builds a graded set from entries. Later duplicates of an
+// object overwrite earlier ones. It returns an error if any grade is
+// invalid.
+func FromEntries(entries []Entry) (*GradedSet, error) {
+	s := NewWithCapacity(len(entries))
+	for _, e := range entries {
+		if err := s.Insert(e.Object, e.Grade); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Insert sets the grade of obj, replacing any previous grade. It rejects
+// invalid grades.
+func (s *GradedSet) Insert(obj int, grade float64) error {
+	if err := CheckGrade(grade); err != nil {
+		return fmt.Errorf("object %d: %w", obj, err)
+	}
+	s.grades[obj] = grade
+	return nil
+}
+
+// MustInsert is Insert for grades known to be valid; it panics otherwise.
+func (s *GradedSet) MustInsert(obj int, grade float64) {
+	if err := s.Insert(obj, grade); err != nil {
+		panic(err)
+	}
+}
+
+// Delete removes obj from the explicit support (its grade reverts to 0).
+func (s *GradedSet) Delete(obj int) {
+	delete(s.grades, obj)
+}
+
+// Grade returns the grade of obj and whether it is explicitly present.
+// Absent objects have grade 0.
+func (s *GradedSet) Grade(obj int) (float64, bool) {
+	g, ok := s.grades[obj]
+	return g, ok
+}
+
+// GradeOrZero returns the grade of obj, defaulting to 0 when absent.
+func (s *GradedSet) GradeOrZero(obj int) float64 {
+	return s.grades[obj]
+}
+
+// Contains reports whether obj is explicitly present.
+func (s *GradedSet) Contains(obj int) bool {
+	_, ok := s.grades[obj]
+	return ok
+}
+
+// Len returns the number of explicitly graded objects.
+func (s *GradedSet) Len() int { return len(s.grades) }
+
+// Objects returns the explicitly graded objects in ascending object order.
+func (s *GradedSet) Objects() []int {
+	objs := make([]int, 0, len(s.grades))
+	for obj := range s.grades {
+		objs = append(objs, obj)
+	}
+	sort.Ints(objs)
+	return objs
+}
+
+// Support returns the objects whose grade is strictly positive, in
+// ascending object order. This is the "crisp" reading of the fuzzy set.
+func (s *GradedSet) Support() []int {
+	objs := make([]int, 0, len(s.grades))
+	for obj, g := range s.grades {
+		if g > 0 {
+			objs = append(objs, obj)
+		}
+	}
+	sort.Ints(objs)
+	return objs
+}
+
+// Entries returns all entries sorted by descending grade, breaking ties by
+// ascending object id so the result is deterministic.
+func (s *GradedSet) Entries() []Entry {
+	entries := make([]Entry, 0, len(s.grades))
+	for obj, g := range s.grades {
+		entries = append(entries, Entry{Object: obj, Grade: g})
+	}
+	SortEntries(entries)
+	return entries
+}
+
+// Clone returns a deep copy.
+func (s *GradedSet) Clone() *GradedSet {
+	c := NewWithCapacity(len(s.grades))
+	for obj, g := range s.grades {
+		c.grades[obj] = g
+	}
+	return c
+}
+
+// Equal reports whether two graded sets have identical explicit contents.
+func (s *GradedSet) Equal(t *GradedSet) bool {
+	if len(s.grades) != len(t.grades) {
+		return false
+	}
+	for obj, g := range s.grades {
+		h, ok := t.grades[obj]
+		if !ok || g != h {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxGrade returns the largest grade in the set, or 0 for an empty set.
+func (s *GradedSet) MaxGrade() float64 {
+	max := 0.0
+	for _, g := range s.grades {
+		if g > max {
+			max = g
+		}
+	}
+	return max
+}
+
+// MinGrade returns the smallest explicit grade in the set, or 0 for an
+// empty set.
+func (s *GradedSet) MinGrade() float64 {
+	first := true
+	min := 0.0
+	for _, g := range s.grades {
+		if first || g < min {
+			min = g
+			first = false
+		}
+	}
+	return min
+}
+
+// Combine builds a new graded set over the union of explicit supports of
+// the inputs, grading each object by f applied to the per-input grades
+// (absent objects contribute grade 0). It is the generic engine behind
+// fuzzy union, intersection, and any other pointwise aggregation.
+func Combine(f func(grades []float64) float64, sets ...*GradedSet) *GradedSet {
+	out := New()
+	seen := make(map[int]bool)
+	buf := make([]float64, len(sets))
+	for _, s := range sets {
+		for obj := range s.grades {
+			if seen[obj] {
+				continue
+			}
+			seen[obj] = true
+			for i, t := range sets {
+				buf[i] = t.GradeOrZero(obj)
+			}
+			out.grades[obj] = ClampGrade(f(buf))
+		}
+	}
+	return out
+}
+
+// Intersect returns the standard fuzzy intersection (pointwise min) of the
+// inputs, per Zadeh's conjunction rule.
+func Intersect(sets ...*GradedSet) *GradedSet {
+	return Combine(func(gs []float64) float64 {
+		min := 1.0
+		for _, g := range gs {
+			if g < min {
+				min = g
+			}
+		}
+		return min
+	}, sets...)
+}
+
+// Union returns the standard fuzzy union (pointwise max) of the inputs,
+// per Zadeh's disjunction rule.
+func Union(sets ...*GradedSet) *GradedSet {
+	return Combine(func(gs []float64) float64 {
+		max := 0.0
+		for _, g := range gs {
+			if g > max {
+				max = g
+			}
+		}
+		return max
+	}, sets...)
+}
+
+// Complement returns the standard fuzzy negation (1 − g) of s over the
+// universe [0, n). Every object of the universe appears in the result.
+func Complement(s *GradedSet, n int) *GradedSet {
+	out := NewWithCapacity(n)
+	for obj := 0; obj < n; obj++ {
+		out.grades[obj] = 1 - s.GradeOrZero(obj)
+	}
+	return out
+}
+
+// SortEntries sorts entries in place by descending grade, then ascending
+// object id. This is the canonical "sorted list" order of the paper with a
+// deterministic tie-break.
+func SortEntries(entries []Entry) {
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Grade != entries[j].Grade {
+			return entries[i].Grade > entries[j].Grade
+		}
+		return entries[i].Object < entries[j].Object
+	})
+}
+
+// EntriesSorted reports whether entries are in descending-grade order
+// (ties in any order).
+func EntriesSorted(entries []Entry) bool {
+	for i := 1; i < len(entries); i++ {
+		if entries[i].Grade > entries[i-1].Grade {
+			return false
+		}
+	}
+	return true
+}

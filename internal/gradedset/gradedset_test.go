@@ -1,0 +1,279 @@
+package gradedset
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestValidGrade(t *testing.T) {
+	valid := []float64{0, 1, 0.5, 1e-9, 1 - 1e-9}
+	for _, g := range valid {
+		if !ValidGrade(g) {
+			t.Errorf("ValidGrade(%v) = false, want true", g)
+		}
+	}
+	invalid := []float64{-0.0001, 1.0001, math.NaN(), math.Inf(1), math.Inf(-1)}
+	for _, g := range invalid {
+		if ValidGrade(g) {
+			t.Errorf("ValidGrade(%v) = true, want false", g)
+		}
+	}
+}
+
+func TestClampGrade(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{-1, 0}, {0, 0}, {0.3, 0.3}, {1, 1}, {2, 1}, {math.NaN(), 0},
+		{math.Inf(1), 1}, {math.Inf(-1), 0},
+	}
+	for _, c := range cases {
+		if got := ClampGrade(c.in); got != c.want {
+			t.Errorf("ClampGrade(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestInsertAndGrade(t *testing.T) {
+	s := New()
+	if err := s.Insert(3, 0.7); err != nil {
+		t.Fatal(err)
+	}
+	if g, ok := s.Grade(3); !ok || g != 0.7 {
+		t.Errorf("Grade(3) = %v, %v; want 0.7, true", g, ok)
+	}
+	if g, ok := s.Grade(4); ok || g != 0 {
+		t.Errorf("Grade(4) = %v, %v; want 0, false", g, ok)
+	}
+	if s.GradeOrZero(4) != 0 {
+		t.Error("GradeOrZero(absent) != 0")
+	}
+	if err := s.Insert(5, 1.5); err == nil {
+		t.Error("Insert with grade 1.5 should fail")
+	}
+	if err := s.Insert(5, math.NaN()); err == nil {
+		t.Error("Insert with NaN grade should fail")
+	}
+}
+
+func TestInsertOverwrites(t *testing.T) {
+	s := New()
+	s.MustInsert(1, 0.2)
+	s.MustInsert(1, 0.9)
+	if g := s.GradeOrZero(1); g != 0.9 {
+		t.Errorf("grade after overwrite = %v, want 0.9", g)
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d, want 1", s.Len())
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s := New()
+	s.MustInsert(1, 0.5)
+	s.Delete(1)
+	if s.Contains(1) {
+		t.Error("Contains(1) after Delete")
+	}
+	s.Delete(42) // deleting absent objects is a no-op
+	if s.Len() != 0 {
+		t.Errorf("Len = %d, want 0", s.Len())
+	}
+}
+
+func TestSupportExcludesZeroGrades(t *testing.T) {
+	s := New()
+	s.MustInsert(1, 0)
+	s.MustInsert(2, 0.5)
+	s.MustInsert(3, 1)
+	sup := s.Support()
+	if len(sup) != 2 || sup[0] != 2 || sup[1] != 3 {
+		t.Errorf("Support = %v, want [2 3]", sup)
+	}
+	objs := s.Objects()
+	if len(objs) != 3 {
+		t.Errorf("Objects = %v, want 3 objects", objs)
+	}
+}
+
+func TestEntriesSortedOrder(t *testing.T) {
+	s := New()
+	s.MustInsert(5, 0.5)
+	s.MustInsert(1, 0.9)
+	s.MustInsert(9, 0.5)
+	s.MustInsert(2, 0.1)
+	es := s.Entries()
+	want := []Entry{{1, 0.9}, {5, 0.5}, {9, 0.5}, {2, 0.1}}
+	if len(es) != len(want) {
+		t.Fatalf("Entries len = %d, want %d", len(es), len(want))
+	}
+	for i := range want {
+		if es[i] != want[i] {
+			t.Errorf("Entries[%d] = %v, want %v", i, es[i], want[i])
+		}
+	}
+}
+
+func TestCloneAndEqual(t *testing.T) {
+	s := New()
+	s.MustInsert(1, 0.4)
+	s.MustInsert(2, 0.8)
+	c := s.Clone()
+	if !s.Equal(c) {
+		t.Error("clone not Equal to original")
+	}
+	c.MustInsert(3, 0.1)
+	if s.Equal(c) {
+		t.Error("Equal after divergence")
+	}
+	c.Delete(3)
+	c.MustInsert(1, 0.5)
+	if s.Equal(c) {
+		t.Error("Equal with different grade")
+	}
+}
+
+func TestIntersectIsPointwiseMin(t *testing.T) {
+	a := New()
+	a.MustInsert(1, 0.9)
+	a.MustInsert(2, 0.4)
+	b := New()
+	b.MustInsert(1, 0.3)
+	b.MustInsert(3, 0.7)
+	got := Intersect(a, b)
+	// Object 1: min(0.9, 0.3); object 2: min(0.4, 0); object 3: min(0, 0.7).
+	if g := got.GradeOrZero(1); g != 0.3 {
+		t.Errorf("Intersect grade(1) = %v, want 0.3", g)
+	}
+	if g := got.GradeOrZero(2); g != 0 {
+		t.Errorf("Intersect grade(2) = %v, want 0", g)
+	}
+	if g := got.GradeOrZero(3); g != 0 {
+		t.Errorf("Intersect grade(3) = %v, want 0", g)
+	}
+}
+
+func TestUnionIsPointwiseMax(t *testing.T) {
+	a := New()
+	a.MustInsert(1, 0.9)
+	a.MustInsert(2, 0.4)
+	b := New()
+	b.MustInsert(1, 0.3)
+	b.MustInsert(3, 0.7)
+	got := Union(a, b)
+	if g := got.GradeOrZero(1); g != 0.9 {
+		t.Errorf("Union grade(1) = %v, want 0.9", g)
+	}
+	if g := got.GradeOrZero(2); g != 0.4 {
+		t.Errorf("Union grade(2) = %v, want 0.4", g)
+	}
+	if g := got.GradeOrZero(3); g != 0.7 {
+		t.Errorf("Union grade(3) = %v, want 0.7", g)
+	}
+}
+
+func TestComplement(t *testing.T) {
+	s := New()
+	s.MustInsert(0, 0.25)
+	s.MustInsert(2, 1)
+	c := Complement(s, 3)
+	want := map[int]float64{0: 0.75, 1: 1, 2: 0}
+	for obj, g := range want {
+		if got := c.GradeOrZero(obj); got != g {
+			t.Errorf("Complement grade(%d) = %v, want %v", obj, got, g)
+		}
+	}
+	// Double complement restores the original over the universe.
+	cc := Complement(c, 3)
+	if cc.GradeOrZero(0) != 0.25 || cc.GradeOrZero(1) != 0 || cc.GradeOrZero(2) != 1 {
+		t.Errorf("double complement mismatch: %v", cc.Entries())
+	}
+}
+
+// Property: De Morgan for the standard rules. ¬(A ∪ B) = ¬A ∩ ¬B over a
+// shared universe.
+func TestDeMorganProperty(t *testing.T) {
+	const n = 16
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 1))
+		a, b := New(), New()
+		for obj := 0; obj < n; obj++ {
+			a.MustInsert(obj, rng.Float64())
+			b.MustInsert(obj, rng.Float64())
+		}
+		lhs := Complement(Union(a, b), n)
+		rhs := Intersect(Complement(a, n), Complement(b, n))
+		for obj := 0; obj < n; obj++ {
+			if math.Abs(lhs.GradeOrZero(obj)-rhs.GradeOrZero(obj)) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: idempotency of min/max rules: A ∩ A = A and A ∪ A = A. This is
+// the logical-equivalence preservation that Theorem 3.1 singles min/max
+// out for.
+func TestIdempotencyProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 2))
+		a := New()
+		for obj := 0; obj < 8; obj++ {
+			a.MustInsert(obj, rng.Float64())
+		}
+		return Intersect(a, a).Equal(a) && Union(a, a).Equal(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: distributivity A ∩ (B ∪ C) = (A ∩ B) ∪ (A ∩ C) for min/max.
+func TestDistributivityProperty(t *testing.T) {
+	const n = 8
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 3))
+		a, b, c := New(), New(), New()
+		for obj := 0; obj < n; obj++ {
+			a.MustInsert(obj, rng.Float64())
+			b.MustInsert(obj, rng.Float64())
+			c.MustInsert(obj, rng.Float64())
+		}
+		lhs := Intersect(a, Union(b, c))
+		rhs := Union(Intersect(a, b), Intersect(a, c))
+		for obj := 0; obj < n; obj++ {
+			if math.Abs(lhs.GradeOrZero(obj)-rhs.GradeOrZero(obj)) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromEntriesRejectsBadGrade(t *testing.T) {
+	if _, err := FromEntries([]Entry{{1, 0.5}, {2, -0.1}}); err == nil {
+		t.Error("FromEntries accepted a negative grade")
+	}
+}
+
+func TestMinMaxGrade(t *testing.T) {
+	s := New()
+	if s.MaxGrade() != 0 || s.MinGrade() != 0 {
+		t.Error("empty set min/max should be 0")
+	}
+	s.MustInsert(1, 0.3)
+	s.MustInsert(2, 0.8)
+	if s.MaxGrade() != 0.8 {
+		t.Errorf("MaxGrade = %v, want 0.8", s.MaxGrade())
+	}
+	if s.MinGrade() != 0.3 {
+		t.Errorf("MinGrade = %v, want 0.3", s.MinGrade())
+	}
+}

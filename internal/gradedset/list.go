@@ -1,0 +1,167 @@
+package gradedset
+
+import (
+	"errors"
+	"fmt"
+)
+
+// List is a graded set materialized as a descending-grade sequence: the
+// form in which a subsystem delivers results under sorted access. A List
+// also supports random access (grade lookup by object), so it can model a
+// complete subsystem result.
+//
+// Invariants: entries are sorted by non-increasing grade; each object
+// appears at most once; all grades are valid.
+type List struct {
+	entries []Entry
+	rank    map[int]int // object -> position in entries
+}
+
+// ErrUnknownObject reports a random access for an object not in the list.
+var ErrUnknownObject = errors.New("gradedset: unknown object")
+
+// NewList builds a List from entries, sorting them into canonical order
+// (descending grade, ascending object on ties). It rejects invalid grades
+// and duplicate objects.
+func NewList(entries []Entry) (*List, error) {
+	es := make([]Entry, len(entries))
+	copy(es, entries)
+	SortEntries(es)
+	rank := make(map[int]int, len(es))
+	for i, e := range es {
+		if err := CheckGrade(e.Grade); err != nil {
+			return nil, fmt.Errorf("entry %d (object %d): %w", i, e.Object, err)
+		}
+		if _, dup := rank[e.Object]; dup {
+			return nil, fmt.Errorf("gradedset: duplicate object %d", e.Object)
+		}
+		rank[e.Object] = i
+	}
+	return &List{entries: es, rank: rank}, nil
+}
+
+// NewListPresorted builds a List from entries that are already in
+// descending-grade order, preserving the given tie order (the "skeleton"
+// order of Section 5). It rejects out-of-order input, invalid grades, and
+// duplicates.
+func NewListPresorted(entries []Entry) (*List, error) {
+	es := make([]Entry, len(entries))
+	copy(es, entries)
+	rank := make(map[int]int, len(es))
+	for i, e := range es {
+		if err := CheckGrade(e.Grade); err != nil {
+			return nil, fmt.Errorf("entry %d (object %d): %w", i, e.Object, err)
+		}
+		if i > 0 && es[i].Grade > es[i-1].Grade {
+			return nil, fmt.Errorf("gradedset: entries not sorted at position %d", i)
+		}
+		if _, dup := rank[e.Object]; dup {
+			return nil, fmt.Errorf("gradedset: duplicate object %d", e.Object)
+		}
+		rank[e.Object] = i
+	}
+	return &List{entries: es, rank: rank}, nil
+}
+
+// FromGradedSet materializes a graded set as a List in canonical order.
+func FromGradedSet(s *GradedSet) *List {
+	entries := s.Entries()
+	rank := make(map[int]int, len(entries))
+	for i, e := range entries {
+		rank[e.Object] = i
+	}
+	return &List{entries: entries, rank: rank}
+}
+
+// Len returns the number of entries.
+func (l *List) Len() int { return len(l.entries) }
+
+// Entry returns the entry at sorted position i (0 is the best match).
+// This is one unit of sorted access.
+func (l *List) Entry(i int) Entry { return l.entries[i] }
+
+// Grade returns the grade of obj. This is one unit of random access.
+func (l *List) Grade(obj int) (float64, error) {
+	i, ok := l.rank[obj]
+	if !ok {
+		return 0, fmt.Errorf("%w: %d", ErrUnknownObject, obj)
+	}
+	return l.entries[i].Grade, nil
+}
+
+// Rank returns the sorted position of obj, or -1 if absent.
+func (l *List) Rank(obj int) int {
+	if i, ok := l.rank[obj]; ok {
+		return i
+	}
+	return -1
+}
+
+// Contains reports whether obj appears in the list.
+func (l *List) Contains(obj int) bool {
+	_, ok := l.rank[obj]
+	return ok
+}
+
+// Prefix returns the first n entries (the top n objects). n is clamped to
+// the list length. The returned slice shares storage and must not be
+// mutated.
+func (l *List) Prefix(n int) []Entry {
+	if n > len(l.entries) {
+		n = len(l.entries)
+	}
+	if n < 0 {
+		n = 0
+	}
+	return l.entries[:n]
+}
+
+// Entries returns all entries in sorted order. The returned slice shares
+// storage and must not be mutated.
+func (l *List) Entries() []Entry { return l.entries }
+
+// GradedSet converts the list back to an unordered graded set.
+func (l *List) GradedSet() *GradedSet {
+	s := NewWithCapacity(len(l.entries))
+	for _, e := range l.entries {
+		s.grades[e.Object] = e.Grade
+	}
+	return s
+}
+
+// Reversed returns a new List with the reverse ordering and complemented
+// grades (1 − g): the sorted list a subsystem would return for the negated
+// query ¬Q under the standard negation rule. The returned tie order is the
+// exact reverse of l's, matching Section 7's reversed-permutation skeleton.
+func (l *List) Reversed() *List {
+	n := len(l.entries)
+	entries := make([]Entry, n)
+	rank := make(map[int]int, n)
+	for i := n - 1; i >= 0; i-- {
+		e := l.entries[i]
+		j := n - 1 - i
+		entries[j] = Entry{Object: e.Object, Grade: 1 - e.Grade}
+		rank[e.Object] = j
+	}
+	return &List{entries: entries, rank: rank}
+}
+
+// Validate re-checks all invariants; it is used by tests and by loaders of
+// externally supplied data.
+func (l *List) Validate() error {
+	if len(l.rank) != len(l.entries) {
+		return errors.New("gradedset: rank index size mismatch")
+	}
+	for i, e := range l.entries {
+		if err := CheckGrade(e.Grade); err != nil {
+			return fmt.Errorf("entry %d: %w", i, err)
+		}
+		if i > 0 && e.Grade > l.entries[i-1].Grade {
+			return fmt.Errorf("gradedset: entries not sorted at position %d", i)
+		}
+		if l.rank[e.Object] != i {
+			return fmt.Errorf("gradedset: rank index wrong for object %d", e.Object)
+		}
+	}
+	return nil
+}

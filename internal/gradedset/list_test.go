@@ -1,0 +1,177 @@
+package gradedset
+
+import (
+	"errors"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func mustList(t *testing.T, entries []Entry) *List {
+	t.Helper()
+	l, err := NewList(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestNewListSortsCanonically(t *testing.T) {
+	l := mustList(t, []Entry{{2, 0.1}, {7, 0.9}, {4, 0.5}, {1, 0.5}})
+	want := []Entry{{7, 0.9}, {1, 0.5}, {4, 0.5}, {2, 0.1}}
+	if l.Len() != len(want) {
+		t.Fatalf("Len = %d, want %d", l.Len(), len(want))
+	}
+	for i, w := range want {
+		if got := l.Entry(i); got != w {
+			t.Errorf("Entry(%d) = %v, want %v", i, got, w)
+		}
+	}
+	if err := l.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestNewListRejectsDuplicates(t *testing.T) {
+	if _, err := NewList([]Entry{{1, 0.5}, {1, 0.7}}); err == nil {
+		t.Error("NewList accepted a duplicate object")
+	}
+}
+
+func TestNewListRejectsBadGrades(t *testing.T) {
+	if _, err := NewList([]Entry{{1, 1.5}}); err == nil {
+		t.Error("NewList accepted grade > 1")
+	}
+}
+
+func TestNewListPresortedPreservesTieOrder(t *testing.T) {
+	// Object 9 before object 1 at the same grade: a skeleton choice that
+	// canonical sorting would reverse.
+	in := []Entry{{9, 0.5}, {1, 0.5}, {3, 0.2}}
+	l, err := NewListPresorted(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Entry(0).Object != 9 || l.Entry(1).Object != 1 {
+		t.Errorf("tie order not preserved: %v, %v", l.Entry(0), l.Entry(1))
+	}
+}
+
+func TestNewListPresortedRejectsUnsorted(t *testing.T) {
+	if _, err := NewListPresorted([]Entry{{1, 0.2}, {2, 0.5}}); err == nil {
+		t.Error("NewListPresorted accepted ascending grades")
+	}
+}
+
+func TestRandomAccess(t *testing.T) {
+	l := mustList(t, []Entry{{10, 0.3}, {20, 0.6}})
+	g, err := l.Grade(20)
+	if err != nil || g != 0.6 {
+		t.Errorf("Grade(20) = %v, %v; want 0.6, nil", g, err)
+	}
+	if _, err := l.Grade(99); !errors.Is(err, ErrUnknownObject) {
+		t.Errorf("Grade(99) error = %v, want ErrUnknownObject", err)
+	}
+}
+
+func TestRank(t *testing.T) {
+	l := mustList(t, []Entry{{10, 0.3}, {20, 0.6}})
+	if l.Rank(20) != 0 || l.Rank(10) != 1 {
+		t.Errorf("Rank(20)=%d Rank(10)=%d, want 0, 1", l.Rank(20), l.Rank(10))
+	}
+	if l.Rank(99) != -1 {
+		t.Errorf("Rank(absent) = %d, want -1", l.Rank(99))
+	}
+}
+
+func TestPrefixClamping(t *testing.T) {
+	l := mustList(t, []Entry{{1, 0.9}, {2, 0.5}, {3, 0.1}})
+	if got := l.Prefix(2); len(got) != 2 || got[0].Object != 1 {
+		t.Errorf("Prefix(2) = %v", got)
+	}
+	if got := l.Prefix(10); len(got) != 3 {
+		t.Errorf("Prefix(10) len = %d, want 3", len(got))
+	}
+	if got := l.Prefix(-1); len(got) != 0 {
+		t.Errorf("Prefix(-1) len = %d, want 0", len(got))
+	}
+}
+
+func TestReversedComplementsAndReverses(t *testing.T) {
+	l := mustList(t, []Entry{{1, 0.9}, {2, 0.5}, {3, 0.1}})
+	r := l.Reversed()
+	if err := r.Validate(); err != nil {
+		t.Fatalf("Reversed().Validate: %v", err)
+	}
+	// Best of r must be worst of l with complemented grade.
+	if got := r.Entry(0); got.Object != 3 || got.Grade != 0.9 {
+		t.Errorf("Reversed Entry(0) = %v, want (3, 0.9)", got)
+	}
+	if got := r.Entry(2); got.Object != 1 {
+		t.Errorf("Reversed Entry(2).Object = %d, want 1", got.Object)
+	}
+	g, err := r.Grade(2)
+	if err != nil || g != 0.5 {
+		t.Errorf("Reversed Grade(2) = %v, %v", g, err)
+	}
+}
+
+// Property: for random lists, Reversed twice is the identity (entries and
+// order), since grades complement twice and order reverses twice.
+func TestReversedInvolutionProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 7))
+		n := 1 + rng.IntN(40)
+		entries := make([]Entry, n)
+		for i := range entries {
+			entries[i] = Entry{Object: i, Grade: rng.Float64()}
+		}
+		l, err := NewList(entries)
+		if err != nil {
+			return false
+		}
+		rr := l.Reversed().Reversed()
+		if rr.Len() != l.Len() {
+			return false
+		}
+		for i := 0; i < l.Len(); i++ {
+			a, b := l.Entry(i), rr.Entry(i)
+			if a.Object != b.Object {
+				return false
+			}
+			d := a.Grade - b.Grade
+			if d < -1e-12 || d > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromGradedSetRoundTrip(t *testing.T) {
+	s := New()
+	s.MustInsert(1, 0.4)
+	s.MustInsert(2, 0.6)
+	l := FromGradedSet(s)
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !l.GradedSet().Equal(s) {
+		t.Error("GradedSet -> List -> GradedSet is not the identity")
+	}
+}
+
+func TestEntriesSorted(t *testing.T) {
+	if !EntriesSorted([]Entry{{1, 0.9}, {2, 0.9}, {3, 0.2}}) {
+		t.Error("EntriesSorted rejected sorted entries")
+	}
+	if EntriesSorted([]Entry{{1, 0.1}, {2, 0.9}}) {
+		t.Error("EntriesSorted accepted unsorted entries")
+	}
+	if !EntriesSorted(nil) {
+		t.Error("EntriesSorted(nil) should be true")
+	}
+}

@@ -1,0 +1,108 @@
+package gradedset
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// TopK returns the k entries with the highest grades, in descending-grade
+// order (ties broken by ascending object id for determinism). When several
+// objects tie at the k-th grade any maximal choice is a correct "top k
+// answers" per Section 4; this implementation picks the tied objects with
+// the smallest ids. k larger than len(entries) returns everything; k <= 0
+// returns nil.
+//
+// The selection runs in O(n log k) using a min-heap of size k, which is
+// the shape middleware needs: n can be the whole database while k is
+// typically a small constant like 10.
+func TopK(entries []Entry, k int) []Entry {
+	if k <= 0 {
+		return nil
+	}
+	if k >= len(entries) {
+		out := make([]Entry, len(entries))
+		copy(out, entries)
+		SortEntries(out)
+		return out
+	}
+	h := make(minHeap, 0, k)
+	heap.Init(&h)
+	for _, e := range entries {
+		if len(h) < k {
+			heap.Push(&h, e)
+			continue
+		}
+		if better(e, h[0]) {
+			h[0] = e
+			heap.Fix(&h, 0)
+		}
+	}
+	out := []Entry(h)
+	SortEntries(out)
+	return out
+}
+
+// KthGrade returns the grade of the k-th best entry (1-based), i.e. the
+// smallest grade that still belongs to the top k. It returns 0 when k <= 0
+// or k exceeds the number of entries.
+func KthGrade(entries []Entry, k int) float64 {
+	if k <= 0 || k > len(entries) {
+		return 0
+	}
+	top := TopK(entries, k)
+	return top[len(top)-1].Grade
+}
+
+// better reports whether a should outrank b: higher grade first, then
+// smaller object id.
+func better(a, b Entry) bool {
+	if a.Grade != b.Grade {
+		return a.Grade > b.Grade
+	}
+	return a.Object < b.Object
+}
+
+// minHeap keeps the current top-k candidates with the worst at the root.
+type minHeap []Entry
+
+func (h minHeap) Len() int            { return len(h) }
+func (h minHeap) Less(i, j int) bool  { return better(h[j], h[i]) }
+func (h minHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *minHeap) Push(x interface{}) { *h = append(*h, x.(Entry)) }
+func (h *minHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// GradesOf extracts the grades of entries in order.
+func GradesOf(entries []Entry) []float64 {
+	gs := make([]float64, len(entries))
+	for i, e := range entries {
+		gs[i] = e.Grade
+	}
+	return gs
+}
+
+// SameGradeMultiset reports whether two entry slices carry exactly the same
+// multiset of grades within tolerance eps. This is the correct notion of
+// top-k equality in the presence of ties: two correct algorithms may pick
+// different tied objects but must report the same grades.
+func SameGradeMultiset(a, b []Entry, eps float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	ga := GradesOf(a)
+	gb := GradesOf(b)
+	sort.Float64s(ga)
+	sort.Float64s(gb)
+	for i := range ga {
+		d := ga[i] - gb[i]
+		if d < -eps || d > eps {
+			return false
+		}
+	}
+	return true
+}

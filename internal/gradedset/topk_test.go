@@ -1,0 +1,146 @@
+package gradedset
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestTopKBasic(t *testing.T) {
+	entries := []Entry{{1, 0.2}, {2, 0.9}, {3, 0.5}, {4, 0.7}}
+	got := TopK(entries, 2)
+	want := []Entry{{2, 0.9}, {4, 0.7}}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("TopK = %v, want %v", got, want)
+	}
+}
+
+func TestTopKEdgeCases(t *testing.T) {
+	entries := []Entry{{1, 0.2}, {2, 0.9}}
+	if got := TopK(entries, 0); got != nil {
+		t.Errorf("TopK(k=0) = %v, want nil", got)
+	}
+	if got := TopK(entries, -3); got != nil {
+		t.Errorf("TopK(k<0) = %v, want nil", got)
+	}
+	if got := TopK(nil, 5); len(got) != 0 {
+		t.Errorf("TopK(nil) = %v, want empty", got)
+	}
+	got := TopK(entries, 10)
+	if len(got) != 2 || got[0].Object != 2 {
+		t.Errorf("TopK(k>n) = %v", got)
+	}
+}
+
+func TestTopKDoesNotMutateInput(t *testing.T) {
+	entries := []Entry{{1, 0.2}, {2, 0.9}, {3, 0.5}}
+	orig := make([]Entry, len(entries))
+	copy(orig, entries)
+	TopK(entries, 2)
+	for i := range entries {
+		if entries[i] != orig[i] {
+			t.Fatalf("TopK mutated input at %d: %v != %v", i, entries[i], orig[i])
+		}
+	}
+}
+
+func TestTopKTies(t *testing.T) {
+	entries := []Entry{{5, 0.5}, {1, 0.5}, {3, 0.5}, {2, 0.9}}
+	got := TopK(entries, 2)
+	if got[0] != (Entry{2, 0.9}) {
+		t.Errorf("TopK[0] = %v, want (2, 0.9)", got[0])
+	}
+	// Tie at 0.5: deterministic pick is the smallest object id.
+	if got[1] != (Entry{1, 0.5}) {
+		t.Errorf("TopK[1] = %v, want (1, 0.5)", got[1])
+	}
+}
+
+func TestKthGrade(t *testing.T) {
+	entries := []Entry{{1, 0.2}, {2, 0.9}, {3, 0.5}}
+	if g := KthGrade(entries, 1); g != 0.9 {
+		t.Errorf("KthGrade(1) = %v, want 0.9", g)
+	}
+	if g := KthGrade(entries, 3); g != 0.2 {
+		t.Errorf("KthGrade(3) = %v, want 0.2", g)
+	}
+	if g := KthGrade(entries, 0); g != 0 {
+		t.Errorf("KthGrade(0) = %v, want 0", g)
+	}
+	if g := KthGrade(entries, 4); g != 0 {
+		t.Errorf("KthGrade(4) = %v, want 0", g)
+	}
+}
+
+// Property: TopK agrees with full sort + prefix on random inputs, as a
+// grade multiset (ties may be resolved differently in principle, but our
+// tie-break is deterministic, so we also check exact equality).
+func TestTopKMatchesSortProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 11))
+		n := rng.IntN(200)
+		k := rng.IntN(20) + 1
+		entries := make([]Entry, n)
+		for i := range entries {
+			// Coarse grades force plenty of ties.
+			entries[i] = Entry{Object: i, Grade: float64(rng.IntN(10)) / 10}
+		}
+		want := make([]Entry, n)
+		copy(want, entries)
+		SortEntries(want)
+		if k > n {
+			k = n
+		}
+		want = want[:k]
+		got := TopK(entries, k)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSameGradeMultiset(t *testing.T) {
+	a := []Entry{{1, 0.5}, {2, 0.9}}
+	b := []Entry{{7, 0.9}, {8, 0.5}} // different objects, same grades
+	if !SameGradeMultiset(a, b, 0) {
+		t.Error("SameGradeMultiset = false for identical grade multisets")
+	}
+	c := []Entry{{7, 0.9}, {8, 0.4}}
+	if SameGradeMultiset(a, c, 0) {
+		t.Error("SameGradeMultiset = true for different grades")
+	}
+	if SameGradeMultiset(a, c, 0.2) != true {
+		t.Error("SameGradeMultiset should accept within tolerance")
+	}
+	if SameGradeMultiset(a, []Entry{{1, 0.5}}, 1) {
+		t.Error("SameGradeMultiset should reject different lengths")
+	}
+}
+
+func TestGradesOf(t *testing.T) {
+	gs := GradesOf([]Entry{{1, 0.1}, {2, 0.2}})
+	if len(gs) != 2 || gs[0] != 0.1 || gs[1] != 0.2 {
+		t.Errorf("GradesOf = %v", gs)
+	}
+}
+
+func BenchmarkTopK(b *testing.B) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	entries := make([]Entry, 100000)
+	for i := range entries {
+		entries[i] = Entry{Object: i, Grade: rng.Float64()}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TopK(entries, 10)
+	}
+}

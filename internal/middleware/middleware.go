@@ -1,0 +1,352 @@
+// Package middleware is the Garlic stand-in: it registers subsystems by
+// attribute, parses and plans queries, evaluates them with the optimal
+// algorithm from the core package, and reports exact middleware costs.
+//
+// Planning follows the paper's results directly:
+//
+//   - conjunction of atoms under min            → A₀′ (Theorem 4.4)
+//   - other monotone queries                    → A₀ (Theorem 4.2)
+//   - disjunction of atoms under max            → B₀ (Theorem 4.5)
+//   - median / order-statistic combinations     → subset decomposition
+//     (Remark 6.1), selected explicitly via TopKMedian
+//   - non-monotone queries (any negation)       → naive, the only safe
+//     choice; by Theorem 7.1 queries like Q ∧ ¬Q genuinely require
+//     linear cost, so this is not pessimism
+//
+// Section 8's two flavors of conjunction are both available: an external
+// conjunction always evaluates atoms in separate subsystem calls and
+// combines them under the middleware's semantics; an internal conjunction
+// pushes a multi-atom conjunction down to a subsystem that owns all of
+// its attributes and is willing to evaluate it under its own — possibly
+// different — semantics.
+package middleware
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"fuzzydb/internal/agg"
+	"fuzzydb/internal/core"
+	"fuzzydb/internal/cost"
+	"fuzzydb/internal/query"
+	"fuzzydb/internal/subsys"
+)
+
+// Middleware routes queries to subsystems and evaluates Boolean
+// combinations over the combined graded results.
+type Middleware struct {
+	subsystems map[string]subsys.Subsystem
+	sem        query.Semantics
+	n          int
+	names      []string
+}
+
+// Errors returned by the middleware.
+var (
+	// ErrUnknownAttribute reports an atom whose attribute no registered
+	// subsystem owns.
+	ErrUnknownAttribute = errors.New("middleware: unknown attribute")
+	// ErrSizeMismatch reports subsystems over different object universes.
+	ErrSizeMismatch = errors.New("middleware: subsystems disagree on universe size")
+)
+
+// Option configures the middleware.
+type Option func(*Middleware)
+
+// WithSemantics replaces the standard (min/max/1−x) rules.
+func WithSemantics(sem query.Semantics) Option {
+	return func(m *Middleware) { m.sem = sem }
+}
+
+// WithNames attaches display names to objects (names[obj]).
+func WithNames(names []string) Option {
+	return func(m *Middleware) { m.names = names }
+}
+
+// New builds a middleware over the given subsystems. All subsystems must
+// grade the same universe 0,…,N−1.
+func New(subsystems []subsys.Subsystem, opts ...Option) (*Middleware, error) {
+	if len(subsystems) == 0 {
+		return nil, errors.New("middleware: no subsystems")
+	}
+	m := &Middleware{
+		subsystems: make(map[string]subsys.Subsystem, len(subsystems)),
+		sem:        query.Standard(),
+		n:          subsystems[0].Size(),
+	}
+	for _, s := range subsystems {
+		if s.Size() != m.n {
+			return nil, fmt.Errorf("%w: %q has %d objects, want %d", ErrSizeMismatch, s.Attribute(), s.Size(), m.n)
+		}
+		if _, dup := m.subsystems[s.Attribute()]; dup {
+			return nil, fmt.Errorf("middleware: duplicate subsystem for attribute %q", s.Attribute())
+		}
+		m.subsystems[s.Attribute()] = s
+	}
+	for _, opt := range opts {
+		opt(m)
+	}
+	if m.names != nil && len(m.names) != m.n {
+		return nil, fmt.Errorf("middleware: %d names for %d objects", len(m.names), m.n)
+	}
+	return m, nil
+}
+
+// N returns the universe size.
+func (m *Middleware) N() int { return m.n }
+
+// Name returns the display name of obj, or its numeric form.
+func (m *Middleware) Name(obj int) string {
+	if m.names != nil && obj >= 0 && obj < len(m.names) {
+		return m.names[obj]
+	}
+	return fmt.Sprintf("#%d", obj)
+}
+
+// Plan describes how a query will be evaluated.
+type Plan struct {
+	// Algorithm chosen by the planner.
+	Algorithm core.Algorithm
+	// Atoms in evaluation order, one subsystem call each.
+	Atoms []query.Atomic
+	// Agg is the derived aggregation function over the atoms' grades.
+	Agg agg.Func
+	// Reason is a one-line justification referencing the paper.
+	Reason string
+}
+
+// PlanQuery normalizes and compiles q, then chooses the algorithm per
+// the paper's results. Normalization applies only the equivalence
+// rewrites that are sound for the configured semantics (Theorem 3.1
+// licenses the full set for the standard rules); it can upgrade plans —
+// NOT NOT (A AND B) normalizes to a conjunction evaluable by A₀′ instead
+// of forcing the naive algorithm.
+func (m *Middleware) PlanQuery(q query.Node) (*Plan, error) {
+	q = query.Rewrite(q, query.RulesFor(m.sem))
+	c, err := query.Compile(q, m.sem)
+	if err != nil {
+		return nil, err
+	}
+	for _, a := range c.Atoms {
+		if _, ok := m.subsystems[a.Attr]; !ok {
+			return nil, fmt.Errorf("%w: %q", ErrUnknownAttribute, a.Attr)
+		}
+	}
+	p := &Plan{Atoms: c.Atoms, Agg: c.Func}
+	switch {
+	case !c.Func.Monotone():
+		p.Algorithm = core.NaiveSorted{}
+		p.Reason = "non-monotone (negation present): naive evaluation; hard queries are Θ(N) (Thm 7.1)"
+	case len(c.Atoms) == 1:
+		p.Algorithm = core.B0{}
+		p.Reason = "single list: top-k is the sorted prefix (B0 degenerate case)"
+	case c.Shape == query.ShapeDisjunction && m.sem.Or.Name() == agg.Max.Name():
+		p.Algorithm = core.B0{}
+		p.Reason = "disjunction under max: B0, cost mk independent of N (Thm 4.5, Rem 6.1)"
+	case c.Shape == query.ShapeConjunction && m.sem.And.Name() == agg.Min.Name():
+		if drive, sel, ok := m.selectiveConjunct(c.Atoms); ok {
+			p.Algorithm = core.FilterFirst{Drive: drive}
+			p.Reason = fmt.Sprintf("selective crisp conjunct %q (selectivity %.4f): evaluate it first, probe the rest (Sec 4)",
+				c.Atoms[drive].Attr, sel)
+			break
+		}
+		p.Algorithm = core.A0Prime{}
+		p.Reason = "conjunction under min: A0' candidates refinement (Thm 4.4)"
+	default:
+		p.Algorithm = core.A0{}
+		p.Reason = "monotone query: A0, cost O(N^((m-1)/m) k^(1/m)) w.h.p. (Thms 4.2, 5.3)"
+	}
+	return p, nil
+}
+
+// SelectivityEstimator is the optional statistics interface a subsystem
+// can provide (relational engines keep these). The planner uses it to
+// pick the Section 4 "evaluate the selective crisp conjunct first" plan.
+type SelectivityEstimator interface {
+	Selectivity(target string) float64
+}
+
+// planK is the k the crossover rule assumes; the plan stays correct for
+// any k, only the constant-factor tradeoff shifts.
+const planK = 10
+
+// selectiveConjunct looks for the most selective atom whose subsystem
+// reports statistics, and accepts it when filter-first is expected to
+// beat A₀: cost ≈ s·N·m against ≈ 2m·√(Nk), i.e. s ≤ 2√(k/N).
+func (m *Middleware) selectiveConjunct(atoms []query.Atomic) (drive int, sel float64, ok bool) {
+	best := -1
+	bestSel := 2.0
+	for i, a := range atoms {
+		est, isEst := m.subsystems[a.Attr].(SelectivityEstimator)
+		if !isEst {
+			continue
+		}
+		if s := est.Selectivity(a.Target); s < bestSel {
+			bestSel = s
+			best = i
+		}
+	}
+	if best < 0 {
+		return 0, 0, false
+	}
+	// Cap the crossover at 10%: at small N the √(k/N) rule degenerates
+	// (everything looks selective), and A0' is the safer general plan.
+	threshold := 2 * math.Sqrt(float64(planK)/float64(m.n))
+	if threshold > 0.1 {
+		threshold = 0.1
+	}
+	if bestSel > threshold {
+		return 0, 0, false
+	}
+	return best, bestSel, true
+}
+
+// Report is the outcome of a query evaluation.
+type Report struct {
+	// Results in descending grade order.
+	Results []core.Result
+	// Cost is the exact middleware access cost of the evaluation.
+	Cost cost.Cost
+	// PerList breaks the cost down by atom, aligned with Plan.Atoms: how
+	// much sorted and random access each subsystem served.
+	PerList []cost.Cost
+	// Plan that produced the results.
+	Plan *Plan
+}
+
+// TopK evaluates q and returns the top k answers with cost accounting.
+func (m *Middleware) TopK(q query.Node, k int) (*Report, error) {
+	plan, err := m.PlanQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	return m.execute(plan, k)
+}
+
+// TopKString parses and evaluates a query in concrete syntax.
+func (m *Middleware) TopKString(q string, k int) (*Report, error) {
+	n, err := query.Parse(q)
+	if err != nil {
+		return nil, err
+	}
+	return m.TopK(n, k)
+}
+
+// TopKMedian evaluates the median of the given atoms with the subset
+// decomposition of Remark 6.1 — the O(√(Nk)) route that beats the strict
+// lower bound.
+func (m *Middleware) TopKMedian(atoms []query.Atomic, k int) (*Report, error) {
+	lists, err := m.sources(atoms)
+	if err != nil {
+		return nil, err
+	}
+	counted := subsys.CountAll(lists)
+	alg := core.OrderStat{}
+	res, err := alg.TopK(counted, agg.Median, k)
+	if err != nil {
+		return nil, err
+	}
+	return &Report{
+		Results: res,
+		Cost:    subsys.TotalCost(counted),
+		Plan: &Plan{
+			Algorithm: alg,
+			Atoms:     atoms,
+			Agg:       agg.Median,
+			Reason:    "median via max-of-subset-mins (Rem 6.1): O(√(Nk)), beats the strict bound",
+		},
+	}, nil
+}
+
+// Filter evaluates the threshold query "overall grade ≥ theta" for a
+// monotone q, in the Chaudhuri–Gravano style.
+func (m *Middleware) Filter(q query.Node, theta float64) (*Report, error) {
+	q = query.Rewrite(q, query.RulesFor(m.sem))
+	c, err := query.Compile(q, m.sem)
+	if err != nil {
+		return nil, err
+	}
+	if !c.Func.Monotone() {
+		return nil, fmt.Errorf("middleware: filter requires a monotone query")
+	}
+	lists, err := m.sources(c.Atoms)
+	if err != nil {
+		return nil, err
+	}
+	counted := subsys.CountAll(lists)
+	res, err := core.Filter(counted, c.Func, theta)
+	if err != nil {
+		return nil, err
+	}
+	return &Report{
+		Results: res,
+		Cost:    subsys.TotalCost(counted),
+		Plan: &Plan{
+			Algorithm: nil,
+			Atoms:     c.Atoms,
+			Agg:       c.Func,
+			Reason:    fmt.Sprintf("filter condition: all objects with grade >= %g [CG96]", theta),
+		},
+	}, nil
+}
+
+// Paginate prepares paginated evaluation of q ("give me the next k"),
+// per the continuation feature noted after Theorem 4.2.
+func (m *Middleware) Paginate(q query.Node) (*core.Paginator, error) {
+	plan, err := m.PlanQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	if !plan.Algorithm.Exact() {
+		return nil, fmt.Errorf("middleware: cannot paginate with %s", plan.Algorithm.Name())
+	}
+	lists, err := m.sources(plan.Atoms)
+	if err != nil {
+		return nil, err
+	}
+	// B0 only paginates correctly for single lists; use A0 otherwise.
+	alg := plan.Algorithm
+	if _, isB0 := alg.(core.B0); isB0 && len(plan.Atoms) > 1 {
+		alg = core.A0{}
+	}
+	return core.NewPaginator(alg, subsys.CountAll(lists), plan.Agg), nil
+}
+
+// execute runs a plan.
+func (m *Middleware) execute(plan *Plan, k int) (*Report, error) {
+	lists, err := m.sources(plan.Atoms)
+	if err != nil {
+		return nil, err
+	}
+	counted := subsys.CountAll(lists)
+	res, err := plan.Algorithm.TopK(counted, plan.Agg, k)
+	if err != nil {
+		return nil, err
+	}
+	perList := make([]cost.Cost, len(counted))
+	for i, c := range counted {
+		perList[i] = c.Cost()
+	}
+	return &Report{Results: res, Cost: subsys.TotalCost(counted), PerList: perList, Plan: plan}, nil
+}
+
+// sources evaluates each atom against its subsystem.
+func (m *Middleware) sources(atoms []query.Atomic) ([]subsys.Source, error) {
+	out := make([]subsys.Source, len(atoms))
+	for i, a := range atoms {
+		s, ok := m.subsystems[a.Attr]
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrUnknownAttribute, a.Attr)
+		}
+		src, err := s.Query(a.Target)
+		if err != nil {
+			return nil, fmt.Errorf("attribute %q: %w", a.Attr, err)
+		}
+		if src.Len() != m.n {
+			return nil, fmt.Errorf("%w: result for %q has %d objects", ErrSizeMismatch, a.Attr, src.Len())
+		}
+		out[i] = src
+	}
+	return out, nil
+}

@@ -1,0 +1,137 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"fuzzydb/internal/agg"
+)
+
+// Node is a query AST node.
+type Node interface {
+	fmt.Stringer
+	// node is a marker restricting implementations to this package's
+	// four forms, which lets Compile and the planner switch exhaustively.
+	node()
+}
+
+// Atomic is an atomic query X = t: attribute X matched against target t.
+type Atomic struct {
+	Attr   string
+	Target string
+}
+
+func (Atomic) node() {}
+
+// String renders the atom in concrete syntax.
+func (a Atomic) String() string { return fmt.Sprintf("%s = %q", a.Attr, a.Target) }
+
+// And is a fuzzy conjunction of subqueries.
+type And struct {
+	Children []Node
+}
+
+func (And) node() {}
+
+// String renders the conjunction in concrete syntax.
+func (a And) String() string { return joinChildren(a.Children, "AND") }
+
+// Or is a fuzzy disjunction of subqueries.
+type Or struct {
+	Children []Node
+}
+
+func (Or) node() {}
+
+// String renders the disjunction in concrete syntax.
+func (o Or) String() string { return joinChildren(o.Children, "OR") }
+
+// Not is a fuzzy negation of a subquery.
+type Not struct {
+	Child Node
+}
+
+func (Not) node() {}
+
+// String renders the negation in concrete syntax.
+func (n Not) String() string { return "NOT " + parenthesize(n.Child) }
+
+// Weighted assigns a relative importance to a conjunct or disjunct
+// ("color matters twice as much as shape"). Weights are interpreted by
+// the enclosing And/Or through the Fagin–Wimmers formula [FW97] after
+// normalization, so only ratios matter. Weighted nodes are legal only as
+// direct children of And or Or.
+type Weighted struct {
+	Child  Node
+	Weight float64
+}
+
+func (Weighted) node() {}
+
+// String renders "child ^ weight".
+func (w Weighted) String() string {
+	return fmt.Sprintf("%s ^ %g", parenthesize(w.Child), w.Weight)
+}
+
+func joinChildren(children []Node, op string) string {
+	parts := make([]string, len(children))
+	for i, c := range children {
+		parts[i] = parenthesize(c)
+	}
+	return strings.Join(parts, " "+op+" ")
+}
+
+func parenthesize(n Node) string {
+	switch n.(type) {
+	case Atomic:
+		return n.String()
+	default:
+		return "(" + n.String() + ")"
+	}
+}
+
+// Conj builds a conjunction of atoms: the paper's "probably most
+// important" query class.
+func Conj(atoms ...Atomic) Node {
+	children := make([]Node, len(atoms))
+	for i, a := range atoms {
+		children[i] = a
+	}
+	if len(children) == 1 {
+		return children[0]
+	}
+	return And{Children: children}
+}
+
+// Semantics selects the aggregation rules for the connectives. The zero
+// value is not usable; use Standard or fill all three fields.
+type Semantics struct {
+	// And grades conjunctions; it should be a t-norm or another monotone
+	// conjunction rule (e.g. a mean).
+	And agg.Func
+	// Or grades disjunctions; it should be a co-norm.
+	Or agg.Func
+	// Not grades negations from the child's grade.
+	Not func(float64) float64
+}
+
+// Standard is Zadeh's rule set: min, max, and 1−x.
+func Standard() Semantics {
+	return Semantics{And: agg.Min, Or: agg.Max, Not: agg.Negate}
+}
+
+// WithTNorm is the standard rule set with the conjunction evaluated by
+// the given t-norm (and the disjunction by its dual co-norm), as in the
+// robustness discussions of Section 3.
+func WithTNorm(t agg.TNorm) Semantics {
+	return Semantics{And: t, Or: agg.DualCoNorm(t), Not: agg.Negate}
+}
+
+// Validate reports whether all three rules are present.
+func (s Semantics) Validate() error {
+	if s.And == nil || s.Or == nil || s.Not == nil {
+		return fmt.Errorf("query: incomplete semantics (and=%v or=%v not set=%v)",
+			s.And != nil, s.Or != nil, s.Not != nil)
+	}
+	return nil
+}

@@ -1,0 +1,27 @@
+// Package query implements the query model of Section 2: atomic queries
+// of the form X = t (attribute, target) combined by Boolean connectives,
+// graded under configurable fuzzy semantics.
+//
+// A query is an AST of Atomic, And, Or, and Not nodes. Semantics assigns
+// the aggregation functions: by default Zadeh's standard rules — min for
+// conjunction, max for disjunction, 1−x for negation — which by Theorem
+// 3.1 are the unique monotone rules preserving logical equivalence; any
+// t-norm/co-norm pair from the agg package can be substituted.
+//
+// Compile flattens a query into (deduplicated atomic subqueries, one
+// derived aggregation function over their grade vector). The derived
+// function carries the monotone/strict metadata the planner needs:
+// negation destroys monotonicity (forcing the naive algorithm, cf. the
+// provably hard query of Section 7), disjunction destroys strictness
+// (making B₀ applicable), and a pure conjunction under a strict t-norm
+// retains both (making A₀/A₀′ applicable and optimal).
+//
+// The package also ships a small concrete syntax:
+//
+//	(Artist = "Beatles") AND (AlbumColor ~ "red")
+//	Color ~ "red" AND (Shape ~ "round" OR NOT Format = "mono")
+//
+// parsed by a recursive-descent parser. AND binds tighter than OR; NOT
+// binds tightest; '=' and '~' are synonymous (a traditional subsystem
+// grades crisply, a multimedia one fuzzily — the syntax does not care).
+package query

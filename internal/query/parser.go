@@ -1,0 +1,260 @@
+package query
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parse reads a query in concrete syntax. Grammar (case-insensitive
+// keywords):
+//
+//	query   := orExpr
+//	orExpr  := andExpr ( OR andExpr )*
+//	andExpr := unary ( AND unary )*
+//	unary   := (NOT unary | '(' query ')' | atom) ('^' NUMBER)?
+//	atom    := IDENT ('=' | '~') STRING | IDENT ('=' | '~') IDENT
+//
+// AND binds tighter than OR; NOT binds tightest. Targets may be quoted
+// ("red album") or bare words (red). A trailing '^ w' assigns a relative
+// Fagin–Wimmers importance weight to a conjunct or disjunct, as in
+//
+//	Color ~ "red" ^ 2 AND Shape ~ "round" ^ 1
+func Parse(input string) (Node, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	n, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEnd() {
+		return nil, fmt.Errorf("query: unexpected %q at position %d", p.peek().text, p.peek().pos)
+	}
+	return n, nil
+}
+
+// MustParse is Parse for queries known to be valid; it panics otherwise.
+func MustParse(input string) Node {
+	n, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// ErrSyntax wraps all parse failures.
+var ErrSyntax = errors.New("query: syntax error")
+
+type tokKind int
+
+const (
+	tokIdent tokKind = iota
+	tokString
+	tokLParen
+	tokRParen
+	tokEq
+	tokCaret
+	tokAnd
+	tokOr
+	tokNot
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+func lex(input string) ([]token, error) {
+	var toks []token
+	runes := []rune(input)
+	i := 0
+	for i < len(runes) {
+		r := runes[i]
+		switch {
+		case unicode.IsSpace(r):
+			i++
+		case r == '(':
+			toks = append(toks, token{tokLParen, "(", i})
+			i++
+		case r == ')':
+			toks = append(toks, token{tokRParen, ")", i})
+			i++
+		case r == '=' || r == '~':
+			toks = append(toks, token{tokEq, string(r), i})
+			i++
+		case r == '^':
+			toks = append(toks, token{tokCaret, "^", i})
+			i++
+		case r == '"':
+			j := i + 1
+			var sb strings.Builder
+			for j < len(runes) && runes[j] != '"' {
+				if runes[j] == '\\' && j+1 < len(runes) {
+					j++
+				}
+				sb.WriteRune(runes[j])
+				j++
+			}
+			if j >= len(runes) {
+				return nil, fmt.Errorf("%w: unterminated string at position %d", ErrSyntax, i)
+			}
+			toks = append(toks, token{tokString, sb.String(), i})
+			i = j + 1
+		case unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_':
+			j := i
+			for j < len(runes) && (unicode.IsLetter(runes[j]) || unicode.IsDigit(runes[j]) || runes[j] == '_' || runes[j] == '.') {
+				j++
+			}
+			word := string(runes[i:j])
+			switch strings.ToUpper(word) {
+			case "AND":
+				toks = append(toks, token{tokAnd, word, i})
+			case "OR":
+				toks = append(toks, token{tokOr, word, i})
+			case "NOT":
+				toks = append(toks, token{tokNot, word, i})
+			default:
+				toks = append(toks, token{tokIdent, word, i})
+			}
+			i = j
+		default:
+			return nil, fmt.Errorf("%w: unexpected character %q at position %d", ErrSyntax, r, i)
+		}
+	}
+	return toks, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) atEnd() bool { return p.pos >= len(p.toks) }
+
+func (p *parser) peek() token {
+	if p.atEnd() {
+		return token{kind: -1, text: "end of input", pos: p.pos}
+	}
+	return p.toks[p.pos]
+}
+
+func (p *parser) take(kind tokKind) (token, bool) {
+	if !p.atEnd() && p.toks[p.pos].kind == kind {
+		t := p.toks[p.pos]
+		p.pos++
+		return t, true
+	}
+	return token{}, false
+}
+
+func (p *parser) parseOr() (Node, error) {
+	first, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	children := []Node{first}
+	for {
+		if _, ok := p.take(tokOr); !ok {
+			break
+		}
+		next, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		children = append(children, next)
+	}
+	if len(children) == 1 {
+		return children[0], nil
+	}
+	return Or{Children: children}, nil
+}
+
+func (p *parser) parseAnd() (Node, error) {
+	first, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	children := []Node{first}
+	for {
+		if _, ok := p.take(tokAnd); !ok {
+			break
+		}
+		next, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		children = append(children, next)
+	}
+	if len(children) == 1 {
+		return children[0], nil
+	}
+	return And{Children: children}, nil
+}
+
+func (p *parser) parseUnary() (Node, error) {
+	var (
+		node Node
+		err  error
+	)
+	switch {
+	case p.takeOK(tokNot):
+		child, cerr := p.parseUnary()
+		if cerr != nil {
+			return nil, cerr
+		}
+		node = Not{Child: child}
+	case p.takeOK(tokLParen):
+		node, err = p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if _, ok := p.take(tokRParen); !ok {
+			return nil, fmt.Errorf("%w: missing ')' before %q at position %d", ErrSyntax, p.peek().text, p.peek().pos)
+		}
+	default:
+		node, err = p.parseAtom()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, ok := p.take(tokCaret); ok {
+		w, ok := p.take(tokIdent)
+		if !ok {
+			return nil, fmt.Errorf("%w: expected a weight after '^' at position %d", ErrSyntax, p.peek().pos)
+		}
+		weight, err := strconv.ParseFloat(w.text, 64)
+		if err != nil || weight < 0 {
+			return nil, fmt.Errorf("%w: bad weight %q at position %d", ErrSyntax, w.text, w.pos)
+		}
+		node = Weighted{Child: node, Weight: weight}
+	}
+	return node, nil
+}
+
+func (p *parser) takeOK(kind tokKind) bool {
+	_, ok := p.take(kind)
+	return ok
+}
+
+func (p *parser) parseAtom() (Node, error) {
+	attr, ok := p.take(tokIdent)
+	if !ok {
+		return nil, fmt.Errorf("%w: expected attribute name, got %q at position %d", ErrSyntax, p.peek().text, p.peek().pos)
+	}
+	if _, ok := p.take(tokEq); !ok {
+		return nil, fmt.Errorf("%w: expected '=' or '~' after %q at position %d", ErrSyntax, attr.text, p.peek().pos)
+	}
+	if target, ok := p.take(tokString); ok {
+		return Atomic{Attr: attr.text, Target: target.text}, nil
+	}
+	if target, ok := p.take(tokIdent); ok {
+		return Atomic{Attr: attr.text, Target: target.text}, nil
+	}
+	return nil, fmt.Errorf("%w: expected target after %q =, got %q at position %d", ErrSyntax, attr.text, p.peek().text, p.peek().pos)
+}

@@ -1,0 +1,385 @@
+package query
+
+import (
+	"errors"
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"fuzzydb/internal/agg"
+)
+
+func TestParseAtomForms(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Atomic
+	}{
+		{`Artist = "Beatles"`, Atomic{"Artist", "Beatles"}},
+		{`Artist="Beatles"`, Atomic{"Artist", "Beatles"}},
+		{`Color ~ red`, Atomic{"Color", "red"}},
+		{`Color~"a red album"`, Atomic{"Color", "a red album"}},
+		{`X_1 = "t"`, Atomic{"X_1", "t"}},
+	}
+	for _, c := range cases {
+		n, err := Parse(c.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.in, err)
+			continue
+		}
+		got, ok := n.(Atomic)
+		if !ok || got != c.want {
+			t.Errorf("Parse(%q) = %#v, want %#v", c.in, n, c.want)
+		}
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	// AND binds tighter than OR: a OR b AND c == a OR (b AND c).
+	n, err := Parse(`A = x OR B = y AND C = z`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	or, ok := n.(Or)
+	if !ok || len(or.Children) != 2 {
+		t.Fatalf("root = %#v, want Or with 2 children", n)
+	}
+	if _, ok := or.Children[0].(Atomic); !ok {
+		t.Errorf("first child = %#v, want Atomic", or.Children[0])
+	}
+	and, ok := or.Children[1].(And)
+	if !ok || len(and.Children) != 2 {
+		t.Errorf("second child = %#v, want And with 2 children", or.Children[1])
+	}
+}
+
+func TestParseParensAndNot(t *testing.T) {
+	n, err := Parse(`NOT (A = x OR B = y) AND C = z`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	and, ok := n.(And)
+	if !ok {
+		t.Fatalf("root = %#v, want And", n)
+	}
+	not, ok := and.Children[0].(Not)
+	if !ok {
+		t.Fatalf("first child = %#v, want Not", and.Children[0])
+	}
+	if _, ok := not.Child.(Or); !ok {
+		t.Errorf("negated child = %#v, want Or", not.Child)
+	}
+	// Double negation parses.
+	if _, err := Parse(`NOT NOT A = x`); err != nil {
+		t.Errorf("double NOT: %v", err)
+	}
+}
+
+func TestParseKeywordsCaseInsensitive(t *testing.T) {
+	n, err := Parse(`a = x and b = y or not c = z`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := n.(Or); !ok {
+		t.Errorf("root = %#v, want Or", n)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`AND`,
+		`A =`,
+		`A "x"`,
+		`(A = x`,
+		`A = x)`,
+		`A = x OR`,
+		`A = x y`,
+		`A = "unterminated`,
+		`% = x`,
+		`NOT`,
+	}
+	for _, in := range bad {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	inputs := []string{
+		`Artist = "Beatles"`,
+		`(Artist = "Beatles") AND (AlbumColor = "red")`,
+		`(A = "x") OR ((B = "y") AND (NOT C = "z"))`,
+	}
+	for _, in := range inputs {
+		n, err := Parse(in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", in, err)
+		}
+		again, err := Parse(n.String())
+		if err != nil {
+			t.Fatalf("re-Parse(%q): %v", n.String(), err)
+		}
+		if again.String() != n.String() {
+			t.Errorf("round trip changed: %q -> %q", n.String(), again.String())
+		}
+	}
+}
+
+func TestCompileConjunctionShape(t *testing.T) {
+	c, err := Compile(MustParse(`A = x AND B = y`), Standard())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Shape != ShapeConjunction {
+		t.Errorf("Shape = %v, want conjunction", c.Shape)
+	}
+	if len(c.Atoms) != 2 {
+		t.Fatalf("Atoms = %v", c.Atoms)
+	}
+	if !c.Func.Monotone() || !c.Func.Strict() {
+		t.Error("conjunction of atoms under min must be monotone and strict")
+	}
+	if got := c.Func.Apply([]float64{0.3, 0.8}); got != 0.3 {
+		t.Errorf("Apply = %v, want 0.3", got)
+	}
+}
+
+func TestCompileDisjunctionShape(t *testing.T) {
+	c, err := Compile(MustParse(`A = x OR B = y`), Standard())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Shape != ShapeDisjunction {
+		t.Errorf("Shape = %v, want disjunction", c.Shape)
+	}
+	if !c.Func.Monotone() {
+		t.Error("disjunction must be monotone")
+	}
+	if c.Func.Strict() {
+		t.Error("disjunction must not be strict")
+	}
+	if got := c.Func.Apply([]float64{0.3, 0.8}); got != 0.8 {
+		t.Errorf("Apply = %v, want 0.8", got)
+	}
+}
+
+func TestCompileNegationKillsMonotonicity(t *testing.T) {
+	c, err := Compile(MustParse(`A = x AND NOT B = y`), Standard())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Shape != ShapeOther {
+		t.Errorf("Shape = %v, want other", c.Shape)
+	}
+	if c.Func.Monotone() {
+		t.Error("negated query must not be monotone")
+	}
+	if got := c.Func.Apply([]float64{0.9, 0.3}); math.Abs(got-0.7) > 1e-12 {
+		t.Errorf("Apply = %v, want min(0.9, 1-0.3)=0.7", got)
+	}
+}
+
+func TestCompileAtomShape(t *testing.T) {
+	c, err := Compile(MustParse(`A = x`), Standard())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Shape != ShapeAtom || len(c.Atoms) != 1 {
+		t.Errorf("Shape=%v Atoms=%v", c.Shape, c.Atoms)
+	}
+	if got := c.Func.Apply([]float64{0.4}); got != 0.4 {
+		t.Errorf("identity apply = %v", got)
+	}
+	if !c.Func.Strict() || !c.Func.Monotone() {
+		t.Error("atom must be monotone and strict")
+	}
+}
+
+func TestCompileDeduplicatesAtoms(t *testing.T) {
+	// A ∧ A and the hard query A ∧ ¬A collapse to one atom.
+	c, err := Compile(MustParse(`A = x AND A = x`), Standard())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Atoms) != 1 {
+		t.Fatalf("Atoms = %v, want 1 (deduplicated)", c.Atoms)
+	}
+	if got := c.Func.Apply([]float64{0.6}); got != 0.6 {
+		t.Errorf("idempotency broken: %v", got)
+	}
+	hard, err := Compile(MustParse(`Q = v AND NOT Q = v`), Standard())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hard.Atoms) != 1 {
+		t.Fatalf("hard query atoms = %v", hard.Atoms)
+	}
+	if got := hard.Func.Apply([]float64{0.5}); got != 0.5 {
+		t.Errorf("Q ∧ ¬Q at 0.5 = %v, want 0.5 (the maximum)", got)
+	}
+	if got := hard.Func.Apply([]float64{0.9}); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("Q ∧ ¬Q at 0.9 = %v, want 0.1", got)
+	}
+}
+
+func TestCompileNestedEvaluation(t *testing.T) {
+	// (A AND B) OR (NOT C): max(min(a,b), 1-c).
+	c, err := Compile(MustParse(`(A = x AND B = y) OR NOT C = z`), Standard())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := c.Func.Apply([]float64{0.7, 0.4, 0.8})
+	want := math.Max(math.Min(0.7, 0.4), 1-0.8)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("Apply = %v, want %v", got, want)
+	}
+}
+
+func TestCompileWithNonStandardTNorm(t *testing.T) {
+	sem := WithTNorm(agg.AlgebraicProduct)
+	c, err := Compile(MustParse(`A = x AND B = y`), sem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Func.Apply([]float64{0.5, 0.4}); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("product semantics apply = %v, want 0.2", got)
+	}
+	if !c.Func.Monotone() || !c.Func.Strict() {
+		t.Error("product conjunction should stay monotone and strict")
+	}
+	// Dual co-norm drives OR: algebraic sum.
+	d, err := Compile(MustParse(`A = x OR B = y`), sem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Func.Apply([]float64{0.5, 0.4}); math.Abs(got-0.7) > 1e-9 {
+		t.Errorf("algebraic sum apply = %v, want 0.7", got)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	if _, err := Compile(nil, Standard()); err == nil {
+		t.Error("nil query accepted")
+	}
+	if _, err := Compile(And{}, Standard()); err == nil {
+		t.Error("empty conjunction accepted")
+	}
+	if _, err := Compile(Or{}, Standard()); err == nil {
+		t.Error("empty disjunction accepted")
+	}
+	if _, err := Compile(Not{}, Standard()); err == nil {
+		t.Error("empty negation accepted")
+	}
+	if _, err := Compile(Atomic{"A", "x"}, Semantics{}); err == nil {
+		t.Error("incomplete semantics accepted")
+	}
+}
+
+func TestCompiledFuncArityPanics(t *testing.T) {
+	c, err := Compile(MustParse(`A = x AND B = y`), Standard())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong arity should panic")
+		}
+	}()
+	c.Func.Apply([]float64{0.5})
+}
+
+// Property: Theorem 3.1's logical-equivalence preservation under the
+// standard rules — compiled idempotent/distributed variants evaluate
+// identically.
+func TestStandardSemanticsPreserveEquivalenceProperty(t *testing.T) {
+	sem := Standard()
+	pairs := [][2]string{
+		{`A = x AND (B = y OR C = z)`, `(A = x AND B = y) OR (A = x AND C = z)`},
+		{`A = x AND A = x`, `A = x`},
+		{`A = x OR (A = x AND B = y)`, `A = x`},
+	}
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 61))
+		grades := map[Atomic]float64{
+			{"A", "x"}: rng.Float64(),
+			{"B", "y"}: rng.Float64(),
+			{"C", "z"}: rng.Float64(),
+		}
+		for _, pair := range pairs {
+			va, err := evalWith(pair[0], sem, grades)
+			if err != nil {
+				return false
+			}
+			vb, err := evalWith(pair[1], sem, grades)
+			if err != nil {
+				return false
+			}
+			if math.Abs(va-vb) > 1e-12 {
+				t.Logf("equivalence broken: %q=%v vs %q=%v", pair[0], va, pair[1], vb)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Counter-check: the algebraic product does NOT preserve idempotency
+// (A ∧ A ≠ A), which is why Theorem 3.1 singles out min.
+func TestProductBreaksIdempotency(t *testing.T) {
+	sem := WithTNorm(agg.AlgebraicProduct)
+	grades := map[Atomic]float64{{"A", "x"}: 0.5}
+	va, err := evalWith(`A = x AND A = x`, sem, grades)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deduplication maps both conjuncts to one coordinate, but the
+	// conjunction still multiplies the coordinate with itself.
+	if math.Abs(va-0.25) > 1e-12 {
+		t.Errorf("A AND A under product = %v, want 0.25", va)
+	}
+}
+
+func evalWith(q string, sem Semantics, grades map[Atomic]float64) (float64, error) {
+	c, err := Compile(MustParse(q), sem)
+	if err != nil {
+		return 0, err
+	}
+	gs := make([]float64, len(c.Atoms))
+	for i, a := range c.Atoms {
+		gs[i] = grades[a]
+	}
+	return c.Func.Apply(gs), nil
+}
+
+func TestConjHelper(t *testing.T) {
+	single := Conj(Atomic{"A", "x"})
+	if _, ok := single.(Atomic); !ok {
+		t.Errorf("Conj(one) = %#v, want Atomic", single)
+	}
+	double := Conj(Atomic{"A", "x"}, Atomic{"B", "y"})
+	and, ok := double.(And)
+	if !ok || len(and.Children) != 2 {
+		t.Errorf("Conj(two) = %#v", double)
+	}
+}
+
+func TestErrSyntaxWrapped(t *testing.T) {
+	_, err := Parse(`(A = x`)
+	if !errors.Is(err, ErrSyntax) {
+		t.Errorf("error %v does not wrap ErrSyntax", err)
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse on bad input should panic")
+		}
+	}()
+	MustParse(`((`)
+}

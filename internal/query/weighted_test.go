@@ -1,0 +1,195 @@
+package query
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"fuzzydb/internal/agg"
+)
+
+func TestParseWeights(t *testing.T) {
+	n, err := Parse(`Color ~ "red" ^ 2 AND Shape ~ "round" ^ 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	and, ok := n.(And)
+	if !ok || len(and.Children) != 2 {
+		t.Fatalf("root = %#v", n)
+	}
+	w0, ok := and.Children[0].(Weighted)
+	if !ok || w0.Weight != 2 {
+		t.Errorf("first conjunct = %#v", and.Children[0])
+	}
+	w1, ok := and.Children[1].(Weighted)
+	if !ok || w1.Weight != 1 {
+		t.Errorf("second conjunct = %#v", and.Children[1])
+	}
+	// Fractional weights.
+	if _, err := Parse(`A = x ^ 0.25 AND B = y`); err != nil {
+		t.Errorf("fractional weight: %v", err)
+	}
+	// Weight on a parenthesized subquery.
+	if _, err := Parse(`(A = x OR B = y) ^ 3 AND C = z`); err != nil {
+		t.Errorf("weighted subquery: %v", err)
+	}
+}
+
+func TestParseWeightErrors(t *testing.T) {
+	bad := []string{
+		`A = x ^`,
+		`A = x ^ AND B = y`,
+		`A = x ^ abc`,
+		`A = x ^ "2"`,
+	}
+	for _, in := range bad {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) succeeded", in)
+		}
+	}
+}
+
+func TestWeightedStringRoundTrip(t *testing.T) {
+	in := `(Color = "red") ^ 2 AND (Shape = "round") ^ 0.5`
+	n, err := Parse(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := Parse(n.String())
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", n.String(), err)
+	}
+	if !equalNodes(n, again) {
+		t.Errorf("round trip changed: %s vs %s", n, again)
+	}
+}
+
+// Compiled weighted conjunctions agree with agg.NewWeighted directly.
+func TestCompileWeightedConjunction(t *testing.T) {
+	c, err := Compile(MustParse(`A = x ^ 2 AND B = y ^ 1`), Standard())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Shape != ShapeOther {
+		t.Errorf("weighted conjunction shape = %v, want other (min plans must not fire)", c.Shape)
+	}
+	if !c.Func.Monotone() {
+		t.Error("weighted min conjunction must be monotone")
+	}
+	if !c.Func.Strict() {
+		t.Error("all-positive weighted min conjunction must be strict")
+	}
+	ref, err := agg.NewWeighted(agg.Min, []float64{2.0 / 3, 1.0 / 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 101))
+		a, b := rng.Float64(), rng.Float64()
+		got := c.Func.Apply([]float64{a, b})
+		want := ref.Apply([]float64{a, b})
+		return math.Abs(got-want) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompileWeightedEdgeCases(t *testing.T) {
+	// Zero weight on one conjunct loses strictness but stays monotone.
+	c, err := Compile(MustParse(`A = x ^ 0 AND B = y ^ 1`), Standard())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Func.Monotone() || c.Func.Strict() {
+		t.Errorf("zero-weight conjunction: monotone=%v strict=%v", c.Func.Monotone(), c.Func.Strict())
+	}
+	// All-zero weights are rejected.
+	if _, err := Compile(And{Children: []Node{
+		Weighted{Child: Atomic{"A", "x"}, Weight: 0},
+		Weighted{Child: Atomic{"B", "y"}, Weight: 0},
+	}}, Standard()); err == nil {
+		t.Error("all-zero weights accepted")
+	}
+	// Negative weight rejected.
+	if _, err := Compile(And{Children: []Node{
+		Weighted{Child: Atomic{"A", "x"}, Weight: -1},
+		Atomic{"B", "y"},
+	}}, Standard()); err == nil {
+		t.Error("negative weight accepted")
+	}
+	// Weight outside a connective rejected.
+	if _, err := Compile(Weighted{Child: Atomic{"A", "x"}, Weight: 1}, Standard()); err == nil {
+		t.Error("bare weighted node accepted")
+	}
+	// Weight on nothing rejected.
+	if _, err := Compile(And{Children: []Node{Weighted{Weight: 1}, Atomic{"B", "y"}}}, Standard()); err == nil {
+		t.Error("weight on nil child accepted")
+	}
+}
+
+// Equal weights reduce to the unweighted connective (FW97 requirement),
+// through the full compile pipeline.
+func TestCompileEqualWeightsReduceProperty(t *testing.T) {
+	weighted, err := Compile(MustParse(`A = x ^ 3 AND B = y ^ 3`), Standard())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Compile(MustParse(`A = x AND B = y`), Standard())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 102))
+		gs := []float64{rng.Float64(), rng.Float64()}
+		return math.Abs(weighted.Func.Apply(gs)-plain.Func.Apply(gs)) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Weighted disjunctions compile and are monotone but not strict.
+func TestCompileWeightedDisjunction(t *testing.T) {
+	c, err := Compile(MustParse(`A = x ^ 2 OR B = y`), Standard())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Func.Monotone() || c.Func.Strict() {
+		t.Errorf("weighted disjunction: monotone=%v strict=%v", c.Func.Monotone(), c.Func.Strict())
+	}
+	// FW97 with base max, weights (2/3, 1/3), grades (x1, x2) = (0, 0.9):
+	// arguments are taken in decreasing-weight order, so
+	// f = (θ1−θ2)·x1 + 2·θ2·max(x1,x2) = (1/3)·0 + (2/3)·0.9 = 0.6 —
+	// the heavily weighted disjunct failing pulls the grade down even
+	// though the light one matches well.
+	if got := c.Func.Apply([]float64{0, 0.9}); math.Abs(got-0.6) > 1e-12 {
+		t.Errorf("weighted max = %v, want 0.6", got)
+	}
+}
+
+// Rewriting keeps weighted grades intact.
+func TestRewritePreservesWeightedGrades(t *testing.T) {
+	q := MustParse(`NOT NOT (A = x ^ 2 AND B = y)`)
+	rq := Rewrite(q, StandardRules())
+	cq, err := Compile(q, Standard())
+	if err != nil {
+		t.Fatal(err)
+	}
+	crq, err := Compile(rq, Standard())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !crq.Func.Monotone() {
+		t.Error("normalized weighted conjunction should be monotone")
+	}
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 103))
+		gs := []float64{rng.Float64(), rng.Float64()}
+		return math.Abs(cq.Func.Apply(gs)-crq.Func.Apply(gs)) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

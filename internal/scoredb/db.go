@@ -1,0 +1,156 @@
+package scoredb
+
+import (
+	"errors"
+	"fmt"
+
+	"fuzzydb/internal/gradedset"
+)
+
+// Database is a scoring database: m graded lists over the objects 0,…,N−1.
+// List i is the materialized result of atomic query Aᵢ, supporting both
+// sorted access (by rank) and random access (by object).
+type Database struct {
+	n     int
+	lists []*gradedset.List
+}
+
+// ErrShape reports structurally invalid inputs (no lists, ragged lists,
+// or lists whose object sets are not exactly {0,…,N−1}).
+var ErrShape = errors.New("scoredb: invalid database shape")
+
+// New assembles a database from lists. Every list must grade exactly the
+// objects 0,…,N−1 where N is the common length.
+func New(lists []*gradedset.List) (*Database, error) {
+	if len(lists) == 0 {
+		return nil, fmt.Errorf("%w: no lists", ErrShape)
+	}
+	n := lists[0].Len()
+	for i, l := range lists {
+		if l.Len() != n {
+			return nil, fmt.Errorf("%w: list %d has %d objects, want %d", ErrShape, i, l.Len(), n)
+		}
+		for obj := 0; obj < n; obj++ {
+			if !l.Contains(obj) {
+				return nil, fmt.Errorf("%w: list %d missing object %d", ErrShape, i, obj)
+			}
+		}
+	}
+	return &Database{n: n, lists: lists}, nil
+}
+
+// N returns the number of objects.
+func (d *Database) N() int { return d.n }
+
+// M returns the number of lists (atomic queries).
+func (d *Database) M() int { return len(d.lists) }
+
+// List returns the i-th graded list.
+func (d *Database) List(i int) *gradedset.List { return d.lists[i] }
+
+// Lists returns all lists. The slice must not be mutated.
+func (d *Database) Lists() []*gradedset.List { return d.lists }
+
+// Grades returns the grade of obj in every list, in list order.
+func (d *Database) Grades(obj int) ([]float64, error) {
+	gs := make([]float64, len(d.lists))
+	for i, l := range d.lists {
+		g, err := l.Grade(obj)
+		if err != nil {
+			return nil, fmt.Errorf("list %d: %w", i, err)
+		}
+		gs[i] = g
+	}
+	return gs, nil
+}
+
+// Validate re-checks all invariants of the constituent lists.
+func (d *Database) Validate() error {
+	for i, l := range d.lists {
+		if err := l.Validate(); err != nil {
+			return fmt.Errorf("list %d: %w", i, err)
+		}
+	}
+	_, err := New(d.lists)
+	return err
+}
+
+// Skeleton extracts the skeleton the database's tie order realizes: for
+// each list, the permutation of objects in sorted-access order.
+func (d *Database) Skeleton() *Skeleton {
+	perms := make([][]int, len(d.lists))
+	for i, l := range d.lists {
+		perm := make([]int, d.n)
+		for r := 0; r < d.n; r++ {
+			perm[r] = l.Entry(r).Object
+		}
+		perms[i] = perm
+	}
+	return &Skeleton{perms: perms, n: d.n}
+}
+
+// Skeleton is a function associating with each list a permutation of the
+// objects 0,…,N−1: the order in which sorted access reveals them. A
+// database is consistent with a skeleton iff each permutation sorts the
+// corresponding graded set in descending order (ties may break either
+// way, so several skeletons can be consistent with one database).
+type Skeleton struct {
+	perms [][]int
+	n     int
+}
+
+// NewSkeleton validates that each perms[i] is a permutation of 0,…,N−1
+// (with common N) and wraps them.
+func NewSkeleton(perms [][]int) (*Skeleton, error) {
+	if len(perms) == 0 {
+		return nil, fmt.Errorf("%w: no permutations", ErrShape)
+	}
+	n := len(perms[0])
+	for i, p := range perms {
+		if len(p) != n {
+			return nil, fmt.Errorf("%w: permutation %d has length %d, want %d", ErrShape, i, len(p), n)
+		}
+		seen := make([]bool, n)
+		for _, obj := range p {
+			if obj < 0 || obj >= n || seen[obj] {
+				return nil, fmt.Errorf("%w: permutation %d is not a permutation", ErrShape, i)
+			}
+			seen[obj] = true
+		}
+	}
+	return &Skeleton{perms: perms, n: n}, nil
+}
+
+// N returns the number of objects.
+func (s *Skeleton) N() int { return s.n }
+
+// M returns the number of permutations.
+func (s *Skeleton) M() int { return len(s.perms) }
+
+// Perm returns the i-th permutation. The slice must not be mutated.
+func (s *Skeleton) Perm(i int) []int { return s.perms[i] }
+
+// ConsistentWith reports whether database d is consistent with s: the
+// same shape, and each permutation lists objects in non-increasing grade
+// order of the corresponding list.
+func (s *Skeleton) ConsistentWith(d *Database) error {
+	if s.n != d.n || len(s.perms) != len(d.lists) {
+		return fmt.Errorf("%w: skeleton %dx%d vs database %dx%d",
+			ErrShape, len(s.perms), s.n, len(d.lists), d.n)
+	}
+	for i, perm := range s.perms {
+		l := d.lists[i]
+		prev := 2.0
+		for r, obj := range perm {
+			g, err := l.Grade(obj)
+			if err != nil {
+				return fmt.Errorf("permutation %d rank %d: %w", i, r, err)
+			}
+			if g > prev {
+				return fmt.Errorf("scoredb: permutation %d not sorted at rank %d", i, r)
+			}
+			prev = g
+		}
+	}
+	return nil
+}

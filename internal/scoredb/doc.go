@@ -1,0 +1,20 @@
+// Package scoredb implements the formal framework of Section 5: scoring
+// databases, skeletons, and the probabilistic workload model under which
+// the paper's upper and lower bounds are stated.
+//
+// A scoring database over N objects (named 0,…,N−1) and m atomic queries
+// associates with each query index i a graded set — intuitively, the
+// result of applying atomic query Aᵢ to the original database. A skeleton
+// associates with each i a permutation of the objects; a database is
+// consistent with a skeleton if each permutation sorts the corresponding
+// graded set in descending grade order. Skeletons make the cost of sorted
+// access well defined in the presence of ties.
+//
+// The paper's independence assumption — "each of the m sorted lists
+// contains the objects in random order, independent of the other lists" —
+// corresponds to drawing each permutation uniformly. The generators in
+// this package produce databases under that model and under the
+// correlated, anti-correlated (Section 7's Q ∧ ¬Q), and bounded-grade
+// (Section 9, Ullman's algorithm) variations the experiments need. All
+// generators are deterministic given a seed.
+package scoredb

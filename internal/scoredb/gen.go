@@ -1,0 +1,260 @@
+package scoredb
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+
+	"fuzzydb/internal/gradedset"
+)
+
+// GradeLaw is a distribution over grades: the marginal law of a list's
+// grade values. The ranking (which object gets which grade) is chosen
+// separately, so a law only shapes the grade profile of a list.
+type GradeLaw interface {
+	// Name identifies the law in experiment tables.
+	Name() string
+	// Sample draws n independent grades.
+	Sample(rng *rand.Rand, n int) []float64
+}
+
+// Uniform is the iid Uniform[0,1] law: the paper's default for "fully
+// fuzzy" atomic queries, and the distribution assumption of Section 9's
+// Ullman/Landau analysis.
+type Uniform struct{}
+
+// Name implements GradeLaw.
+func (Uniform) Name() string { return "uniform" }
+
+// Sample implements GradeLaw.
+func (Uniform) Sample(rng *rand.Rand, n int) []float64 {
+	gs := make([]float64, n)
+	for i := range gs {
+		gs[i] = rng.Float64()
+	}
+	return gs
+}
+
+// BoundedAbove is iid Uniform[0,Max]: grades bounded away from 1, the
+// assumption under which Ullman's algorithm stops in expected constant
+// time (Section 9 uses Max = 0.9).
+type BoundedAbove struct {
+	Max float64
+}
+
+// Name implements GradeLaw.
+func (l BoundedAbove) Name() string { return fmt.Sprintf("uniform[0,%g]", l.Max) }
+
+// Sample implements GradeLaw.
+func (l BoundedAbove) Sample(rng *rand.Rand, n int) []float64 {
+	gs := make([]float64, n)
+	for i := range gs {
+		gs[i] = rng.Float64() * l.Max
+	}
+	return gs
+}
+
+// Binary is the traditional-database law: grade 1 with probability P
+// (the predicate holds) and 0 otherwise, as in Artist="Beatles".
+type Binary struct {
+	P float64
+}
+
+// Name implements GradeLaw.
+func (l Binary) Name() string { return fmt.Sprintf("binary(p=%g)", l.P) }
+
+// Sample implements GradeLaw.
+func (l Binary) Sample(rng *rand.Rand, n int) []float64 {
+	gs := make([]float64, n)
+	for i := range gs {
+		if rng.Float64() < l.P {
+			gs[i] = 1
+		}
+	}
+	return gs
+}
+
+// Discrete draws uniformly from Levels evenly spaced grades
+// {0, 1/(L−1), …, 1}, producing heavy ties — the regime where skeleton
+// choice matters.
+type Discrete struct {
+	Levels int
+}
+
+// Name implements GradeLaw.
+func (l Discrete) Name() string { return fmt.Sprintf("discrete(%d)", l.Levels) }
+
+// Sample implements GradeLaw.
+func (l Discrete) Sample(rng *rand.Rand, n int) []float64 {
+	gs := make([]float64, n)
+	den := float64(l.Levels - 1)
+	for i := range gs {
+		gs[i] = float64(rng.IntN(l.Levels)) / den
+	}
+	return gs
+}
+
+// LinearRank assigns the strictly decreasing, tie-free profile
+// (n−r)/(n+1) to ranks r = 0,…,n−1. It is deterministic given n, so a
+// list's grade depends only on rank: the "fully fuzzy, no ties" shape
+// Section 7 requires.
+type LinearRank struct{}
+
+// Name implements GradeLaw.
+func (LinearRank) Name() string { return "linear-rank" }
+
+// Sample implements GradeLaw. The returned grades are already sorted
+// descending; generators sort anyway, which is a no-op here.
+func (LinearRank) Sample(_ *rand.Rand, n int) []float64 {
+	gs := make([]float64, n)
+	for i := range gs {
+		gs[i] = float64(n-i) / float64(n+1)
+	}
+	return gs
+}
+
+// Generator draws scoring databases. The zero value is not useful: set N,
+// M, and Law. With Correlation = 0 every list's order is an independent
+// uniform permutation — exactly the independence model of Section 5.
+type Generator struct {
+	// N is the number of objects; M the number of lists.
+	N, M int
+	// Law is the marginal grade distribution of every list.
+	Law GradeLaw
+	// Seed makes generation deterministic.
+	Seed uint64
+	// Correlation in [−1, 1] couples the lists' rankings through a latent
+	// uniform score per object. 0 is independence; +1 makes all lists rank
+	// identically; −1 makes odd-indexed lists rank in exactly the reverse
+	// order of even-indexed ones (for m = 2, perfectly anti-correlated —
+	// the regime of Section 7).
+	Correlation float64
+}
+
+// Generate draws a database.
+func (g Generator) Generate() (*Database, error) {
+	if g.N <= 0 || g.M <= 0 {
+		return nil, fmt.Errorf("%w: N=%d M=%d", ErrShape, g.N, g.M)
+	}
+	if g.Correlation < -1 || g.Correlation > 1 {
+		return nil, fmt.Errorf("%w: correlation %v outside [-1,1]", ErrShape, g.Correlation)
+	}
+	if g.Law == nil {
+		g.Law = Uniform{}
+	}
+	rng := rand.New(rand.NewPCG(g.Seed, 0xdb))
+
+	// Latent per-object score shared by all lists (only read when the
+	// correlation is nonzero).
+	latent := make([]float64, g.N)
+	for i := range latent {
+		latent[i] = rng.Float64()
+	}
+
+	rho := g.Correlation
+	mag := rho
+	if mag < 0 {
+		mag = -mag
+	}
+
+	lists := make([]*gradedset.List, g.M)
+	for i := 0; i < g.M; i++ {
+		// Score each object, rank descending by score, then lay the law's
+		// sorted grade profile over the ranking.
+		score := make([]float64, g.N)
+		for obj := 0; obj < g.N; obj++ {
+			z := latent[obj]
+			if rho < 0 && i%2 == 1 {
+				z = 1 - z
+			}
+			score[obj] = mag*z + (1-mag)*rng.Float64()
+		}
+		perm := make([]int, g.N)
+		for obj := range perm {
+			perm[obj] = obj
+		}
+		sort.SliceStable(perm, func(a, b int) bool { return score[perm[a]] > score[perm[b]] })
+
+		grades := g.Law.Sample(rng, g.N)
+		sort.Sort(sort.Reverse(sort.Float64Slice(grades)))
+
+		entries := make([]gradedset.Entry, g.N)
+		for r := 0; r < g.N; r++ {
+			entries[r] = gradedset.Entry{Object: perm[r], Grade: grades[r]}
+		}
+		l, err := gradedset.NewListPresorted(entries)
+		if err != nil {
+			return nil, fmt.Errorf("list %d: %w", i, err)
+		}
+		lists[i] = l
+	}
+	return New(lists)
+}
+
+// MustGenerate is Generate for parameters known to be valid.
+func (g Generator) MustGenerate() *Database {
+	db, err := g.Generate()
+	if err != nil {
+		panic(err)
+	}
+	return db
+}
+
+// HardQueryPair builds the Section 7 workload for Q ∧ ¬Q: list 0 is a
+// fully fuzzy query Q with distinct grades (no ties) in random object
+// order; list 1 is its standard negation, whose sorted order is exactly
+// the reverse permutation. Under min, the top answer is the object x
+// maximizing min(μQ(x), 1−μQ(x)), i.e. the one with grade closest to ½.
+func HardQueryPair(n int, seed uint64) (*Database, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: N=%d", ErrShape, n)
+	}
+	rng := rand.New(rand.NewPCG(seed, 0x7a))
+	perm := rng.Perm(n)
+	entries := make([]gradedset.Entry, n)
+	for r := 0; r < n; r++ {
+		// Strictly decreasing, tie-free grades in (0,1).
+		entries[r] = gradedset.Entry{Object: perm[r], Grade: float64(n-r) / float64(n+1)}
+	}
+	q, err := gradedset.NewListPresorted(entries)
+	if err != nil {
+		return nil, err
+	}
+	return New([]*gradedset.List{q, q.Reversed()})
+}
+
+// Duplicated builds m identical lists (perfect positive correlation):
+// every list ranks objects the same way with the same grades.
+func Duplicated(n, m int, law GradeLaw, seed uint64) (*Database, error) {
+	base, err := Generator{N: n, M: 1, Law: law, Seed: seed}.Generate()
+	if err != nil {
+		return nil, err
+	}
+	lists := make([]*gradedset.List, m)
+	for i := range lists {
+		lists[i] = base.List(0)
+	}
+	return New(lists)
+}
+
+// FromMatrix builds a database from grades[i][obj] (list i, object obj),
+// sorting each list canonically (descending grade, ascending object id on
+// ties). Convenient for table-driven tests.
+func FromMatrix(grades [][]float64) (*Database, error) {
+	if len(grades) == 0 {
+		return nil, fmt.Errorf("%w: empty matrix", ErrShape)
+	}
+	lists := make([]*gradedset.List, len(grades))
+	for i, row := range grades {
+		entries := make([]gradedset.Entry, len(row))
+		for obj, g := range row {
+			entries[obj] = gradedset.Entry{Object: obj, Grade: g}
+		}
+		l, err := gradedset.NewList(entries)
+		if err != nil {
+			return nil, fmt.Errorf("list %d: %w", i, err)
+		}
+		lists[i] = l
+	}
+	return New(lists)
+}

@@ -1,0 +1,69 @@
+package scoredb
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"fuzzydb/internal/gradedset"
+)
+
+// The JSON form preserves each list's sorted-access order (the skeleton),
+// not just the grades, so a round trip reproduces tie behaviour exactly.
+
+type jsonDatabase struct {
+	N     int        `json:"n"`
+	Lists []jsonList `json:"lists"`
+}
+
+type jsonList struct {
+	// Objects and Grades are parallel, in sorted-access order.
+	Objects []int     `json:"objects"`
+	Grades  []float64 `json:"grades"`
+}
+
+// WriteJSON serializes the database.
+func (d *Database) WriteJSON(w io.Writer) error {
+	out := jsonDatabase{N: d.n, Lists: make([]jsonList, len(d.lists))}
+	for i, l := range d.lists {
+		jl := jsonList{
+			Objects: make([]int, l.Len()),
+			Grades:  make([]float64, l.Len()),
+		}
+		for r := 0; r < l.Len(); r++ {
+			e := l.Entry(r)
+			jl.Objects[r] = e.Object
+			jl.Grades[r] = e.Grade
+		}
+		out.Lists[i] = jl
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// ReadJSON deserializes a database written by WriteJSON, re-validating
+// every invariant (sortedness, grade range, object universe).
+func ReadJSON(r io.Reader) (*Database, error) {
+	var in jsonDatabase
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("scoredb: decode: %w", err)
+	}
+	lists := make([]*gradedset.List, len(in.Lists))
+	for i, jl := range in.Lists {
+		if len(jl.Objects) != len(jl.Grades) {
+			return nil, fmt.Errorf("%w: list %d has %d objects but %d grades",
+				ErrShape, i, len(jl.Objects), len(jl.Grades))
+		}
+		entries := make([]gradedset.Entry, len(jl.Objects))
+		for r := range jl.Objects {
+			entries[r] = gradedset.Entry{Object: jl.Objects[r], Grade: jl.Grades[r]}
+		}
+		l, err := gradedset.NewListPresorted(entries)
+		if err != nil {
+			return nil, fmt.Errorf("list %d: %w", i, err)
+		}
+		lists[i] = l
+	}
+	return New(lists)
+}

@@ -1,0 +1,363 @@
+package scoredb
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fuzzydb/internal/gradedset"
+)
+
+func mustDB(t *testing.T, grades [][]float64) *Database {
+	t.Helper()
+	db, err := FromMatrix(grades)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestFromMatrixShape(t *testing.T) {
+	db := mustDB(t, [][]float64{
+		{0.9, 0.1, 0.5},
+		{0.2, 0.8, 0.4},
+	})
+	if db.N() != 3 || db.M() != 2 {
+		t.Fatalf("N=%d M=%d, want 3, 2", db.N(), db.M())
+	}
+	if err := db.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	gs, err := db.Grades(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gs[0] != 0.1 || gs[1] != 0.8 {
+		t.Errorf("Grades(1) = %v", gs)
+	}
+}
+
+func TestFromMatrixErrors(t *testing.T) {
+	if _, err := FromMatrix(nil); !errors.Is(err, ErrShape) {
+		t.Errorf("empty matrix: %v", err)
+	}
+	if _, err := FromMatrix([][]float64{{0.5}, {0.2, 0.3}}); err == nil {
+		t.Error("ragged matrix accepted")
+	}
+	if _, err := FromMatrix([][]float64{{1.5}}); err == nil {
+		t.Error("bad grade accepted")
+	}
+}
+
+func TestNewRejectsMissingObjects(t *testing.T) {
+	l1, err := gradedset.NewList([]gradedset.Entry{{Object: 0, Grade: 0.5}, {Object: 2, Grade: 0.1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := gradedset.NewList([]gradedset.Entry{{Object: 0, Grade: 0.5}, {Object: 1, Grade: 0.1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New([]*gradedset.List{l1, l2}); !errors.Is(err, ErrShape) {
+		t.Errorf("database with object gap accepted: %v", err)
+	}
+}
+
+func TestSkeletonExtractionAndConsistency(t *testing.T) {
+	db := mustDB(t, [][]float64{
+		{0.9, 0.1, 0.5},
+		{0.2, 0.8, 0.4},
+	})
+	sk := db.Skeleton()
+	if sk.N() != 3 || sk.M() != 2 {
+		t.Fatalf("skeleton shape %dx%d", sk.M(), sk.N())
+	}
+	wantPerm0 := []int{0, 2, 1}
+	for r, obj := range wantPerm0 {
+		if sk.Perm(0)[r] != obj {
+			t.Errorf("Perm(0)[%d] = %d, want %d", r, sk.Perm(0)[r], obj)
+		}
+	}
+	if err := sk.ConsistentWith(db); err != nil {
+		t.Errorf("extracted skeleton inconsistent: %v", err)
+	}
+	// A wrong-order skeleton must be rejected.
+	bad, err := NewSkeleton([][]int{{1, 0, 2}, {1, 2, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bad.ConsistentWith(db); err == nil {
+		t.Error("inconsistent skeleton accepted")
+	}
+}
+
+func TestNewSkeletonValidation(t *testing.T) {
+	if _, err := NewSkeleton(nil); !errors.Is(err, ErrShape) {
+		t.Error("empty skeleton accepted")
+	}
+	if _, err := NewSkeleton([][]int{{0, 0}}); !errors.Is(err, ErrShape) {
+		t.Error("duplicate entry accepted")
+	}
+	if _, err := NewSkeleton([][]int{{0, 3}}); !errors.Is(err, ErrShape) {
+		t.Error("out-of-range entry accepted")
+	}
+	if _, err := NewSkeleton([][]int{{0, 1}, {0}}); !errors.Is(err, ErrShape) {
+		t.Error("ragged skeleton accepted")
+	}
+}
+
+func TestGeneratorIndependent(t *testing.T) {
+	db, err := Generator{N: 100, M: 3, Law: Uniform{}, Seed: 1}.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.N() != 100 || db.M() != 3 {
+		t.Fatalf("shape %dx%d", db.M(), db.N())
+	}
+	if err := db.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Skeleton().ConsistentWith(db); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	g := Generator{N: 50, M: 2, Law: Uniform{}, Seed: 99}
+	a := g.MustGenerate()
+	b := g.MustGenerate()
+	for i := 0; i < a.M(); i++ {
+		for r := 0; r < a.N(); r++ {
+			if a.List(i).Entry(r) != b.List(i).Entry(r) {
+				t.Fatalf("same seed diverged at list %d rank %d", i, r)
+			}
+		}
+	}
+	c := Generator{N: 50, M: 2, Law: Uniform{}, Seed: 100}.MustGenerate()
+	same := true
+	for r := 0; r < a.N() && same; r++ {
+		if a.List(0).Entry(r).Object != c.List(0).Entry(r).Object {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical permutation")
+	}
+}
+
+func TestGeneratorRejectsBadParams(t *testing.T) {
+	if _, err := (Generator{N: 0, M: 2}).Generate(); !errors.Is(err, ErrShape) {
+		t.Error("N=0 accepted")
+	}
+	if _, err := (Generator{N: 2, M: 0}).Generate(); !errors.Is(err, ErrShape) {
+		t.Error("M=0 accepted")
+	}
+	if _, err := (Generator{N: 2, M: 2, Correlation: 1.5}).Generate(); !errors.Is(err, ErrShape) {
+		t.Error("correlation out of range accepted")
+	}
+}
+
+func TestGeneratorFullCorrelationRanksIdentically(t *testing.T) {
+	db := Generator{N: 200, M: 3, Law: LinearRank{}, Seed: 7, Correlation: 1}.MustGenerate()
+	p0 := db.Skeleton().Perm(0)
+	for i := 1; i < db.M(); i++ {
+		pi := db.Skeleton().Perm(i)
+		for r := range p0 {
+			if p0[r] != pi[r] {
+				t.Fatalf("correlation=1 but perms differ at list %d rank %d", i, r)
+			}
+		}
+	}
+}
+
+func TestGeneratorAntiCorrelationReversesRanking(t *testing.T) {
+	db := Generator{N: 200, M: 2, Law: LinearRank{}, Seed: 8, Correlation: -1}.MustGenerate()
+	p0 := db.Skeleton().Perm(0)
+	p1 := db.Skeleton().Perm(1)
+	n := len(p0)
+	for r := range p0 {
+		if p0[r] != p1[n-1-r] {
+			t.Fatalf("correlation=-1 but perm 1 is not the reverse of perm 0 at rank %d", r)
+		}
+	}
+}
+
+// Property: independent generation yields lists whose rank correlation is
+// near zero, while correlation=0.9 yields strongly aligned ranks.
+func TestGeneratorCorrelationShapesRanks(t *testing.T) {
+	rankOf := func(db *Database, list int) []int {
+		ranks := make([]int, db.N())
+		for r := 0; r < db.N(); r++ {
+			ranks[db.List(list).Entry(r).Object] = r
+		}
+		return ranks
+	}
+	spearman := func(a, b []int) float64 {
+		n := float64(len(a))
+		var d2 float64
+		for i := range a {
+			d := float64(a[i] - b[i])
+			d2 += d * d
+		}
+		return 1 - 6*d2/(n*(n*n-1))
+	}
+	ind := Generator{N: 500, M: 2, Seed: 9}.MustGenerate()
+	rho0 := spearman(rankOf(ind, 0), rankOf(ind, 1))
+	if math.Abs(rho0) > 0.2 {
+		t.Errorf("independent lists have spearman %v, want ~0", rho0)
+	}
+	cor := Generator{N: 500, M: 2, Seed: 9, Correlation: 0.9}.MustGenerate()
+	rho9 := spearman(rankOf(cor, 0), rankOf(cor, 1))
+	if rho9 < 0.6 {
+		t.Errorf("correlated lists have spearman %v, want > 0.6", rho9)
+	}
+	anti := Generator{N: 500, M: 2, Seed: 9, Correlation: -0.9}.MustGenerate()
+	rhoA := spearman(rankOf(anti, 0), rankOf(anti, 1))
+	if rhoA > -0.6 {
+		t.Errorf("anti-correlated lists have spearman %v, want < -0.6", rhoA)
+	}
+}
+
+func TestGradeLaws(t *testing.T) {
+	rngDB := Generator{N: 1000, M: 1, Law: Binary{P: 0.1}, Seed: 3}.MustGenerate()
+	ones := 0
+	for r := 0; r < rngDB.N(); r++ {
+		g := rngDB.List(0).Entry(r).Grade
+		if g != 0 && g != 1 {
+			t.Fatalf("binary law produced grade %v", g)
+		}
+		if g == 1 {
+			ones++
+		}
+	}
+	if ones < 50 || ones > 200 {
+		t.Errorf("binary(0.1) produced %d ones out of 1000", ones)
+	}
+
+	bdb := Generator{N: 500, M: 1, Law: BoundedAbove{Max: 0.9}, Seed: 4}.MustGenerate()
+	if top := bdb.List(0).Entry(0).Grade; top > 0.9 {
+		t.Errorf("bounded law exceeded max: %v", top)
+	}
+
+	ddb := Generator{N: 500, M: 1, Law: Discrete{Levels: 5}, Seed: 5}.MustGenerate()
+	for r := 0; r < ddb.N(); r++ {
+		g := ddb.List(0).Entry(r).Grade
+		scaled := g * 4
+		if math.Abs(scaled-math.Round(scaled)) > 1e-12 {
+			t.Fatalf("discrete law produced off-grid grade %v", g)
+		}
+	}
+
+	ldb := Generator{N: 10, M: 1, Law: LinearRank{}, Seed: 6}.MustGenerate()
+	for r := 0; r < 9; r++ {
+		if ldb.List(0).Entry(r).Grade <= ldb.List(0).Entry(r+1).Grade {
+			t.Fatal("linear-rank grades not strictly decreasing")
+		}
+	}
+}
+
+func TestHardQueryPair(t *testing.T) {
+	db, err := HardQueryPair(100, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.M() != 2 || db.N() != 100 {
+		t.Fatalf("shape %dx%d", db.M(), db.N())
+	}
+	if err := db.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// μ¬Q = 1 − μQ for every object.
+	for obj := 0; obj < db.N(); obj++ {
+		gq, _ := db.List(0).Grade(obj)
+		gn, _ := db.List(1).Grade(obj)
+		if math.Abs(gq+gn-1) > 1e-12 {
+			t.Fatalf("object %d: μQ+μ¬Q = %v", obj, gq+gn)
+		}
+	}
+	// Sorted order of list 1 is the exact reverse of list 0.
+	n := db.N()
+	for r := 0; r < n; r++ {
+		if db.List(0).Entry(r).Object != db.List(1).Entry(n-1-r).Object {
+			t.Fatal("negated list is not the reversed permutation")
+		}
+	}
+	if _, err := HardQueryPair(0, 1); !errors.Is(err, ErrShape) {
+		t.Error("HardQueryPair(0) accepted")
+	}
+}
+
+func TestDuplicated(t *testing.T) {
+	db, err := Duplicated(50, 3, Uniform{}, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < db.M(); i++ {
+		for r := 0; r < db.N(); r++ {
+			if db.List(i).Entry(r) != db.List(0).Entry(r) {
+				t.Fatal("duplicated lists differ")
+			}
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	orig := Generator{N: 40, M: 3, Law: Discrete{Levels: 4}, Seed: 13}.MustGenerate()
+	var buf bytes.Buffer
+	if err := orig.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != orig.N() || got.M() != orig.M() {
+		t.Fatalf("shape changed: %dx%d", got.M(), got.N())
+	}
+	for i := 0; i < orig.M(); i++ {
+		for r := 0; r < orig.N(); r++ {
+			if got.List(i).Entry(r) != orig.List(i).Entry(r) {
+				t.Fatalf("entry changed at list %d rank %d", i, r)
+			}
+		}
+	}
+}
+
+func TestReadJSONRejectsCorrupt(t *testing.T) {
+	cases := []string{
+		``,
+		`{`,
+		`{"n":2,"lists":[{"objects":[0,1],"grades":[0.5]}]}`,     // ragged
+		`{"n":2,"lists":[{"objects":[0,1],"grades":[0.1,0.5]}]}`, // unsorted
+		`{"n":2,"lists":[{"objects":[0,0],"grades":[0.5,0.5]}]}`, // duplicate
+		`{"n":2,"lists":[{"objects":[0,1],"grades":[0.5,2.0]}]}`, // bad grade
+	}
+	for _, c := range cases {
+		if _, err := ReadJSON(bytes.NewReader([]byte(c))); err == nil {
+			t.Errorf("corrupt input accepted: %q", c)
+		}
+	}
+}
+
+// Property: generated databases are always consistent with their own
+// skeletons and pass validation, across laws and correlations.
+func TestGeneratorAlwaysValidProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		laws := []GradeLaw{Uniform{}, Binary{P: 0.3}, Discrete{Levels: 3}, BoundedAbove{Max: 0.7}, LinearRank{}}
+		law := laws[int(seed%uint64(len(laws)))]
+		corr := float64(int(seed%21)-10) / 10 // -1.0 .. 1.0
+		db, err := Generator{N: 30, M: 3, Law: law, Seed: seed, Correlation: corr}.Generate()
+		if err != nil {
+			return false
+		}
+		if db.Validate() != nil {
+			return false
+		}
+		return db.Skeleton().ConsistentWith(db) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

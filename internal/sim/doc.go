@@ -1,0 +1,15 @@
+// Package sim is the evaluation harness: it regenerates, as measured
+// tables, every quantitative claim of the paper's analysis sections. The
+// paper is theoretical — its "evaluation" is Theorems 4.2–7.1 plus
+// explicit numeric remarks — so each experiment realizes the workload
+// model of Section 5 (independent uniformly-permuted lists, or the
+// correlated/bounded variants of Sections 7 and 9), measures exact
+// middleware costs through the metered access layer, and reports the
+// quantity the theorem bounds.
+//
+// The experiment index (IDs E1–E16) is documented in DESIGN.md and
+// EXPERIMENTS.md; each experiment also has a corresponding benchmark in
+// the repository root's bench_test.go.
+//
+// All experiments are deterministic given Config.Seed.
+package sim

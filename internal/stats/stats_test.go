@@ -1,0 +1,133 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if m := Mean(xs); m != 2.5 {
+		t.Errorf("Mean = %v, want 2.5", m)
+	}
+	if v := Variance(xs); v != 1.25 {
+		t.Errorf("Variance = %v, want 1.25", v)
+	}
+	if Mean(nil) != 0 || Variance(nil) != 0 || Variance([]float64{5}) != 0 {
+		t.Error("empty/singleton edge cases wrong")
+	}
+	if got := StdDev(xs); math.Abs(got-math.Sqrt(1.25)) > 1e-12 {
+		t.Errorf("StdDev = %v", got)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	if q := Quantile(xs, 0); q != 1 {
+		t.Errorf("Q0 = %v", q)
+	}
+	if q := Quantile(xs, 1); q != 4 {
+		t.Errorf("Q1 = %v", q)
+	}
+	if q := Quantile(xs, 0.5); q != 2.5 {
+		t.Errorf("median = %v, want 2.5", q)
+	}
+	if q := Quantile(nil, 0.5); q != 0 {
+		t.Errorf("empty quantile = %v", q)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	if _, err := Summarize(nil); !errors.Is(err, ErrEmpty) {
+		t.Error("Summarize(nil) should fail")
+	}
+	s, err := Summarize([]float64{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Errorf("Summary = %+v", s)
+	}
+}
+
+func TestECDF(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if p := ECDF(xs, 2.5); p != 0.5 {
+		t.Errorf("ECDF(2.5) = %v", p)
+	}
+	if p := ECDF(xs, 0); p != 0 {
+		t.Errorf("ECDF(0) = %v", p)
+	}
+	if p := ECDF(xs, 10); p != 1 {
+		t.Errorf("ECDF(10) = %v", p)
+	}
+	if p := ECDF(nil, 1); p != 0 {
+		t.Errorf("ECDF(empty) = %v", p)
+	}
+}
+
+func TestFitPowerExact(t *testing.T) {
+	// y = 3 x^0.5 exactly.
+	xs := []float64{1, 4, 9, 16, 100}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3 * math.Sqrt(x)
+	}
+	fit, err := FitPower(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Exponent-0.5) > 1e-9 {
+		t.Errorf("Exponent = %v, want 0.5", fit.Exponent)
+	}
+	if math.Abs(fit.Coeff-3) > 1e-9 {
+		t.Errorf("Coeff = %v, want 3", fit.Coeff)
+	}
+	if fit.R2 < 0.999999 {
+		t.Errorf("R2 = %v, want ~1", fit.R2)
+	}
+}
+
+func TestFitPowerSkipsNonPositive(t *testing.T) {
+	xs := []float64{0, -1, 1, 2, 4}
+	ys := []float64{5, 5, 2, 4, 8}
+	fit, err := FitPower(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Exponent-1) > 1e-9 {
+		t.Errorf("Exponent = %v, want 1 (y=2x)", fit.Exponent)
+	}
+	if _, err := FitPower([]float64{1}, []float64{1}); !errors.Is(err, ErrEmpty) {
+		t.Error("single point should fail")
+	}
+	if _, err := FitPower([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+}
+
+// Property: fitting noisy power-law data recovers the exponent within a
+// loose tolerance.
+func TestFitPowerNoisyProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 51))
+		exp := 0.25 + rng.Float64() // 0.25..1.25
+		var xs, ys []float64
+		for x := 10.0; x <= 1e5; x *= 2 {
+			noise := 0.95 + 0.1*rng.Float64()
+			xs = append(xs, x)
+			ys = append(ys, 2*math.Pow(x, exp)*noise)
+		}
+		fit, err := FitPower(xs, ys)
+		if err != nil {
+			return false
+		}
+		return math.Abs(fit.Exponent-exp) < 0.05
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

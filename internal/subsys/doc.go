@@ -1,0 +1,21 @@
+// Package subsys models the subsystems a Garlic-style middleware talks
+// to, and the only two ways it may talk to them (Section 4):
+//
+//   - sorted access: the subsystem streams its graded result set in
+//     descending grade order, one object at a time;
+//   - random access: the middleware asks for the grade of one given
+//     object.
+//
+// Source is the minimal interface exposing both modes over a materialized
+// result. Counted wraps a Source with the bookkeeping the cost model of
+// Section 5 needs: it meters every access, memoizes grades the middleware
+// has already seen (a repeated request costs nothing, matching the
+// paper's "the grade has already been determined, so random access is not
+// needed"), and exposes the sequential cursor semantics of sorted access.
+//
+// The package also provides realistic stand-ins for the subsystems the
+// paper names: a relational predicate engine (0/1 grades, the
+// Artist="Beatles" conjunct), a color-histogram similarity engine in the
+// role of QBIC (AlbumColor="red"), and a token-overlap text scorer. Each
+// evaluates an atomic query X = t into a Source.
+package subsys

@@ -1,0 +1,187 @@
+package subsys
+
+import (
+	"fuzzydb/internal/cost"
+	"fuzzydb/internal/gradedset"
+)
+
+// Source is a subsystem's materialized answer to one atomic query,
+// supporting the two access modes of Section 4. Rank 0 is the best match.
+// Grade returns 0 for objects the source does not grade (a predicate that
+// is false grades 0).
+type Source interface {
+	// Len returns the number of graded objects.
+	Len() int
+	// Entry performs sorted access: the entry at the given rank.
+	Entry(rank int) gradedset.Entry
+	// Grade performs random access: the grade of the given object.
+	Grade(obj int) float64
+}
+
+// ListSource adapts a gradedset.List to the Source interface.
+type ListSource struct {
+	list *gradedset.List
+}
+
+// FromList wraps a graded list as a Source.
+func FromList(l *gradedset.List) ListSource { return ListSource{list: l} }
+
+// Len implements Source.
+func (s ListSource) Len() int { return s.list.Len() }
+
+// Entry implements Source.
+func (s ListSource) Entry(rank int) gradedset.Entry { return s.list.Entry(rank) }
+
+// Grade implements Source; absent objects grade 0.
+func (s ListSource) Grade(obj int) float64 {
+	g, err := s.list.Grade(obj)
+	if err != nil {
+		return 0
+	}
+	return g
+}
+
+// Counted wraps a Source with access metering and memoization. It is the
+// object algorithms actually touch: every grade that reaches an algorithm
+// has been paid for exactly once, so the counters are the S and R of the
+// Section 5 cost model by construction.
+//
+// Sorted access is sequential within the subsystem — to see rank r the
+// middleware must have received ranks 0…r — but the middleware caches
+// everything it has received, so re-reading an already-delivered rank
+// (for example when a later phase of a plan rescans a prefix) costs
+// nothing. The sorted cost of a list is therefore its high-water mark:
+// the deepest prefix ever requested.
+type Counted struct {
+	src     Source
+	fetched int // high-water mark: entries delivered by sorted access
+	random  int // R for this list
+	known   map[int]float64
+}
+
+// Count wraps src for metered access.
+func Count(src Source) *Counted {
+	return &Counted{src: src, known: make(map[int]float64)}
+}
+
+// CountAll wraps each source of a list.
+func CountAll(srcs []Source) []*Counted {
+	out := make([]*Counted, len(srcs))
+	for i, s := range srcs {
+		out[i] = Count(s)
+	}
+	return out
+}
+
+// Len returns the number of graded objects.
+func (c *Counted) Len() int { return c.src.Len() }
+
+// Depth returns the high-water mark of sorted access.
+func (c *Counted) Depth() int { return c.fetched }
+
+// EntryAt returns the entry at the given rank via sorted access,
+// advancing (and paying for) the prefix up to that rank if it has not
+// been delivered before. ok is false beyond the end of the list.
+func (c *Counted) EntryAt(rank int) (e gradedset.Entry, ok bool) {
+	if rank < 0 || rank >= c.src.Len() {
+		return gradedset.Entry{}, false
+	}
+	for c.fetched <= rank {
+		got := c.src.Entry(c.fetched)
+		c.known[got.Object] = got.Grade
+		c.fetched++
+	}
+	return c.src.Entry(rank), true
+}
+
+// Grade performs random access for obj. If the grade is already known to
+// the middleware — from earlier sorted or random access on this list —
+// the cached value is returned at no cost, per Section 4's observation
+// that no access is needed for objects already seen.
+func (c *Counted) Grade(obj int) float64 {
+	if g, ok := c.known[obj]; ok {
+		return g
+	}
+	g := c.src.Grade(obj)
+	c.random++
+	c.known[obj] = g
+	return g
+}
+
+// Known reports the grade of obj if it has already been paid for.
+func (c *Counted) Known(obj int) (float64, bool) {
+	g, ok := c.known[obj]
+	return g, ok
+}
+
+// Seen returns every object whose grade in this list is known, in
+// unspecified order.
+func (c *Counted) Seen() []int {
+	objs := make([]int, 0, len(c.known))
+	for obj := range c.known {
+		objs = append(objs, obj)
+	}
+	return objs
+}
+
+// Cost returns this list's access tallies so far.
+func (c *Counted) Cost() cost.Cost {
+	return cost.Cost{Sorted: c.fetched, Random: c.random}
+}
+
+// TotalCost sums the tallies across lists.
+func TotalCost(cs []*Counted) cost.Cost {
+	var total cost.Cost
+	for _, c := range cs {
+		total = total.Add(c.Cost())
+	}
+	return total
+}
+
+// Cursor is one consumer's position in a list's sorted stream. Several
+// cursors (phases of a plan, pages of a paginated query) can read the
+// same Counted list; overlapping prefixes are paid for once.
+type Cursor struct {
+	list *Counted
+	pos  int
+}
+
+// NewCursor returns a cursor at the top of the list.
+func NewCursor(list *Counted) *Cursor { return &Cursor{list: list} }
+
+// Cursors returns one fresh cursor per list.
+func Cursors(lists []*Counted) []*Cursor {
+	out := make([]*Cursor, len(lists))
+	for i, l := range lists {
+		out[i] = NewCursor(l)
+	}
+	return out
+}
+
+// Next returns the next entry in descending grade order, or ok = false at
+// the end of the list.
+func (cu *Cursor) Next() (e gradedset.Entry, ok bool) {
+	e, ok = cu.list.EntryAt(cu.pos)
+	if ok {
+		cu.pos++
+	}
+	return e, ok
+}
+
+// Pos returns how many entries this cursor has consumed.
+func (cu *Cursor) Pos() int { return cu.pos }
+
+// LastGrade returns the grade of the most recent entry this cursor
+// consumed: the smallest grade it has seen, since grades arrive in
+// descending order. Before any read it returns 1, the neutral upper
+// bound.
+func (cu *Cursor) LastGrade() float64 {
+	if cu.pos == 0 {
+		return 1
+	}
+	e, _ := cu.list.EntryAt(cu.pos - 1)
+	return e.Grade
+}
+
+// Exhausted reports whether the cursor has consumed the whole list.
+func (cu *Cursor) Exhausted() bool { return cu.pos >= cu.list.Len() }

@@ -1,0 +1,77 @@
+package subsys
+
+import (
+	"fmt"
+
+	"fuzzydb/internal/gradedset"
+)
+
+// Validated wraps a Source with contract checking: sorted access must
+// deliver grades in non-increasing order with no duplicate objects, every
+// grade (from either access mode) must lie in [0, 1], and random access
+// must agree with what sorted access previously revealed. A subsystem
+// that violates the contract would silently corrupt top-k answers — the
+// algorithms' correctness proofs all assume sorted order — so violations
+// panic with a diagnostic rather than propagate bad grades.
+//
+// Use it when integrating an untrusted or freshly written subsystem:
+//
+//	src := subsys.Validated(mySubsystemResult)
+type validatedSource struct {
+	src       Source
+	lastRank  int
+	lastGrade float64
+	seenAt    map[int]int     // object -> first rank delivered
+	grades    map[int]float64 // object -> grade from sorted access
+}
+
+// Validated wraps src with contract checking.
+func Validated(src Source) Source {
+	return &validatedSource{
+		src:       src,
+		lastRank:  -1,
+		lastGrade: 1,
+		seenAt:    make(map[int]int),
+		grades:    make(map[int]float64),
+	}
+}
+
+// Len implements Source.
+func (v *validatedSource) Len() int { return v.src.Len() }
+
+// Entry implements Source, checking the sorted-access contract.
+func (v *validatedSource) Entry(rank int) gradedset.Entry {
+	e := v.src.Entry(rank)
+	if !gradedset.ValidGrade(e.Grade) {
+		panic(fmt.Sprintf("subsys: source delivered invalid grade %v at rank %d", e.Grade, rank))
+	}
+	if prev, dup := v.seenAt[e.Object]; dup && prev != rank {
+		panic(fmt.Sprintf("subsys: source delivered object %d at both rank %d and rank %d", e.Object, prev, rank))
+	}
+	// Order checking applies to the contiguous prefix the middleware
+	// actually walks (sorted access is sequential).
+	if rank == v.lastRank+1 {
+		if e.Grade > v.lastGrade {
+			panic(fmt.Sprintf("subsys: source out of order: rank %d grade %v follows grade %v",
+				rank, e.Grade, v.lastGrade))
+		}
+		v.lastRank = rank
+		v.lastGrade = e.Grade
+	}
+	v.seenAt[e.Object] = rank
+	v.grades[e.Object] = e.Grade
+	return e
+}
+
+// Grade implements Source, checking consistency with sorted access.
+func (v *validatedSource) Grade(obj int) float64 {
+	g := v.src.Grade(obj)
+	if !gradedset.ValidGrade(g) {
+		panic(fmt.Sprintf("subsys: source delivered invalid grade %v for object %d", g, obj))
+	}
+	if sg, ok := v.grades[obj]; ok && sg != g {
+		panic(fmt.Sprintf("subsys: source grades object %d as %v under random access but %v under sorted access",
+			obj, g, sg))
+	}
+	return g
+}

@@ -1,0 +1,154 @@
+package subsys
+
+import (
+	"strings"
+	"testing"
+
+	"fuzzydb/internal/gradedset"
+)
+
+// brokenSource is a configurable misbehaving subsystem for failure
+// injection.
+type brokenSource struct {
+	entries    []gradedset.Entry
+	badGradeAt int    // rank whose grade is corrupted to 1.5 (-1 = off)
+	swapRanks  [2]int // two ranks delivered out of order (equal = off)
+	dupAt      int    // rank that repeats the object of rank 0 (-1 = off)
+	lieOn      int    // object whose random-access grade disagrees (-1 = off)
+}
+
+func (b *brokenSource) Len() int { return len(b.entries) }
+
+func (b *brokenSource) Entry(rank int) gradedset.Entry {
+	e := b.entries[rank]
+	if rank == b.badGradeAt {
+		e.Grade = 1.5
+	}
+	if b.swapRanks[0] != b.swapRanks[1] {
+		if rank == b.swapRanks[0] {
+			e = b.entries[b.swapRanks[1]]
+		} else if rank == b.swapRanks[1] {
+			e = b.entries[b.swapRanks[0]]
+		}
+	}
+	if rank == b.dupAt {
+		e.Object = b.entries[0].Object
+	}
+	return e
+}
+
+func (b *brokenSource) Grade(obj int) float64 {
+	if obj == b.lieOn {
+		return 0.123
+	}
+	for _, e := range b.entries {
+		if e.Object == obj {
+			return e.Grade
+		}
+	}
+	return 0
+}
+
+func healthyEntries() []gradedset.Entry {
+	return []gradedset.Entry{
+		{Object: 3, Grade: 0.9},
+		{Object: 1, Grade: 0.7},
+		{Object: 0, Grade: 0.4},
+		{Object: 2, Grade: 0.2},
+	}
+}
+
+func newBroken() *brokenSource {
+	return &brokenSource{entries: healthyEntries(), badGradeAt: -1, dupAt: -1, lieOn: -1}
+}
+
+func mustPanic(t *testing.T, wantSubstr string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Errorf("no panic; wanted one mentioning %q", wantSubstr)
+			return
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, wantSubstr) {
+			t.Errorf("panic %v does not mention %q", r, wantSubstr)
+		}
+	}()
+	f()
+}
+
+func TestValidatedPassesHealthySource(t *testing.T) {
+	v := Validated(newBroken())
+	for r := 0; r < v.Len(); r++ {
+		v.Entry(r)
+	}
+	if g := v.Grade(1); g != 0.7 {
+		t.Errorf("Grade(1) = %v", g)
+	}
+	// Re-reading a rank is fine.
+	if e := v.Entry(2); e.Object != 0 {
+		t.Errorf("re-read Entry(2) = %v", e)
+	}
+}
+
+func TestValidatedCatchesBadGrade(t *testing.T) {
+	b := newBroken()
+	b.badGradeAt = 1
+	v := Validated(b)
+	v.Entry(0)
+	mustPanic(t, "invalid grade", func() { v.Entry(1) })
+}
+
+func TestValidatedCatchesOutOfOrder(t *testing.T) {
+	b := newBroken()
+	b.swapRanks = [2]int{1, 3} // rank 1 now has grade 0.2, rank 3 grade 0.7
+	v := Validated(b)
+	v.Entry(0)
+	v.Entry(1) // grade 0.2: fine, descending so far
+	mustPanic(t, "out of order", func() {
+		v.Entry(2) // grade 0.4 after 0.2: violation
+	})
+}
+
+func TestValidatedCatchesDuplicateObject(t *testing.T) {
+	b := newBroken()
+	b.dupAt = 2 // rank 2 repeats the object of rank 0
+	v := Validated(b)
+	v.Entry(0)
+	v.Entry(1)
+	mustPanic(t, "at both rank", func() { v.Entry(2) })
+}
+
+func TestValidatedCatchesInconsistentRandomAccess(t *testing.T) {
+	b := newBroken()
+	b.lieOn = 3 // object 3's random grade disagrees with sorted
+	v := Validated(b)
+	v.Entry(0) // reveals object 3 at 0.9
+	mustPanic(t, "under random access", func() { v.Grade(3) })
+}
+
+func TestValidatedCatchesBadRandomGrade(t *testing.T) {
+	b := newBroken()
+	v := Validated(b)
+	b.entries[0].Grade = 1.5 // corrupt before any sorted access
+	mustPanic(t, "invalid grade", func() { v.Grade(3) })
+}
+
+// The counting layer composes with validation: a full A0-style walk over
+// a validated healthy source behaves identically.
+func TestValidatedUnderCounted(t *testing.T) {
+	v := Count(Validated(newBroken()))
+	cu := NewCursor(v)
+	for {
+		if _, ok := cu.Next(); !ok {
+			break
+		}
+	}
+	if v.Cost().Sorted != 4 {
+		t.Errorf("cost = %v", v.Cost())
+	}
+	if g := v.Grade(0); g != 0.4 {
+		t.Errorf("Grade(0) = %v", g)
+	}
+}
