@@ -1,0 +1,133 @@
+// Command benchjson runs the experiment benchmarks and emits a JSON
+// snapshot of the performance trajectory: ns/op and middleware-cost/op
+// for each benchmark, plus environment metadata. Successive PRs commit
+// the snapshot (BENCH_PR<n>.json) so regressions in either wall-clock or
+// Section 5 access counts are visible in review diffs.
+//
+// Usage:
+//
+//	go run ./cmd/benchjson [-bench regexp] [-benchtime 2s] [-o BENCH.json]
+//
+// It shells out to `go test -bench` on the repository root package and
+// parses the standard benchmark output, so the numbers are exactly what
+// a developer sees locally.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Measurement is one benchmark's numbers.
+type Measurement struct {
+	Name    string  `json:"name"`
+	Iters   int64   `json:"iters"`
+	NsPerOp float64 `json:"ns_per_op"`
+	// Metrics holds every custom b.ReportMetric value, keyed by unit
+	// (middleware-cost/op, weighted-cost/op, …).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Snapshot is the emitted document.
+type Snapshot struct {
+	GeneratedAt string        `json:"generated_at"`
+	GoVersion   string        `json:"go_version"`
+	GOOS        string        `json:"goos"`
+	GOARCH      string        `json:"goarch"`
+	Bench       string        `json:"bench_regexp"`
+	BenchTime   string        `json:"benchtime"`
+	Results     []Measurement `json:"results"`
+}
+
+// benchLine matches e.g.
+// BenchmarkE1_A0_SqrtN/N=4096-8   1024   1167 ns/op   853 middleware-cost/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
+
+func main() {
+	// The default matches the exact benchmarks tracked in BENCH_PR<n>.json
+	// (anchored full names: a bare "BenchmarkE1" would also match E10-E16).
+	bench := flag.String("bench", "BenchmarkE1_A0_SqrtN|BenchmarkE2_A0_GeneralM", "benchmarks to run (go test -bench regexp)")
+	benchtime := flag.String("benchtime", "1s", "go test -benchtime value")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	cmd := exec.Command("go", "test", "-run", "^$", "-bench", *bench, "-benchtime", *benchtime, ".")
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: go test failed: %v\n", err)
+		os.Exit(1)
+	}
+
+	snap := Snapshot{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		Bench:       *bench,
+		BenchTime:   *benchtime,
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		meas := Measurement{Name: trimCPUSuffix(m[1])}
+		meas.Iters, _ = strconv.ParseInt(m[2], 10, 64)
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			unit := fields[i+1]
+			if unit == "ns/op" {
+				meas.NsPerOp = v
+				continue
+			}
+			if meas.Metrics == nil {
+				meas.Metrics = make(map[string]float64)
+			}
+			meas.Metrics[unit] = v
+		}
+		snap.Results = append(snap.Results, meas)
+	}
+	if len(snap.Results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines parsed")
+		os.Exit(1)
+	}
+
+	doc, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	doc = append(doc, '\n')
+	if *out == "" {
+		os.Stdout.Write(doc)
+		return
+	}
+	if err := os.WriteFile(*out, doc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(snap.Results))
+}
+
+// trimCPUSuffix drops the -<GOMAXPROCS> suffix go test appends.
+func trimCPUSuffix(name string) string {
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}

@@ -1,0 +1,3 @@
+module fuzzydb
+
+go 1.22

@@ -57,15 +57,20 @@ func (a A0) TopK(lists []*subsys.Counted, t agg.Func, k int) ([]Result, error) {
 		return nil, ErrNotMonotone
 	}
 
-	seen, _ := a.sortedPhase(lists, k)
+	sc := acquireScratch(lists)
+	defer sc.release()
+	a.sortedPhase(sc, lists, k)
 
 	// Random access phase: complete every seen object's grade vector.
 	// Grades already delivered by sorted access are served from the
 	// middleware's cache at no cost.
-	entries := make([]gradedset.Entry, 0, len(seen))
-	for obj := range seen {
-		entries = append(entries, gradedset.Entry{Object: obj, Grade: t.Apply(gradesFor(lists, obj))})
+	entries := sc.entriesBuf()
+	buf := sc.gradesBuf(len(lists))
+	for _, obj := range sc.objects() {
+		gradesInto(buf, lists, obj)
+		entries = append(entries, gradedset.Entry{Object: obj, Grade: t.Apply(buf)})
 	}
+	sc.keepEntries(entries)
 
 	// Computation phase.
 	return topKResults(entries, k), nil
@@ -73,15 +78,13 @@ func (a A0) TopK(lists []*subsys.Counted, t agg.Func, k int) ([]Result, error) {
 
 // sortedPhase runs round-robin sorted access until the intersection of
 // the per-list prefixes holds at least k objects (or the lists are
-// exhausted, which by k ≤ N also yields k matches). It returns the set of
-// objects seen under sorted access in any list, and the set of matches L.
-func (a A0) sortedPhase(lists []*subsys.Counted, k int) (seen map[int]bool, matches map[int]bool) {
-	m := len(lists)
+// exhausted, which by k ≤ N also yields k matches). Afterwards sc's
+// touched set holds every object seen under sorted access in any list.
+func (a A0) sortedPhase(sc *scratch, lists []*subsys.Counted, k int) {
+	m := int32(len(lists))
 	cursors := subsys.Cursors(lists)
-	seen = make(map[int]bool)
-	matches = make(map[int]bool)
-	counts := make(map[int]int)
-	for len(matches) < k {
+	matches := 0
+	for matches < k {
 		exhausted := true
 		for _, cu := range cursors {
 			e, ok := cu.Next()
@@ -89,12 +92,10 @@ func (a A0) sortedPhase(lists []*subsys.Counted, k int) (seen map[int]bool, matc
 				continue
 			}
 			exhausted = false
-			seen[e.Object] = true
-			counts[e.Object]++
-			if counts[e.Object] == m {
-				matches[e.Object] = true
-				if a.MidRoundStop && len(matches) >= k {
-					return seen, matches
+			if sc.visit(e.Object) == m {
+				matches++
+				if a.MidRoundStop && matches >= k {
+					return
 				}
 			}
 		}
@@ -102,7 +103,6 @@ func (a A0) sortedPhase(lists []*subsys.Counted, k int) (seen map[int]bool, matc
 			break
 		}
 	}
-	return seen, matches
 }
 
 // A0Prime is algorithm A₀′ of Section 4: the refinement for the standard
@@ -133,12 +133,14 @@ func (a A0Prime) TopK(lists []*subsys.Counted, t agg.Func, k int) ([]Result, err
 	}
 
 	// Sorted access phase, tracking per-list prefix order so the i₀
-	// prefix can be scanned afterwards.
+	// prefix can be scanned afterwards. Matches are collected in
+	// discovery order (which round-robin makes deterministic).
 	m := len(lists)
+	sc := acquireScratch(lists)
+	defer sc.release()
 	cursors := subsys.Cursors(lists)
 	prefixes := make([][]gradedset.Entry, m)
-	counts := make(map[int]int)
-	matches := make(map[int]bool)
+	var matches []int
 	for len(matches) < k {
 		exhausted := true
 		stop := false
@@ -149,9 +151,8 @@ func (a A0Prime) TopK(lists []*subsys.Counted, t agg.Func, k int) ([]Result, err
 			}
 			exhausted = false
 			prefixes[i] = append(prefixes[i], e)
-			counts[e.Object]++
-			if counts[e.Object] == m {
-				matches[e.Object] = true
+			if sc.visit(e.Object) == int32(m) {
+				matches = append(matches, e.Object)
 				if a.MidRoundStop && len(matches) >= k {
 					stop = true
 					break
@@ -165,10 +166,11 @@ func (a A0Prime) TopK(lists []*subsys.Counted, t agg.Func, k int) ([]Result, err
 
 	// Locate x₀ (least overall grade among matches) and i₀ (a list where
 	// x₀ attains it). Matches were seen in every list, so their grade
-	// vectors are already known and free.
+	// vectors are already known and free. Ties on g₀ resolve to the
+	// earliest (match, list) pair in discovery order, deterministically.
 	g0 := 2.0
 	i0 := 0
-	for obj := range matches {
+	for _, obj := range matches {
 		for j, l := range lists {
 			g, _ := l.Known(obj)
 			if g < g0 {
@@ -179,13 +181,16 @@ func (a A0Prime) TopK(lists []*subsys.Counted, t agg.Func, k int) ([]Result, err
 	}
 
 	// Candidates: members of the i₀ prefix graded at least g₀ there.
-	entries := make([]gradedset.Entry, 0, len(prefixes[i0]))
+	entries := sc.entriesBuf()
+	buf := sc.gradesBuf(m)
 	for _, e := range prefixes[i0] {
 		if e.Grade < g0 {
 			continue
 		}
-		entries = append(entries, gradedset.Entry{Object: e.Object, Grade: t.Apply(gradesFor(lists, e.Object))})
+		gradesInto(buf, lists, e.Object)
+		entries = append(entries, gradedset.Entry{Object: e.Object, Grade: t.Apply(buf)})
 	}
+	sc.keepEntries(entries)
 
 	return topKResults(entries, k), nil
 }

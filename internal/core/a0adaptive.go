@@ -38,10 +38,10 @@ func (a A0Adaptive) TopK(lists []*subsys.Counted, t agg.Func, k int) ([]Result, 
 	if _, err := checkArgs(lists, k); err != nil {
 		return nil, err
 	}
-	m := len(lists)
+	m := int32(len(lists))
 	cursors := subsys.Cursors(lists)
-	seen := make(map[int]bool)
-	counts := make(map[int]int)
+	sc := acquireScratch(lists)
+	defer sc.release()
 	matches := 0
 	for matches < k {
 		// Pick the live cursor with the highest frontier grade; ties go
@@ -66,16 +66,17 @@ func (a A0Adaptive) TopK(lists []*subsys.Counted, t agg.Func, k int) ([]Result, 
 		if !ok {
 			continue
 		}
-		seen[e.Object] = true
-		counts[e.Object]++
-		if counts[e.Object] == m {
+		if sc.visit(e.Object) == m {
 			matches++
 		}
 	}
 
-	entries := make([]gradedset.Entry, 0, len(seen))
-	for obj := range seen {
-		entries = append(entries, gradedset.Entry{Object: obj, Grade: t.Apply(gradesFor(lists, obj))})
+	entries := sc.entriesBuf()
+	buf := sc.gradesBuf(len(lists))
+	for _, obj := range sc.objects() {
+		gradesInto(buf, lists, obj)
+		entries = append(entries, gradedset.Entry{Object: obj, Grade: t.Apply(buf)})
 	}
+	sc.keepEntries(entries)
 	return topKResults(entries, k), nil
 }

@@ -32,22 +32,20 @@ func (B0) TopK(lists []*subsys.Counted, t agg.Func, k int) ([]Result, error) {
 	if _, err := checkArgs(lists, k); err != nil {
 		return nil, err
 	}
-	h := make(map[int]float64)
+	sc := acquireScratch(lists)
+	defer sc.release()
 	for _, l := range lists {
 		cu := subsys.NewCursor(l)
-		for j := 0; j < k; j++ {
-			e, ok := cu.Next()
-			if !ok {
-				break
-			}
-			if g, seen := h[e.Object]; !seen || e.Grade > g {
-				h[e.Object] = e.Grade
-			}
+		// The top-k prefix is wanted unconditionally, so fetch it as one
+		// batched sorted access (still exactly k units of cost).
+		for _, e := range cu.NextBatch(k) {
+			sc.offerMax(e.Object, e.Grade)
 		}
 	}
-	entries := make([]gradedset.Entry, 0, len(h))
-	for obj, g := range h {
-		entries = append(entries, gradedset.Entry{Object: obj, Grade: g})
+	entries := sc.entriesBuf()
+	for _, obj := range sc.objects() {
+		entries = append(entries, gradedset.Entry{Object: obj, Grade: sc.valOf(obj)})
 	}
+	sc.keepEntries(entries)
 	return topKResults(entries, k), nil
 }

@@ -1,0 +1,255 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"fuzzydb/internal/agg"
+	"fuzzydb/internal/cost"
+	"fuzzydb/internal/gradedset"
+	"fuzzydb/internal/scoredb"
+	"fuzzydb/internal/subsys"
+)
+
+// opaqueSource forwards a Source while hiding its UniverseHinter, forcing
+// the middleware onto the map-backed fallback for both the Counted memo
+// and the algorithms' scratch state. Access behavior is untouched, so a
+// dense-path evaluation and an opaque-path evaluation of the same
+// database must agree bit for bit — in results and in Section 5 costs.
+type opaqueSource struct{ src subsys.Source }
+
+func (o opaqueSource) Len() int                             { return o.src.Len() }
+func (o opaqueSource) Entry(rank int) gradedset.Entry       { return o.src.Entry(rank) }
+func (o opaqueSource) Entries(lo, hi int) []gradedset.Entry { return o.src.Entries(lo, hi) }
+func (o opaqueSource) Grade(obj int) float64                { return o.src.Grade(obj) }
+
+func opaqueSourcesOf(db *scoredb.Database) []subsys.Source {
+	srcs := sourcesOf(db)
+	for i := range srcs {
+		srcs[i] = opaqueSource{src: srcs[i]}
+	}
+	return srcs
+}
+
+// requireIdentical asserts two evaluations agree exactly: same objects,
+// same grades (==, not within epsilon), same access tallies.
+func requireIdentical(t *testing.T, label string, rDense, rMap []Result, cDense, cMap cost.Cost) {
+	t.Helper()
+	if cDense != cMap {
+		t.Errorf("%s: dense cost %v != map cost %v", label, cDense, cMap)
+	}
+	if len(rDense) != len(rMap) {
+		t.Fatalf("%s: dense returned %d results, map %d", label, len(rDense), len(rMap))
+	}
+	for i := range rDense {
+		if rDense[i] != rMap[i] {
+			t.Errorf("%s: result %d differs: dense %v, map %v", label, i, rDense[i], rMap[i])
+		}
+	}
+}
+
+// TestDenseFastPathMatchesMapFallback is the tentpole invariant: the
+// dense-universe fast path is a pure mechanical speedup. Across the
+// algorithm family, grade laws, arities, and randomized k, it must return
+// byte-identical results and identical cost.Cost tallies to the
+// map-backed path.
+func TestDenseFastPathMatchesMapFallback(t *testing.T) {
+	laws := map[string]scoredb.GradeLaw{
+		"Uniform":      scoredb.Uniform{},
+		"Binary":       scoredb.Binary{P: 0.08},
+		"BoundedAbove": scoredb.BoundedAbove{Max: 0.8},
+	}
+	algs := []struct {
+		alg Algorithm
+		f   agg.Func
+	}{
+		{A0{}, agg.Min},
+		{A0{MidRoundStop: true}, agg.Min},
+		{A0{}, agg.ArithmeticMean},
+		{A0Prime{}, agg.Min},
+		{A0Prime{MidRoundStop: true}, agg.Min},
+		{A0Adaptive{}, agg.Min},
+		{TA{}, agg.Min},
+		{TA{}, agg.AlgebraicProduct},
+		{NRA{}, agg.Min},
+		{B0{}, agg.Max},
+		{NaiveSorted{}, agg.Min},
+		{NaiveRandom{}, agg.Min},
+		{OrderStat{}, agg.Median},
+	}
+	rng := rand.New(rand.NewSource(7))
+	for lawName, law := range laws {
+		for m := 2; m <= 5; m++ {
+			n := 200 + rng.Intn(400)
+			db := scoredb.Generator{N: n, M: m, Law: law, Seed: uint64(100*m) + 7}.MustGenerate()
+			for _, tc := range algs {
+				k := 1 + rng.Intn(n)
+				label := fmt.Sprintf("%s/m=%d/%s-%s/k=%d", lawName, m, tc.alg.Name(), tc.f.Name(), k)
+				rDense, cDense, err := Evaluate(tc.alg, sourcesOf(db), tc.f, k)
+				if err != nil {
+					t.Fatalf("%s: dense: %v", label, err)
+				}
+				rMap, cMap, err := Evaluate(tc.alg, opaqueSourcesOf(db), tc.f, k)
+				if err != nil {
+					t.Fatalf("%s: map: %v", label, err)
+				}
+				requireIdentical(t, label, rDense, rMap, cDense, cMap)
+			}
+		}
+	}
+}
+
+// TestDenseFastPathUllman covers the two-list-only member of the family.
+func TestDenseFastPathUllman(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, law := range []scoredb.GradeLaw{scoredb.Uniform{}, scoredb.BoundedAbove{Max: 0.9}} {
+		db := scoredb.Generator{N: 500, M: 2, Law: law, Seed: 19}.MustGenerate()
+		for probe := 0; probe < 2; probe++ {
+			k := 1 + rng.Intn(20)
+			alg := Ullman{Probe: probe}
+			rDense, cDense, err := Evaluate(alg, sourcesOf(db), agg.Min, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rMap, cMap, err := Evaluate(alg, opaqueSourcesOf(db), agg.Min, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireIdentical(t, fmt.Sprintf("ullman/probe=%d/k=%d", probe, k), rDense, rMap, cDense, cMap)
+		}
+	}
+}
+
+// TestDenseFastPathFilterFirst drives the selective-conjunct plan over a
+// binary list, on both paths.
+func TestDenseFastPathFilterFirst(t *testing.T) {
+	l0 := (scoredb.Generator{N: 600, M: 1, Law: scoredb.Binary{P: 0.01}, Seed: 23}).MustGenerate().List(0)
+	l1 := (scoredb.Generator{N: 600, M: 1, Law: scoredb.Uniform{}, Seed: 24}).MustGenerate().List(0)
+	db, err := scoredb.New([]*gradedset.List{l0, l1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{1, 5, 40} {
+		alg := FilterFirst{}
+		rDense, cDense, err := Evaluate(alg, sourcesOf(db), agg.Min, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rMap, cMap, err := Evaluate(alg, opaqueSourcesOf(db), agg.Min, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireIdentical(t, fmt.Sprintf("filter-first/k=%d", k), rDense, rMap, cDense, cMap)
+	}
+}
+
+// TestDenseFastPathFilter covers the threshold query evaluator.
+func TestDenseFastPathFilter(t *testing.T) {
+	db := scoredb.Generator{N: 400, M: 3, Law: scoredb.Uniform{}, Seed: 29}.MustGenerate()
+	for _, theta := range []float64{0, 0.3, 0.8, 1} {
+		dense := subsys.CountAll(sourcesOf(db))
+		rDense, err := Filter(dense, agg.Min, theta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cDense := subsys.TotalCost(dense)
+		opaque := subsys.CountAll(opaqueSourcesOf(db))
+		rMap, err := Filter(opaque, agg.Min, theta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cMap := subsys.TotalCost(opaque)
+		requireIdentical(t, fmt.Sprintf("filter/theta=%v", theta), rDense, rMap, cDense, cMap)
+	}
+}
+
+// TestScratchReuseIsDeterministic re-runs one query through the same
+// pooled scratch repeatedly: epoch-stamped reuse must not leak state
+// between evaluations.
+func TestScratchReuseIsDeterministic(t *testing.T) {
+	db := scoredb.Generator{N: 300, M: 3, Seed: 37}.MustGenerate()
+	first, cFirst, err := Evaluate(A0{}, sourcesOf(db), agg.Min, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		res, c, err := Evaluate(A0{}, sourcesOf(db), agg.Min, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireIdentical(t, fmt.Sprintf("rerun %d", i), res, first, c, cFirst)
+	}
+}
+
+// TestPooledScratchUnderConcurrentQueries hammers the shared scratch and
+// dense-cache pools from many goroutines (run with -race: the CI suite
+// does). Every evaluation must still match the single-threaded answer.
+func TestPooledScratchUnderConcurrentQueries(t *testing.T) {
+	dbs := []*scoredb.Database{
+		scoredb.Generator{N: 400, M: 2, Seed: 41}.MustGenerate(),
+		scoredb.Generator{N: 300, M: 3, Seed: 42}.MustGenerate(),
+		scoredb.Generator{N: 200, M: 4, Seed: 43}.MustGenerate(),
+	}
+	algs := []struct {
+		alg Algorithm
+		f   agg.Func
+	}{
+		{A0{}, agg.Min},
+		{A0Prime{}, agg.Min},
+		{TA{}, agg.Min},
+		{NRA{}, agg.Min},
+		{B0{}, agg.Max},
+		{A0Adaptive{}, agg.Min},
+		{OrderStat{}, agg.Median},
+	}
+	type key struct{ db, alg int }
+	want := make(map[key][]Result)
+	wantCost := make(map[key]cost.Cost)
+	for di, db := range dbs {
+		for ai, tc := range algs {
+			res, c, err := Evaluate(tc.alg, sourcesOf(db), tc.f, 9)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[key{di, ai}] = res
+			wantCost[key{di, ai}] = c
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				di := (g + i) % len(dbs)
+				ai := (g * 7) % len(algs)
+				tc := algs[ai]
+				res, c, err := Evaluate(tc.alg, sourcesOf(dbs[di]), tc.f, 9)
+				if err != nil {
+					errs <- err.Error()
+					return
+				}
+				k := key{di, ai}
+				if c != wantCost[k] || len(res) != len(want[k]) {
+					errs <- fmt.Sprintf("goroutine %d: %s on db %d diverged", g, tc.alg.Name(), di)
+					return
+				}
+				for j := range res {
+					if res[j] != want[k][j] {
+						errs <- fmt.Sprintf("goroutine %d: %s result %d diverged", g, tc.alg.Name(), j)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}

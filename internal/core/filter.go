@@ -43,7 +43,8 @@ func Filter(lists []*subsys.Counted, t agg.Func, theta float64) ([]Result, error
 		return t.Apply(buf)
 	}
 
-	counts := make(map[int]int)
+	sc := acquireScratch(lists)
+	defer sc.release()
 	for i := range lists {
 		cu := subsys.NewCursor(lists[i])
 		for {
@@ -54,17 +55,18 @@ func Filter(lists []*subsys.Counted, t agg.Func, theta float64) ([]Result, error
 			if coordBound(i, e.Grade) < theta {
 				break
 			}
-			counts[e.Object]++
+			sc.visit(e.Object)
 		}
 	}
 
 	var out []gradedset.Entry
-	for obj, c := range counts {
-		if c < m {
+	gbuf := sc.gradesBuf(m)
+	for _, obj := range sc.objects() {
+		if int(sc.countOf(obj)) < m {
 			continue
 		}
-		g := t.Apply(gradesFor(lists, obj))
-		if g >= theta {
+		gradesInto(gbuf, lists, obj)
+		if g := t.Apply(gbuf); g >= theta {
 			out = append(out, gradedset.Entry{Object: obj, Grade: g})
 		}
 	}

@@ -69,23 +69,27 @@ func (f FilterFirst) TopK(lists []*subsys.Counted, t agg.Func, k int) ([]Result,
 	}
 
 	// Random access for the matches only.
-	entries := make([]gradedset.Entry, 0, len(matches))
+	sc := acquireScratch(lists)
+	defer sc.release()
+	entries := sc.entriesBuf()
+	buf := sc.gradesBuf(len(lists))
 	for _, obj := range matches {
-		entries = append(entries, gradedset.Entry{Object: obj, Grade: t.Apply(gradesFor(lists, obj))})
+		gradesInto(buf, lists, obj)
+		entries = append(entries, gradedset.Entry{Object: obj, Grade: t.Apply(buf)})
 	}
 
 	// If the crisp conjunct has fewer than k perfect matches, every
 	// remaining object grades 0 under min; fill with the smallest ids.
 	if len(entries) < k {
-		have := make(map[int]bool, len(entries))
 		for _, e := range entries {
-			have[e.Object] = true
+			sc.visit(e.Object)
 		}
 		for obj := 0; obj < n && len(entries) < k; obj++ {
-			if !have[obj] {
+			if sc.countOf(obj) == 0 {
 				entries = append(entries, gradedset.Entry{Object: obj, Grade: 0})
 			}
 		}
 	}
+	sc.keepEntries(entries)
 	return topKResults(entries, k), nil
 }

@@ -29,11 +29,9 @@ func (NaiveSorted) TopK(lists []*subsys.Counted, t agg.Func, k int) ([]Result, e
 	for i, l := range lists {
 		cu := subsys.NewCursor(l)
 		grades[i] = make([]float64, n)
-		for {
-			e, ok := cu.Next()
-			if !ok {
-				break
-			}
+		// The whole list is wanted by definition, so drain it in one
+		// batched sorted access (cost is still one unit per rank).
+		for _, e := range cu.NextBatch(n) {
 			grades[i][e.Object] = e.Grade
 		}
 	}
@@ -67,8 +65,10 @@ func (NaiveRandom) TopK(lists []*subsys.Counted, t agg.Func, k int) ([]Result, e
 		return nil, err
 	}
 	entries := make([]gradedset.Entry, n)
+	buf := make([]float64, len(lists))
 	for obj := 0; obj < n; obj++ {
-		entries[obj] = gradedset.Entry{Object: obj, Grade: t.Apply(gradesFor(lists, obj))}
+		gradesInto(buf, lists, obj)
+		entries[obj] = gradedset.Entry{Object: obj, Grade: t.Apply(buf)}
 	}
 	return topKResults(entries, k), nil
 }

@@ -29,13 +29,9 @@ func (NRA) Name() string { return "NRA" }
 // Exact implements Algorithm: grades are lower bounds.
 func (NRA) Exact() bool { return false }
 
-// nraState tracks one seen object's partial grade vector.
-type nraState struct {
-	grades []float64
-	known  []bool
-}
-
-// TopK implements Algorithm.
+// TopK implements Algorithm. Per-object partial grade vectors live in a
+// flat slot arena indexed through the scratch (slot s owns grades
+// [s·m, (s+1)·m)), so the sorted phase allocates nothing per object.
 func (nra NRA) TopK(lists []*subsys.Counted, t agg.Func, k int) ([]Result, error) {
 	if _, err := checkArgs(lists, k); err != nil {
 		return nil, err
@@ -45,31 +41,38 @@ func (nra NRA) TopK(lists []*subsys.Counted, t agg.Func, k int) ([]Result, error
 	}
 	m := len(lists)
 	cursors := subsys.Cursors(lists)
-	states := make(map[int]*nraState)
+	sc := acquireScratch(lists)
+	defer sc.release()
+	grades := sc.f64Arena() // slot*m + j: grade of slot's object in list j
+	known := sc.boolArena() // slot*m + j: whether that grade has been seen
+	defer func() {
+		sc.keepF64Arena(grades)
+		sc.keepBoolArena(known)
+	}()
 	lasts := make([]float64, m)
 	for i := range lasts {
 		lasts[i] = 1
 	}
-	buf := make([]float64, m)
+	buf := sc.gradesBuf(m)
 
 	// worst substitutes 0 for unknown grades; best substitutes the last
 	// grade the list has shown, an upper bound since grades arrive in
 	// descending order. Both are monotone substitutions, so W(x) ≤
 	// grade(x) ≤ B(x) for monotone t.
-	worst := func(s *nraState) float64 {
+	worst := func(slot int) float64 {
 		for j := 0; j < m; j++ {
-			if s.known[j] {
-				buf[j] = s.grades[j]
+			if known[slot*m+j] {
+				buf[j] = grades[slot*m+j]
 			} else {
 				buf[j] = 0
 			}
 		}
 		return t.Apply(buf)
 	}
-	best := func(s *nraState) float64 {
+	best := func(slot int) float64 {
 		for j := 0; j < m; j++ {
-			if s.known[j] {
-				buf[j] = s.grades[j]
+			if known[slot*m+j] {
+				buf[j] = grades[slot*m+j]
 			} else {
 				buf[j] = lasts[j]
 			}
@@ -86,14 +89,17 @@ func (nra NRA) TopK(lists []*subsys.Counted, t agg.Func, k int) ([]Result, error
 			}
 			exhausted = false
 			lasts[i] = e.Grade
-			s := states[e.Object]
-			if s == nil {
-				s = &nraState{grades: make([]float64, m), known: make([]bool, m)}
-				states[e.Object] = s
+			slot := sc.indexOf(e.Object)
+			if slot < 0 {
+				slot = sc.addIndex(e.Object)
+				for j := 0; j < m; j++ {
+					grades = append(grades, 0)
+					known = append(known, false)
+				}
 			}
-			if !s.known[i] {
-				s.known[i] = true
-				s.grades[i] = e.Grade
+			if !known[slot*m+i] {
+				known[slot*m+i] = true
+				grades[slot*m+i] = e.Grade
 			}
 		}
 		if exhausted {
@@ -103,10 +109,12 @@ func (nra NRA) TopK(lists []*subsys.Counted, t agg.Func, k int) ([]Result, error
 		// Cheap gate first: unseen objects are bounded by t(lasts). Only
 		// when that bar falls to the current k-th worst-case grade is the
 		// full stop test worth running.
-		entries := make([]gradedset.Entry, 0, len(states))
-		for obj, s := range states {
-			entries = append(entries, gradedset.Entry{Object: obj, Grade: worst(s)})
+		objs := sc.objects()
+		entries := sc.entriesBuf()
+		for slot, obj := range objs {
+			entries = append(entries, gradedset.Entry{Object: obj, Grade: worst(slot)})
 		}
+		sc.keepEntries(entries)
 		top := gradedset.TopK(entries, k)
 		if len(top) < k {
 			continue
@@ -120,11 +128,11 @@ func (nra NRA) TopK(lists []*subsys.Counted, t agg.Func, k int) ([]Result, error
 			inTop[e.Object] = true
 		}
 		stop := true
-		for obj, s := range states {
+		for slot, obj := range objs {
 			if inTop[obj] {
 				continue
 			}
-			if best(s) > kth {
+			if best(slot) > kth {
 				stop = false
 				break
 			}
@@ -134,9 +142,10 @@ func (nra NRA) TopK(lists []*subsys.Counted, t agg.Func, k int) ([]Result, error
 		}
 	}
 
-	entries := make([]gradedset.Entry, 0, len(states))
-	for obj, s := range states {
-		entries = append(entries, gradedset.Entry{Object: obj, Grade: worst(s)})
+	entries := sc.entriesBuf()
+	for slot, obj := range sc.objects() {
+		entries = append(entries, gradedset.Entry{Object: obj, Grade: worst(slot)})
 	}
+	sc.keepEntries(entries)
 	return topKResults(entries, k), nil
 }

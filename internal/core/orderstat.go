@@ -60,7 +60,8 @@ func (o OrderStat) TopK(lists []*subsys.Counted, t agg.Func, k int) ([]Result, e
 	}
 
 	inner := A0Prime{}
-	candidates := make(map[int]bool)
+	sc := acquireScratch(lists)
+	defer sc.release()
 	for _, subset := range agg.Subsets(m, j) {
 		sub := make([]*subsys.Counted, len(subset))
 		for i, idx := range subset {
@@ -71,13 +72,16 @@ func (o OrderStat) TopK(lists []*subsys.Counted, t agg.Func, k int) ([]Result, e
 			return nil, fmt.Errorf("subset %v: %w", subset, err)
 		}
 		for _, r := range res {
-			candidates[r.Object] = true
+			sc.visit(r.Object)
 		}
 	}
 
-	entries := make([]gradedset.Entry, 0, len(candidates))
-	for obj := range candidates {
-		entries = append(entries, gradedset.Entry{Object: obj, Grade: t.Apply(gradesFor(lists, obj))})
+	entries := sc.entriesBuf()
+	buf := sc.gradesBuf(m)
+	for _, obj := range sc.objects() {
+		gradesInto(buf, lists, obj)
+		entries = append(entries, gradedset.Entry{Object: obj, Grade: t.Apply(buf)})
 	}
+	sc.keepEntries(entries)
 	return topKResults(entries, k), nil
 }

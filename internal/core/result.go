@@ -76,19 +76,14 @@ func topKResults(entries []gradedset.Entry, k int) []Result {
 }
 
 // Evaluate wraps sources in counters, runs the algorithm, and returns the
-// results together with the exact middleware access cost incurred.
+// results together with the exact middleware access cost incurred. The
+// counters' pooled caches are recycled before returning, so callers that
+// need the lists to outlive the evaluation (pagination, multi-phase
+// plans) should wrap sources with subsys.CountAll themselves.
 func Evaluate(alg Algorithm, srcs []subsys.Source, t agg.Func, k int) ([]Result, cost.Cost, error) {
 	counted := subsys.CountAll(srcs)
 	res, err := alg.TopK(counted, t, k)
-	return res, subsys.TotalCost(counted), err
-}
-
-// gradesFor fetches (via metered random access, free when already known)
-// the grade of obj in every list.
-func gradesFor(lists []*subsys.Counted, obj int) []float64 {
-	gs := make([]float64, len(lists))
-	for j, l := range lists {
-		gs[j] = l.Grade(obj)
-	}
-	return gs
+	c := subsys.TotalCost(counted)
+	subsys.ReleaseAll(counted)
+	return res, c, err
 }

@@ -40,7 +40,9 @@ func (ta TA) TopK(lists []*subsys.Counted, t agg.Func, k int) ([]Result, error) 
 		return nil, ErrNotMonotone
 	}
 	cursors := subsys.Cursors(lists)
-	seen := make(map[int]bool)
+	sc := acquireScratch(lists)
+	defer sc.release()
+	buf := sc.gradesBuf(len(lists))
 	// top maintains the best k exact grades seen so far (a min-heap with
 	// the k-th best at the root). Grades are exact on first sight and
 	// never change, so incremental maintenance is sound.
@@ -58,9 +60,9 @@ func (ta TA) TopK(lists []*subsys.Counted, t agg.Func, k int) ([]Result, error) 
 			}
 			exhausted = false
 			lasts[i] = e.Grade
-			if !seen[e.Object] {
-				seen[e.Object] = true
-				top.offer(gradedset.Entry{Object: e.Object, Grade: t.Apply(gradesFor(lists, e.Object))})
+			if sc.visit(e.Object) == 1 {
+				gradesInto(buf, lists, e.Object)
+				top.offer(gradedset.Entry{Object: e.Object, Grade: t.Apply(buf)})
 			}
 		}
 		if exhausted {

@@ -49,20 +49,24 @@ func (u Ullman) TopK(lists []*subsys.Counted, t agg.Func, k int) ([]Result, erro
 	primary := subsys.NewCursor(lists[u.Probe])
 	other := lists[1-u.Probe]
 
-	var candidates []gradedset.Entry
+	// top incrementally maintains the best k candidates (the same
+	// deterministic order KthGrade used), so each iteration's stop test
+	// is O(log k) instead of re-selecting over all candidates.
+	top := &boundedTopK{k: k}
+	var pair [2]float64
 	for {
 		e, ok := primary.Next()
 		if !ok {
 			break // all objects seen; candidates are complete
 		}
-		overall := t.Apply([]float64{e.Grade, other.Grade(e.Object)})
-		candidates = append(candidates, gradedset.Entry{Object: e.Object, Grade: overall})
+		pair[0], pair[1] = e.Grade, other.Grade(e.Object)
+		top.offer(gradedset.Entry{Object: e.Object, Grade: t.Apply(pair[:])})
 		// Unseen objects have primary grade ≤ e.Grade, hence overall
 		// ≤ e.Grade under min. If k candidates already reach that bar,
 		// nothing unseen can displace them.
-		if len(candidates) >= k && gradedset.KthGrade(candidates, k) >= e.Grade {
+		if top.full() && top.kth().Grade >= e.Grade {
 			break
 		}
 	}
-	return topKResults(candidates, k), nil
+	return topKResults(top.entries, k), nil
 }

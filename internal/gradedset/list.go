@@ -12,13 +12,54 @@ import (
 //
 // Invariants: entries are sorted by non-increasing grade; each object
 // appears at most once; all grades are valid.
+//
+// Random access is served by one of two indexes. When the object set is
+// exactly the dense universe {0,…,N−1} — the shape every scoring database
+// and subsystem in this repository produces — ranks live in a flat
+// []int32 indexed by object, so Grade/Rank/Contains are array reads.
+// Arbitrary (sparse) object ids fall back to a map index.
 type List struct {
-	entries []Entry
-	rank    map[int]int // object -> position in entries
+	entries   []Entry
+	rank      map[int]int // object -> position; nil when the dense index is in use
+	denseRank []int32     // object -> position over the dense universe; nil when sparse
 }
 
 // ErrUnknownObject reports a random access for an object not in the list.
 var ErrUnknownObject = errors.New("gradedset: unknown object")
+
+// buildIndex constructs the rank index for es, preferring the dense form.
+// It reports the first duplicate object, or -1 if none.
+func buildIndex(es []Entry) (denseRank []int32, rank map[int]int, dupAt int) {
+	n := len(es)
+	dense := true
+	for _, e := range es {
+		if e.Object < 0 || e.Object >= n {
+			dense = false
+			break
+		}
+	}
+	if dense {
+		denseRank = make([]int32, n)
+		for i := range denseRank {
+			denseRank[i] = -1
+		}
+		for i, e := range es {
+			if denseRank[e.Object] >= 0 {
+				return nil, nil, i
+			}
+			denseRank[e.Object] = int32(i)
+		}
+		return denseRank, nil, -1
+	}
+	rank = make(map[int]int, n)
+	for i, e := range es {
+		if _, dup := rank[e.Object]; dup {
+			return nil, nil, i
+		}
+		rank[e.Object] = i
+	}
+	return nil, rank, -1
+}
 
 // NewList builds a List from entries, sorting them into canonical order
 // (descending grade, ascending object on ties). It rejects invalid grades
@@ -27,17 +68,16 @@ func NewList(entries []Entry) (*List, error) {
 	es := make([]Entry, len(entries))
 	copy(es, entries)
 	SortEntries(es)
-	rank := make(map[int]int, len(es))
 	for i, e := range es {
 		if err := CheckGrade(e.Grade); err != nil {
 			return nil, fmt.Errorf("entry %d (object %d): %w", i, e.Object, err)
 		}
-		if _, dup := rank[e.Object]; dup {
-			return nil, fmt.Errorf("gradedset: duplicate object %d", e.Object)
-		}
-		rank[e.Object] = i
 	}
-	return &List{entries: es, rank: rank}, nil
+	denseRank, rank, dupAt := buildIndex(es)
+	if dupAt >= 0 {
+		return nil, fmt.Errorf("gradedset: duplicate object %d", es[dupAt].Object)
+	}
+	return &List{entries: es, rank: rank, denseRank: denseRank}, nil
 }
 
 // NewListPresorted builds a List from entries that are already in
@@ -47,7 +87,6 @@ func NewList(entries []Entry) (*List, error) {
 func NewListPresorted(entries []Entry) (*List, error) {
 	es := make([]Entry, len(entries))
 	copy(es, entries)
-	rank := make(map[int]int, len(es))
 	for i, e := range es {
 		if err := CheckGrade(e.Grade); err != nil {
 			return nil, fmt.Errorf("entry %d (object %d): %w", i, e.Object, err)
@@ -55,22 +94,19 @@ func NewListPresorted(entries []Entry) (*List, error) {
 		if i > 0 && es[i].Grade > es[i-1].Grade {
 			return nil, fmt.Errorf("gradedset: entries not sorted at position %d", i)
 		}
-		if _, dup := rank[e.Object]; dup {
-			return nil, fmt.Errorf("gradedset: duplicate object %d", e.Object)
-		}
-		rank[e.Object] = i
 	}
-	return &List{entries: es, rank: rank}, nil
+	denseRank, rank, dupAt := buildIndex(es)
+	if dupAt >= 0 {
+		return nil, fmt.Errorf("gradedset: duplicate object %d", es[dupAt].Object)
+	}
+	return &List{entries: es, rank: rank, denseRank: denseRank}, nil
 }
 
 // FromGradedSet materializes a graded set as a List in canonical order.
 func FromGradedSet(s *GradedSet) *List {
 	entries := s.Entries()
-	rank := make(map[int]int, len(entries))
-	for i, e := range entries {
-		rank[e.Object] = i
-	}
-	return &List{entries: entries, rank: rank}
+	denseRank, rank, _ := buildIndex(entries) // no duplicates possible
+	return &List{entries: entries, rank: rank, denseRank: denseRank}
 }
 
 // Len returns the number of entries.
@@ -80,8 +116,24 @@ func (l *List) Len() int { return len(l.entries) }
 // This is one unit of sorted access.
 func (l *List) Entry(i int) Entry { return l.entries[i] }
 
+// DenseUniverse reports whether the list's object set is exactly
+// {0,…,N−1}, and if so returns N. Middleware layers use the hint to back
+// per-object state with flat arrays instead of maps.
+func (l *List) DenseUniverse() (int, bool) {
+	if l.denseRank != nil {
+		return len(l.entries), true
+	}
+	return 0, false
+}
+
 // Grade returns the grade of obj. This is one unit of random access.
 func (l *List) Grade(obj int) (float64, error) {
+	if l.denseRank != nil {
+		if obj < 0 || obj >= len(l.denseRank) {
+			return 0, fmt.Errorf("%w: %d", ErrUnknownObject, obj)
+		}
+		return l.entries[l.denseRank[obj]].Grade, nil
+	}
 	i, ok := l.rank[obj]
 	if !ok {
 		return 0, fmt.Errorf("%w: %d", ErrUnknownObject, obj)
@@ -91,6 +143,12 @@ func (l *List) Grade(obj int) (float64, error) {
 
 // Rank returns the sorted position of obj, or -1 if absent.
 func (l *List) Rank(obj int) int {
+	if l.denseRank != nil {
+		if obj < 0 || obj >= len(l.denseRank) {
+			return -1
+		}
+		return int(l.denseRank[obj])
+	}
 	if i, ok := l.rank[obj]; ok {
 		return i
 	}
@@ -98,10 +156,7 @@ func (l *List) Rank(obj int) int {
 }
 
 // Contains reports whether obj appears in the list.
-func (l *List) Contains(obj int) bool {
-	_, ok := l.rank[obj]
-	return ok
-}
+func (l *List) Contains(obj int) bool { return l.Rank(obj) >= 0 }
 
 // Prefix returns the first n entries (the top n objects). n is clamped to
 // the list length. The returned slice shares storage and must not be
@@ -120,6 +175,10 @@ func (l *List) Prefix(n int) []Entry {
 // storage and must not be mutated.
 func (l *List) Entries() []Entry { return l.entries }
 
+// Range returns the entries at sorted positions [lo, hi). The returned
+// slice shares storage and must not be mutated.
+func (l *List) Range(lo, hi int) []Entry { return l.entries[lo:hi] }
+
 // GradedSet converts the list back to an unordered graded set.
 func (l *List) GradedSet() *GradedSet {
 	s := NewWithCapacity(len(l.entries))
@@ -136,20 +195,22 @@ func (l *List) GradedSet() *GradedSet {
 func (l *List) Reversed() *List {
 	n := len(l.entries)
 	entries := make([]Entry, n)
-	rank := make(map[int]int, n)
 	for i := n - 1; i >= 0; i-- {
 		e := l.entries[i]
-		j := n - 1 - i
-		entries[j] = Entry{Object: e.Object, Grade: 1 - e.Grade}
-		rank[e.Object] = j
+		entries[n-1-i] = Entry{Object: e.Object, Grade: 1 - e.Grade}
 	}
-	return &List{entries: entries, rank: rank}
+	denseRank, rank, _ := buildIndex(entries) // duplicates impossible: same objects as l
+	return &List{entries: entries, rank: rank, denseRank: denseRank}
 }
 
 // Validate re-checks all invariants; it is used by tests and by loaders of
 // externally supplied data.
 func (l *List) Validate() error {
-	if len(l.rank) != len(l.entries) {
+	if l.denseRank != nil {
+		if len(l.denseRank) != len(l.entries) {
+			return errors.New("gradedset: rank index size mismatch")
+		}
+	} else if len(l.rank) != len(l.entries) {
 		return errors.New("gradedset: rank index size mismatch")
 	}
 	for i, e := range l.entries {
@@ -159,7 +220,7 @@ func (l *List) Validate() error {
 		if i > 0 && e.Grade > l.entries[i-1].Grade {
 			return fmt.Errorf("gradedset: entries not sorted at position %d", i)
 		}
-		if l.rank[e.Object] != i {
+		if l.Rank(e.Object) != i {
 			return fmt.Errorf("gradedset: rank index wrong for object %d", e.Object)
 		}
 	}

@@ -242,6 +242,7 @@ func (m *Middleware) TopKMedian(atoms []query.Atomic, k int) (*Report, error) {
 		return nil, err
 	}
 	counted := subsys.CountAll(lists)
+	defer subsys.ReleaseAll(counted)
 	alg := core.OrderStat{}
 	res, err := alg.TopK(counted, agg.Median, k)
 	if err != nil {
@@ -275,6 +276,7 @@ func (m *Middleware) Filter(q query.Node, theta float64) (*Report, error) {
 		return nil, err
 	}
 	counted := subsys.CountAll(lists)
+	defer subsys.ReleaseAll(counted)
 	res, err := core.Filter(counted, c.Func, theta)
 	if err != nil {
 		return nil, err
@@ -320,6 +322,7 @@ func (m *Middleware) execute(plan *Plan, k int) (*Report, error) {
 		return nil, err
 	}
 	counted := subsys.CountAll(lists)
+	defer subsys.ReleaseAll(counted)
 	res, err := plan.Algorithm.TopK(counted, plan.Agg, k)
 	if err != nil {
 		return nil, err

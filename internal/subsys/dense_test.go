@@ -1,0 +1,214 @@
+package subsys
+
+import (
+	"testing"
+
+	"fuzzydb/internal/gradedset"
+)
+
+func denseList(t *testing.T, grades []float64) *gradedset.List {
+	t.Helper()
+	entries := make([]gradedset.Entry, len(grades))
+	for i, g := range grades {
+		entries[i] = gradedset.Entry{Object: i, Grade: g}
+	}
+	l, err := gradedset.NewList(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// hideHint wraps a Source without forwarding UniverseHinter, forcing
+// Counted onto the map-backed memo.
+type hideHint struct{ src Source }
+
+func (h hideHint) Len() int                             { return h.src.Len() }
+func (h hideHint) Entry(rank int) gradedset.Entry       { return h.src.Entry(rank) }
+func (h hideHint) Entries(lo, hi int) []gradedset.Entry { return h.src.Entries(lo, hi) }
+func (h hideHint) Grade(obj int) float64                { return h.src.Grade(obj) }
+
+// TestCountedDenseMatchesMapMemo walks identical access sequences through
+// a dense-universe Counted and a map-fallback Counted: every observable —
+// entries, grades, Known, Seen size, costs — must agree.
+func TestCountedDenseMatchesMapMemo(t *testing.T) {
+	l := denseList(t, []float64{0.9, 0.2, 0.8, 0.5, 0.7, 0.1, 0.6, 0.3})
+	dense := Count(FromList(l))
+	if _, ok := dense.Universe(); !ok {
+		t.Fatal("dense list source did not report a universe")
+	}
+	mapped := Count(hideHint{src: FromList(l)})
+	if _, ok := mapped.Universe(); ok {
+		t.Fatal("hidden hint still reported a universe")
+	}
+
+	for rank := 0; rank < 5; rank++ {
+		ed, okd := dense.EntryAt(rank)
+		em, okm := mapped.EntryAt(rank)
+		if okd != okm || ed != em {
+			t.Fatalf("rank %d: dense (%v,%v) vs map (%v,%v)", rank, ed, okd, em, okm)
+		}
+	}
+	for _, obj := range []int{1, 1, 7, 0, 5} {
+		if gd, gm := dense.Grade(obj), mapped.Grade(obj); gd != gm {
+			t.Errorf("Grade(%d): dense %v vs map %v", obj, gd, gm)
+		}
+	}
+	for obj := 0; obj < 8; obj++ {
+		gd, okd := dense.Known(obj)
+		gm, okm := mapped.Known(obj)
+		if gd != gm || okd != okm {
+			t.Errorf("Known(%d): dense (%v,%v) vs map (%v,%v)", obj, gd, okd, gm, okm)
+		}
+	}
+	if ds, ms := len(dense.Seen()), len(mapped.Seen()); ds != ms {
+		t.Errorf("Seen: dense %d objects vs map %d", ds, ms)
+	}
+	if dense.Cost() != mapped.Cost() {
+		t.Errorf("cost: dense %v vs map %v", dense.Cost(), mapped.Cost())
+	}
+	// Re-reads of a paid-for prefix stay free on both.
+	before := dense.Cost()
+	dense.EntryAt(2)
+	mapped.EntryAt(2)
+	if dense.Cost() != before || mapped.Cost() != before {
+		t.Error("re-reading a delivered rank was charged")
+	}
+}
+
+// TestEntryAtSingleSourceCall pins the satellite fix: delivering rank r
+// costs exactly one Entry/Entries call per rank, even on re-read, and on
+// the map fallback path too.
+func TestEntryAtSingleSourceCall(t *testing.T) {
+	l := denseList(t, []float64{0.9, 0.8, 0.7, 0.6})
+	calls := 0
+	src := countingSource{list: l, calls: &calls}
+	c := Count(hideHint{src: src})
+	c.EntryAt(2) // delivers ranks 0,1,2
+	if calls != 3 {
+		t.Fatalf("delivering 3 ranks cost %d source reads", calls)
+	}
+	c.EntryAt(2) // cached
+	c.EntryAt(0) // cached
+	if calls != 3 {
+		t.Errorf("re-reads hit the source: %d reads", calls)
+	}
+}
+
+// countingSource counts per-rank reads regardless of access shape.
+type countingSource struct {
+	list  *gradedset.List
+	calls *int
+}
+
+func (s countingSource) Len() int { return s.list.Len() }
+func (s countingSource) Entry(rank int) gradedset.Entry {
+	*s.calls++
+	return s.list.Entry(rank)
+}
+func (s countingSource) Entries(lo, hi int) []gradedset.Entry {
+	*s.calls += hi - lo
+	return s.list.Range(lo, hi)
+}
+func (s countingSource) Grade(obj int) float64 {
+	g, err := s.list.Grade(obj)
+	if err != nil {
+		return 0
+	}
+	return g
+}
+
+func TestCursorNextBatch(t *testing.T) {
+	l := denseList(t, []float64{0.9, 0.8, 0.7, 0.6, 0.5})
+	c := Count(FromList(l))
+	cu := NewCursor(c)
+	if g := cu.LastGrade(); g != 1 {
+		t.Errorf("LastGrade before reads = %v, want 1", g)
+	}
+	span := cu.NextBatch(3)
+	if len(span) != 3 || span[0].Object != 0 || span[2].Grade != 0.7 {
+		t.Fatalf("NextBatch(3) = %v", span)
+	}
+	if cu.Pos() != 3 || cu.LastGrade() != 0.7 {
+		t.Errorf("after batch: pos=%d last=%v", cu.Pos(), cu.LastGrade())
+	}
+	if c.Cost().Sorted != 3 {
+		t.Errorf("batch of 3 cost %v", c.Cost())
+	}
+	// Overshooting clamps to the end; the tail batch is exact.
+	span = cu.NextBatch(10)
+	if len(span) != 2 || !cu.Exhausted() {
+		t.Fatalf("tail NextBatch = %v, exhausted=%v", span, cu.Exhausted())
+	}
+	if cu.NextBatch(1) != nil {
+		t.Error("NextBatch past the end returned entries")
+	}
+	if c.Cost().Sorted != 5 {
+		t.Errorf("total sorted cost %v, want 5", c.Cost())
+	}
+	// A second cursor re-reads the same prefix for free.
+	cu2 := NewCursor(c)
+	if s := cu2.NextBatch(5); len(s) != 5 {
+		t.Fatalf("second cursor batch = %v", s)
+	}
+	if c.Cost().Sorted != 5 {
+		t.Errorf("overlapping prefix was re-charged: %v", c.Cost())
+	}
+	if cu2.LastGrade() != 0.5 {
+		t.Errorf("second cursor LastGrade = %v", cu2.LastGrade())
+	}
+}
+
+// TestCursorLastGradeCached: LastGrade must agree with the entry stream
+// without touching the source.
+func TestCursorLastGradeCached(t *testing.T) {
+	l := denseList(t, []float64{0.9, 0.8, 0.3})
+	calls := 0
+	c := Count(hideHint{src: countingSource{list: l, calls: &calls}})
+	cu := NewCursor(c)
+	for {
+		e, ok := cu.Next()
+		if !ok {
+			break
+		}
+		before := calls
+		if g := cu.LastGrade(); g != e.Grade {
+			t.Errorf("LastGrade = %v after consuming grade %v", g, e.Grade)
+		}
+		if calls != before {
+			t.Error("LastGrade touched the source")
+		}
+	}
+}
+
+// TestValidatedKeepsDenseHint: wrapping a dense source in the contract
+// checker must not knock it off the dense fast path.
+func TestValidatedKeepsDenseHint(t *testing.T) {
+	l := denseList(t, []float64{0.9, 0.8, 0.7})
+	c := Count(Validated(FromList(l)))
+	if n, ok := c.Universe(); !ok || n != 3 {
+		t.Errorf("validated dense source reports universe (%d, %v), want (3, true)", n, ok)
+	}
+	c = Count(Validated(hideHint{src: FromList(l)}))
+	if _, ok := c.Universe(); ok {
+		t.Error("validated sparse source invented a universe hint")
+	}
+}
+
+// TestCountedReleaseRecycles: a released dense cache is reusable and a
+// fresh Counted starts clean.
+func TestCountedReleaseRecycles(t *testing.T) {
+	l := denseList(t, []float64{0.9, 0.8, 0.7})
+	for i := 0; i < 100; i++ {
+		c := Count(FromList(l))
+		if _, ok := c.Known(0); ok {
+			t.Fatal("fresh counted already knows a grade")
+		}
+		c.Grade(1)
+		c.EntryAt(0)
+		if got := c.Cost(); got.Sorted != 1 || got.Random != 1 {
+			t.Fatalf("iteration %d: cost %v", i, got)
+		}
+		c.Release()
+	}
+}

@@ -2,7 +2,9 @@
 // to, and the only two ways it may talk to them (Section 4):
 //
 //   - sorted access: the subsystem streams its graded result set in
-//     descending grade order, one object at a time;
+//     descending grade order, one object at a time (or as a batched
+//     span via Entries — semantically the same per-rank accesses,
+//     delivered in one call);
 //   - random access: the middleware asks for the grade of one given
 //     object.
 //
@@ -12,6 +14,22 @@
 // has already seen (a repeated request costs nothing, matching the
 // paper's "the grade has already been determined, so random access is not
 // needed"), and exposes the sequential cursor semantics of sorted access.
+//
+// # Dense-universe fast path
+//
+// Every subsystem in this repository grades exactly the objects
+// {0,…,N−1}, and a Source over such a universe advertises it through the
+// optional UniverseHinter interface. Counted then backs its grade memo
+// with a pooled, epoch-stamped flat array instead of a map, so a metered
+// access is a pair of array writes; the delivered sorted prefix is kept
+// in order so re-reads never touch the source. Sources over sparse or
+// undeclared object sets (custom integrations, filtered views) silently
+// fall back to the map memo with identical semantics and identical
+// Section 5 access counts — the fast path is a mechanical speedup, never
+// a behavioral change, and the equivalence tests in core pin exactly
+// that. Call Release (or subsys.ReleaseAll) after an evaluation to
+// recycle the pooled arrays; long-lived consumers such as paginators may
+// simply skip it.
 //
 // The package also provides realistic stand-ins for the subsystems the
 // paper names: a relational predicate engine (0/1 grades, the

@@ -1,0 +1,69 @@
+package subsys
+
+import "sync"
+
+// denseCache memoizes grades over the dense universe {0,…,N−1} with an
+// epoch-stamped flat array: grades[obj] is valid iff stamp[obj] == gen.
+// Reuse is O(1) — bumping gen invalidates every slot at once — so a cache
+// drawn from the pool is ready without zeroing N slots, which matters
+// because the algorithms touch only a sublinear fraction of them.
+type denseCache struct {
+	n      int
+	gen    uint32
+	grades []float64
+	stamp  []uint32
+	seen   []int // objects with known grades, in first-seen order
+}
+
+// get returns the memoized grade of obj, if known.
+func (d *denseCache) get(obj int) (float64, bool) {
+	if obj < 0 || obj >= d.n || d.stamp[obj] != d.gen {
+		return 0, false
+	}
+	return d.grades[obj], true
+}
+
+// put memoizes the grade of obj. It reports false when obj lies outside
+// the universe (the caller falls back to its overflow map).
+func (d *denseCache) put(obj int, g float64) bool {
+	if obj < 0 || obj >= d.n {
+		return false
+	}
+	if d.stamp[obj] != d.gen {
+		d.stamp[obj] = d.gen
+		d.seen = append(d.seen, obj)
+	}
+	d.grades[obj] = g
+	return true
+}
+
+var denseCachePool sync.Pool // of *denseCache
+
+// acquireDenseCache returns a cache ready for a universe of size n, with
+// every slot unknown. Concurrent evaluations each acquire their own.
+func acquireDenseCache(n int) *denseCache {
+	d, _ := denseCachePool.Get().(*denseCache)
+	if d == nil || cap(d.stamp) < n {
+		return &denseCache{
+			n:      n,
+			gen:    1,
+			grades: make([]float64, n),
+			stamp:  make([]uint32, n),
+		}
+	}
+	d.n = n
+	d.grades = d.grades[:cap(d.grades)]
+	d.stamp = d.stamp[:cap(d.stamp)]
+	d.seen = d.seen[:0]
+	d.gen++
+	if d.gen == 0 { // epoch wrap: stale stamps could alias; clear once
+		clear(d.stamp)
+		d.gen = 1
+	}
+	return d
+}
+
+// releaseDenseCache returns a cache to the pool for reuse.
+func releaseDenseCache(d *denseCache) {
+	denseCachePool.Put(d)
+}

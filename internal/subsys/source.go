@@ -14,8 +14,26 @@ type Source interface {
 	Len() int
 	// Entry performs sorted access: the entry at the given rank.
 	Entry(rank int) gradedset.Entry
+	// Entries performs batched sorted access: the entries at ranks
+	// [lo, hi) in one call. It is the bulk form of Entry — semantically
+	// hi−lo units of sorted access delivered together, so the middleware
+	// pays one virtual call per prefix extension instead of one per rank.
+	// The returned slice may share the source's storage and must not be
+	// mutated; it is valid until the next call on the source.
+	Entries(lo, hi int) []gradedset.Entry
 	// Grade performs random access: the grade of the given object.
 	Grade(obj int) float64
+}
+
+// UniverseHinter is an optional Source capability: a source graded over
+// exactly the dense universe {0,…,N−1} can report it, letting the
+// middleware back its per-object bookkeeping with flat arrays instead of
+// maps. Sources over sparse or unknown object sets simply omit the
+// method (or return dense=false) and the middleware falls back to maps.
+type UniverseHinter interface {
+	// Universe returns the universe size N when the source grades
+	// exactly the objects 0,…,N−1.
+	Universe() (n int, dense bool)
 }
 
 // ListSource adapts a gradedset.List to the Source interface.
@@ -32,6 +50,9 @@ func (s ListSource) Len() int { return s.list.Len() }
 // Entry implements Source.
 func (s ListSource) Entry(rank int) gradedset.Entry { return s.list.Entry(rank) }
 
+// Entries implements Source: a zero-copy view of the ranks [lo, hi).
+func (s ListSource) Entries(lo, hi int) []gradedset.Entry { return s.list.Range(lo, hi) }
+
 // Grade implements Source; absent objects grade 0.
 func (s ListSource) Grade(obj int) float64 {
 	g, err := s.list.Grade(obj)
@@ -40,6 +61,9 @@ func (s ListSource) Grade(obj int) float64 {
 	}
 	return g
 }
+
+// Universe implements UniverseHinter via the list's own density index.
+func (s ListSource) Universe() (int, bool) { return s.list.DenseUniverse() }
 
 // Counted wraps a Source with access metering and memoization. It is the
 // object algorithms actually touch: every grade that reaches an algorithm
@@ -52,16 +76,33 @@ func (s ListSource) Grade(obj int) float64 {
 // (for example when a later phase of a plan rescans a prefix) costs
 // nothing. The sorted cost of a list is therefore its high-water mark:
 // the deepest prefix ever requested.
+//
+// Over a dense universe (the source implements UniverseHinter) the
+// memo is an epoch-stamped flat array drawn from a pool, so a metered
+// access costs two array writes rather than a map insert; sparse sources
+// use the map fallback. Either way the delivered prefix is cached in
+// order, so re-reads never touch the source again.
 type Counted struct {
 	src     Source
-	fetched int // high-water mark: entries delivered by sorted access
-	random  int // R for this list
-	known   map[int]float64
+	fetched int               // high-water mark: entries delivered by sorted access
+	random  int               // R for this list
+	prefix  []gradedset.Entry // the delivered prefix, prefix[r] = entry at rank r
+	dc      *denseCache       // dense-universe memo; nil → map fallback
+	known   map[int]float64   // map fallback memo (also overflow for out-of-universe probes)
 }
 
-// Count wraps src for metered access.
+// Count wraps src for metered access. When src reports a dense universe
+// the memo is array-backed; otherwise a map is used.
 func Count(src Source) *Counted {
-	return &Counted{src: src, known: make(map[int]float64)}
+	c := &Counted{src: src}
+	if h, ok := src.(UniverseHinter); ok {
+		if n, dense := h.Universe(); dense {
+			c.dc = acquireDenseCache(n)
+			return c
+		}
+	}
+	c.known = make(map[int]float64)
+	return c
 }
 
 // CountAll wraps each source of a list.
@@ -73,25 +114,89 @@ func CountAll(srcs []Source) []*Counted {
 	return out
 }
 
+// Release returns pooled resources to the pool. The Counted must not be
+// accessed afterwards (except that previously returned Cost values remain
+// valid). Callers that keep lists alive across evaluations — paginators,
+// multi-phase plans — simply never call it.
+func (c *Counted) Release() {
+	if c.dc != nil {
+		releaseDenseCache(c.dc)
+		c.dc = nil
+	}
+	c.prefix = nil
+	c.known = nil
+	c.src = nil
+}
+
+// ReleaseAll releases every list of an evaluation.
+func ReleaseAll(cs []*Counted) {
+	for _, c := range cs {
+		c.Release()
+	}
+}
+
 // Len returns the number of graded objects.
 func (c *Counted) Len() int { return c.src.Len() }
+
+// Universe reports the dense universe size when the underlying source
+// declared one (see UniverseHinter).
+func (c *Counted) Universe() (int, bool) {
+	if c.dc != nil {
+		return c.dc.n, true
+	}
+	return 0, false
+}
 
 // Depth returns the high-water mark of sorted access.
 func (c *Counted) Depth() int { return c.fetched }
 
+// record memoizes a grade learned by either access mode.
+func (c *Counted) record(obj int, g float64) {
+	if c.dc != nil {
+		if c.dc.put(obj, g) {
+			return
+		}
+		// Out-of-universe object on a dense source: overflow to the map.
+		if c.known == nil {
+			c.known = make(map[int]float64)
+		}
+	}
+	c.known[obj] = g
+}
+
 // EntryAt returns the entry at the given rank via sorted access,
 // advancing (and paying for) the prefix up to that rank if it has not
-// been delivered before. ok is false beyond the end of the list.
+// been delivered before. ok is false beyond the end of the list. The
+// advance is one batched Entries call, and the delivered prefix is kept,
+// so each rank costs exactly one source access ever.
 func (c *Counted) EntryAt(rank int) (e gradedset.Entry, ok bool) {
 	if rank < 0 || rank >= c.src.Len() {
 		return gradedset.Entry{}, false
 	}
-	for c.fetched <= rank {
-		got := c.src.Entry(c.fetched)
-		c.known[got.Object] = got.Grade
-		c.fetched++
+	if rank >= c.fetched {
+		span := c.src.Entries(c.fetched, rank+1)
+		for _, got := range span {
+			c.record(got.Object, got.Grade)
+		}
+		c.prefix = append(c.prefix, span...)
+		c.fetched = rank + 1
 	}
-	return c.src.Entry(rank), true
+	return c.prefix[rank], true
+}
+
+// entriesTo delivers ranks [cu.pos, hi) for a cursor: like EntryAt but
+// returning the whole span. The returned slice is valid until the next
+// sorted access on this list.
+func (c *Counted) entriesTo(lo, hi int) []gradedset.Entry {
+	if hi > c.fetched {
+		span := c.src.Entries(c.fetched, hi)
+		for _, got := range span {
+			c.record(got.Object, got.Grade)
+		}
+		c.prefix = append(c.prefix, span...)
+		c.fetched = hi
+	}
+	return c.prefix[lo:hi]
 }
 
 // Grade performs random access for obj. If the grade is already known to
@@ -99,17 +204,34 @@ func (c *Counted) EntryAt(rank int) (e gradedset.Entry, ok bool) {
 // the cached value is returned at no cost, per Section 4's observation
 // that no access is needed for objects already seen.
 func (c *Counted) Grade(obj int) float64 {
-	if g, ok := c.known[obj]; ok {
+	if c.dc != nil {
+		if g, ok := c.dc.get(obj); ok {
+			return g
+		}
+		if c.known != nil {
+			if g, ok := c.known[obj]; ok {
+				return g
+			}
+		}
+	} else if g, ok := c.known[obj]; ok {
 		return g
 	}
 	g := c.src.Grade(obj)
 	c.random++
-	c.known[obj] = g
+	c.record(obj, g)
 	return g
 }
 
 // Known reports the grade of obj if it has already been paid for.
 func (c *Counted) Known(obj int) (float64, bool) {
+	if c.dc != nil {
+		if g, ok := c.dc.get(obj); ok {
+			return g, true
+		}
+		if c.known == nil {
+			return 0, false
+		}
+	}
 	g, ok := c.known[obj]
 	return g, ok
 }
@@ -117,6 +239,14 @@ func (c *Counted) Known(obj int) (float64, bool) {
 // Seen returns every object whose grade in this list is known, in
 // unspecified order.
 func (c *Counted) Seen() []int {
+	if c.dc != nil {
+		objs := make([]int, 0, len(c.dc.seen)+len(c.known))
+		objs = append(objs, c.dc.seen...)
+		for obj := range c.known {
+			objs = append(objs, obj)
+		}
+		return objs
+	}
 	objs := make([]int, 0, len(c.known))
 	for obj := range c.known {
 		objs = append(objs, obj)
@@ -144,10 +274,11 @@ func TotalCost(cs []*Counted) cost.Cost {
 type Cursor struct {
 	list *Counted
 	pos  int
+	last float64 // grade of the most recent entry consumed; 1 before any read
 }
 
 // NewCursor returns a cursor at the top of the list.
-func NewCursor(list *Counted) *Cursor { return &Cursor{list: list} }
+func NewCursor(list *Counted) *Cursor { return &Cursor{list: list, last: 1} }
 
 // Cursors returns one fresh cursor per list.
 func Cursors(lists []*Counted) []*Cursor {
@@ -164,8 +295,30 @@ func (cu *Cursor) Next() (e gradedset.Entry, ok bool) {
 	e, ok = cu.list.EntryAt(cu.pos)
 	if ok {
 		cu.pos++
+		cu.last = e.Grade
 	}
 	return e, ok
+}
+
+// NextBatch returns up to max next entries in one batched sorted access,
+// advancing the cursor past them. It returns nil at the end of the list.
+// The returned slice must not be mutated and is valid until the next
+// sorted access on the underlying list. Callers must genuinely want all
+// max entries: every entry returned is paid for.
+func (cu *Cursor) NextBatch(max int) []gradedset.Entry {
+	if max <= 0 || cu.pos >= cu.list.Len() {
+		return nil
+	}
+	hi := cu.pos + max
+	if n := cu.list.Len(); hi > n {
+		hi = n
+	}
+	span := cu.list.entriesTo(cu.pos, hi)
+	cu.pos = hi
+	if len(span) > 0 {
+		cu.last = span[len(span)-1].Grade
+	}
+	return span
 }
 
 // Pos returns how many entries this cursor has consumed.
@@ -174,14 +327,9 @@ func (cu *Cursor) Pos() int { return cu.pos }
 // LastGrade returns the grade of the most recent entry this cursor
 // consumed: the smallest grade it has seen, since grades arrive in
 // descending order. Before any read it returns 1, the neutral upper
-// bound.
-func (cu *Cursor) LastGrade() float64 {
-	if cu.pos == 0 {
-		return 1
-	}
-	e, _ := cu.list.EntryAt(cu.pos - 1)
-	return e.Grade
-}
+// bound. The value is cached at read time, so polling frontiers (as the
+// adaptive scheduler does every round) costs no source access.
+func (cu *Cursor) LastGrade() float64 { return cu.last }
 
 // Exhausted reports whether the cursor has consumed the whole list.
 func (cu *Cursor) Exhausted() bool { return cu.pos >= cu.list.Len() }

@@ -39,6 +39,16 @@ func Validated(src Source) Source {
 // Len implements Source.
 func (v *validatedSource) Len() int { return v.src.Len() }
 
+// Universe forwards the wrapped source's dense-universe hint, so
+// validation does not silently knock an evaluation off the dense fast
+// path (core requires every list to report dense).
+func (v *validatedSource) Universe() (int, bool) {
+	if h, ok := v.src.(UniverseHinter); ok {
+		return h.Universe()
+	}
+	return 0, false
+}
+
 // Entry implements Source, checking the sorted-access contract.
 func (v *validatedSource) Entry(rank int) gradedset.Entry {
 	e := v.src.Entry(rank)
@@ -61,6 +71,18 @@ func (v *validatedSource) Entry(rank int) gradedset.Entry {
 	v.seenAt[e.Object] = rank
 	v.grades[e.Object] = e.Grade
 	return e
+}
+
+// Entries implements Source. Each rank in the span passes through the
+// same contract checks as a single-rank sorted access, so validation is
+// not weakened by batching (at the price of giving up the underlying
+// source's zero-copy bulk path — Validated is a debugging wrapper).
+func (v *validatedSource) Entries(lo, hi int) []gradedset.Entry {
+	out := make([]gradedset.Entry, 0, hi-lo)
+	for r := lo; r < hi; r++ {
+		out = append(out, v.Entry(r))
+	}
+	return out
 }
 
 // Grade implements Source, checking consistency with sorted access.

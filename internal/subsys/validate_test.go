@@ -37,6 +37,14 @@ func (b *brokenSource) Entry(rank int) gradedset.Entry {
 	return e
 }
 
+func (b *brokenSource) Entries(lo, hi int) []gradedset.Entry {
+	out := make([]gradedset.Entry, 0, hi-lo)
+	for r := lo; r < hi; r++ {
+		out = append(out, b.Entry(r))
+	}
+	return out
+}
+
 func (b *brokenSource) Grade(obj int) float64 {
 	if obj == b.lieOn {
 		return 0.123
