@@ -10,6 +10,7 @@ package fuzzydb_test
 // per size outside the timed loop.
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"testing"
@@ -24,30 +25,37 @@ import (
 
 // runCost executes one evaluation on fresh counters and returns the
 // unweighted middleware cost.
-func runCost(b *testing.B, alg core.Algorithm, db *scoredb.Database, f agg.Func, k int) float64 {
+func runCost(b *testing.B, alg core.Algorithm, db *scoredb.Database, f agg.Func, k int, opts ...core.EvalOption) float64 {
 	b.Helper()
 	srcs := make([]subsys.Source, db.M())
 	for i := range srcs {
 		srcs[i] = subsys.FromList(db.List(i))
 	}
-	_, c, err := core.Evaluate(alg, srcs, f, k)
+	_, c, err := core.Evaluate(context.Background(), alg, srcs, f, k, opts...)
 	if err != nil {
 		b.Fatal(err)
 	}
 	return float64(c.Sum())
 }
 
-// benchOver runs alg over the given databases round-robin, reporting the
-// mean middleware cost per evaluation.
-func benchOver(b *testing.B, alg core.Algorithm, dbs []*scoredb.Database, f agg.Func, k int) {
+// benchOver runs alg over the given databases round-robin. The reported
+// middleware-cost/op is the exact mean over the db set, computed once
+// outside the timed loop: costs are deterministic per database, so the
+// metric is independent of b.N and bit-stable across runs and executors
+// (cmd/benchjson -compare relies on this).
+func benchOver(b *testing.B, alg core.Algorithm, dbs []*scoredb.Database, f agg.Func, k int, opts ...core.EvalOption) {
 	b.Helper()
-	var total float64
+	var mean float64
+	for _, db := range dbs {
+		mean += runCost(b, alg, db, f, k, opts...)
+	}
+	mean /= float64(len(dbs))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		total += runCost(b, alg, dbs[i%len(dbs)], f, k)
+		runCost(b, alg, dbs[i%len(dbs)], f, k, opts...)
 	}
 	b.StopTimer()
-	b.ReportMetric(total/float64(b.N), "middleware-cost/op")
+	b.ReportMetric(mean, "middleware-cost/op")
 }
 
 func genDBs(n, m, trials int, law scoredb.GradeLaw, seed uint64) []*scoredb.Database {
@@ -78,6 +86,29 @@ func BenchmarkE2_A0_GeneralM(b *testing.B) {
 	}
 }
 
+// BenchmarkE1_A0_SqrtN_Parallel — the E1 workload under the concurrent
+// executor (one worker per list): identical cost metrics by
+// construction, wall-clock tracked against the serial run.
+func BenchmarkE1_A0_SqrtN_Parallel(b *testing.B) {
+	for _, n := range []int{4096, 16384, 65536, 262144} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			dbs := genDBs(n, 2, 4, scoredb.Uniform{}, 1)
+			benchOver(b, core.A0{}, dbs, agg.Min, 10, core.WithExecutor(core.Concurrent{P: 2}))
+		})
+	}
+}
+
+// BenchmarkE2_A0_GeneralM_Parallel — the E2 workload with m workers, one
+// per list.
+func BenchmarkE2_A0_GeneralM_Parallel(b *testing.B) {
+	for _, m := range []int{2, 3, 4, 5} {
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+			dbs := genDBs(32768, m, 4, scoredb.Uniform{}, 2)
+			benchOver(b, core.A0{}, dbs, agg.Min, 10, core.WithExecutor(core.Concurrent{P: m}))
+		})
+	}
+}
+
 // BenchmarkE3_A0_KScaling — Thm 5.3: cost ∝ k^(1/m) at fixed N.
 func BenchmarkE3_A0_KScaling(b *testing.B) {
 	dbs := genDBs(65536, 2, 4, scoredb.Uniform{}, 3)
@@ -99,7 +130,7 @@ func BenchmarkE4_WimmersBound(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		db := dbs[i%len(dbs)]
 		srcs := []subsys.Source{subsys.FromList(db.List(0)), subsys.FromList(db.List(1))}
-		_, c, err := core.Evaluate(core.A0{}, srcs, agg.Min, k)
+		_, c, err := core.Evaluate(context.Background(), core.A0{}, srcs, agg.Min, k)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -267,7 +298,7 @@ func BenchmarkE15_WeightedCostModel(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		db := dbs[i%len(dbs)]
 		srcs := []subsys.Source{subsys.FromList(db.List(0)), subsys.FromList(db.List(1))}
-		_, c, err := core.Evaluate(core.A0{}, srcs, agg.Min, 10)
+		_, c, err := core.Evaluate(context.Background(), core.A0{}, srcs, agg.Min, 10)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -7,10 +7,27 @@
 // Usage:
 //
 //	go run ./cmd/benchjson [-bench regexp] [-benchtime 2s] [-o BENCH.json]
+//	go run ./cmd/benchjson -compare BENCH_PR1.json [-drift 0.0005]
 //
 // It shells out to `go test -bench` on the repository root package and
 // parses the standard benchmark output, so the numbers are exactly what
 // a developer sees locally.
+//
+// # Regression gating (-compare)
+//
+// With -compare, the run is checked against an earlier snapshot: every
+// custom metric (middleware-cost/op and friends — ns/op is reported but
+// never gated) of every benchmark present in both snapshots must agree
+// within -drift relative tolerance, or the command exits nonzero. The
+// cost metrics are deterministic (exact means over each benchmark's
+// fixed database set, independent of iteration count), so identical
+// code compares exactly; the small default tolerance only absorbs the
+// iteration-weighted sampling of snapshots taken before the metrics
+// were made deterministic. An executor-suffixed benchmark
+// ("..._Parallel/m=5") with no counterpart in the old snapshot is
+// compared against its base name ("…/m=5"), which is how the serial
+// and concurrent executors are both pinned to the same historical cost
+// trajectory.
 package main
 
 import (
@@ -57,6 +74,8 @@ func main() {
 	bench := flag.String("bench", "BenchmarkE1_A0_SqrtN|BenchmarkE2_A0_GeneralM", "benchmarks to run (go test -bench regexp)")
 	benchtime := flag.String("benchtime", "1s", "go test -benchtime value")
 	out := flag.String("o", "", "output file (default stdout)")
+	compare := flag.String("compare", "", "baseline snapshot to gate cost metrics against")
+	drift := flag.Float64("drift", 0.0005, "relative drift tolerated per cost metric in -compare mode")
 	flag.Parse()
 
 	cmd := exec.Command("go", "test", "-run", "^$", "-bench", *bench, "-benchtime", *benchtime, ".")
@@ -111,15 +130,92 @@ func main() {
 		os.Exit(1)
 	}
 	doc = append(doc, '\n')
-	if *out == "" {
+	if *out != "" {
+		if err := os.WriteFile(*out, doc, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(snap.Results))
+	} else if *compare == "" {
 		os.Stdout.Write(doc)
-		return
 	}
-	if err := os.WriteFile(*out, doc, 0o644); err != nil {
+
+	if *compare != "" {
+		if !compareSnapshots(snap, *compare, *drift) {
+			os.Exit(1)
+		}
+	}
+}
+
+// compareSnapshots gates the run's custom metrics against the baseline
+// file, reporting every comparison; it returns false on any drift beyond
+// tol. Wall-clock deltas are printed for context but never gate.
+func compareSnapshots(snap Snapshot, baselinePath string, tol float64) bool {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
+		return false
 	}
-	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(snap.Results))
+	var base Snapshot
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", baselinePath, err)
+		return false
+	}
+	baseline := make(map[string]Measurement, len(base.Results))
+	for _, m := range base.Results {
+		baseline[m.Name] = m
+	}
+
+	ok := true
+	compared := 0
+	for _, m := range snap.Results {
+		ref, found := baseline[m.Name]
+		refName := m.Name
+		if !found {
+			// An executor-suffixed variant pins itself to the base
+			// benchmark's historical cost trajectory.
+			refName = strings.Replace(m.Name, "_Parallel", "", 1)
+			ref, found = baseline[refName]
+		}
+		if !found {
+			fmt.Printf("  new   %-45s (no baseline)\n", m.Name)
+			continue
+		}
+		for unit, got := range m.Metrics {
+			want, has := ref.Metrics[unit]
+			if !has {
+				continue
+			}
+			compared++
+			rel := 0.0
+			if want != 0 {
+				rel = (got - want) / want
+			} else if got != 0 {
+				rel = 1
+			}
+			status := "ok"
+			if rel < -tol || rel > tol {
+				status = "DRIFT"
+				ok = false
+			}
+			fmt.Printf("  %-5s %-45s %-22s %12g -> %-12g (%+.4f%%)\n",
+				status, m.Name, unit+" vs "+refName, want, got, 100*rel)
+		}
+		if ref.NsPerOp > 0 && m.NsPerOp > 0 {
+			fmt.Printf("  info  %-45s %-22s %12.0f -> %-12.0f (%+.1f%% wall-clock, not gated)\n",
+				m.Name, "ns/op vs "+refName, ref.NsPerOp, m.NsPerOp, 100*(m.NsPerOp-ref.NsPerOp)/ref.NsPerOp)
+		}
+	}
+	if compared == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: no metrics in common with %s\n", baselinePath)
+		return false
+	}
+	if ok {
+		fmt.Printf("benchjson: %d metrics within %.4g of %s\n", compared, tol, baselinePath)
+	} else {
+		fmt.Fprintf(os.Stderr, "benchjson: cost metrics drifted from %s\n", baselinePath)
+	}
+	return ok
 }
 
 // trimCPUSuffix drops the -<GOMAXPROCS> suffix go test appends.

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -15,6 +16,8 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+
 	// A small graded database: three atomic queries over six objects.
 	db := fuzzydb.DatabaseGenerator{N: 6, M: 3, Law: fuzzydb.UniformLaw{}, Seed: 3}.MustGenerate()
 
@@ -42,7 +45,7 @@ func main() {
 	fmt.Println("\ntop answer of the 3-way conjunction under each rule:")
 	fmt.Printf("  %-20s %-9s %-7s %-8s %s\n", "rule", "monotone", "strict", "object", "grade")
 	for _, rule := range rules {
-		res, _, err := fuzzydb.TopK(fuzzydb.DatabaseSources(db), rule, 1)
+		res, _, err := fuzzydb.Evaluate(ctx, fuzzydb.FaginsAlgorithm, fuzzydb.DatabaseSources(db), rule, 1)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -54,11 +57,11 @@ func main() {
 
 	// The median on a bigger database: subset decomposition vs naive.
 	big := fuzzydb.DatabaseGenerator{N: 20000, M: 3, Law: fuzzydb.UniformLaw{}, Seed: 4}.MustGenerate()
-	medRes, medCost, err := fuzzydb.TopKWith(fuzzydb.MedianAlgorithm, fuzzydb.DatabaseSources(big), fuzzydb.Median, 5)
+	medRes, medCost, err := fuzzydb.Evaluate(ctx, fuzzydb.MedianAlgorithm, fuzzydb.DatabaseSources(big), fuzzydb.Median, 5)
 	if err != nil {
 		log.Fatal(err)
 	}
-	_, naiveCost, err := fuzzydb.TopKWith(fuzzydb.NaiveAlgorithm, fuzzydb.DatabaseSources(big), fuzzydb.Median, 5)
+	_, naiveCost, err := fuzzydb.Evaluate(ctx, fuzzydb.NaiveAlgorithm, fuzzydb.DatabaseSources(big), fuzzydb.Median, 5)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,13 +1,14 @@
 // The paper's running example in full: a compact-disk store whose Artist
 // attribute lives in a relational database and whose AlbumColor lives in
-// a QBIC-like image subsystem. Demonstrates the engine (parse → plan →
-// evaluate → cost report), Boolean combinations, filtering, and
-// pagination ("the next k best").
+// a QBIC-like image subsystem. Demonstrates the request API (parse →
+// plan → evaluate → cost report under a context), Boolean combinations,
+// filtering, and streaming "the next k best".
 //
 //	go run ./examples/cdstore
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -48,8 +49,9 @@ func main() {
 		log.Fatal(err)
 	}
 
+	ctx := context.Background()
 	show := func(q string, k int) {
-		rep, err := eng.TopKString(q, k)
+		rep, err := eng.QueryString(ctx, q, fuzzydb.TopN(k))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -70,7 +72,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	rep, err := eng.Filter(q, 0.6)
+	rep, err := eng.Filter(ctx, q, 0.6)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -79,24 +81,23 @@ func main() {
 		fmt.Printf("  %-20s %.4f\n", eng.Name(r.Object), r.Grade)
 	}
 
-	// Pagination: the top 2, then the next 2, continuing where we left
-	// off (the feature noted after Theorem 4.2).
+	// Streaming: answers arrive one at a time in descending grade order
+	// (the "next k best" continuation noted after Theorem 4.2); the
+	// consumer stops whenever it has seen enough. TopN(2) sets the page
+	// granularity of the underlying incremental widening.
 	q2, err := fuzzydb.ParseQuery(`Artist = "Stones" AND AlbumColor ~ "red"`)
 	if err != nil {
 		log.Fatal(err)
 	}
-	p, err := eng.Paginate(q2)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Println("\nStones albums by redness, two pages of two:")
-	for page := 1; page <= 2; page++ {
-		rs, err := p.NextPage(2)
+	fmt.Println("\nStones albums by redness, streamed, best four:")
+	seen := 0
+	for r, err := range eng.Results(ctx, q2, fuzzydb.TopN(2)) {
 		if err != nil {
 			log.Fatal(err)
 		}
-		for _, r := range rs {
-			fmt.Printf("  page %d: %-20s %.4f\n", page, eng.Name(r.Object), r.Grade)
+		fmt.Printf("  %d. %-20s %.4f\n", seen+1, eng.Name(r.Object), r.Grade)
+		if seen++; seen == 4 {
+			break
 		}
 	}
 }

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -14,6 +15,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	const (
 		m      = 2
 		k      = 10
@@ -25,11 +27,11 @@ func main() {
 		var a0Sum, naiveSum float64
 		for s := 0; s < trials; s++ {
 			db := fuzzydb.DatabaseGenerator{N: n, M: m, Law: fuzzydb.UniformLaw{}, Seed: uint64(s + 1)}.MustGenerate()
-			_, cA0, err := fuzzydb.TopK(fuzzydb.DatabaseSources(db), fuzzydb.Min, k)
+			_, cA0, err := fuzzydb.Evaluate(ctx, fuzzydb.FaginsAlgorithm, fuzzydb.DatabaseSources(db), fuzzydb.Min, k)
 			if err != nil {
 				panic(err)
 			}
-			_, cNaive, err := fuzzydb.TopKWith(fuzzydb.NaiveAlgorithm, fuzzydb.DatabaseSources(db), fuzzydb.Min, k)
+			_, cNaive, err := fuzzydb.Evaluate(ctx, fuzzydb.NaiveAlgorithm, fuzzydb.DatabaseSources(db), fuzzydb.Min, k)
 			if err != nil {
 				panic(err)
 			}

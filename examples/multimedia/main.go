@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand/v2"
@@ -45,8 +46,10 @@ func main() {
 		log.Fatal(err)
 	}
 
+	ctx := context.Background()
+
 	// 1. The plain conjunction through the engine.
-	rep, err := eng.TopKString(`Color ~ "red" AND Shape ~ "round"`, 5)
+	rep, err := eng.QueryString(ctx, `Color ~ "red" AND Shape ~ "round"`, fuzzydb.TopN(5))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -57,7 +60,7 @@ func main() {
 	fmt.Printf("cost: %v of naive %d\n\n", rep.Cost, 2*n)
 
 	// 2a. Weighted conjunction in the query language itself.
-	wrep, err := eng.TopKString(`Color ~ "red" ^ 2 AND Shape ~ "round" ^ 1`, 3)
+	wrep, err := eng.QueryString(ctx, `Color ~ "red" ^ 2 AND Shape ~ "round" ^ 1`, fuzzydb.TopN(3))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -80,7 +83,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	wres, wcost, err := fuzzydb.TopK([]fuzzydb.Source{redSrc, roundSrc}, weighted, 5)
+	wres, wcost, err := fuzzydb.Evaluate(ctx, fuzzydb.FaginsAlgorithm, []fuzzydb.Source{redSrc, roundSrc}, weighted, 5)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -100,7 +103,7 @@ func main() {
 	}
 	for _, alg := range algs {
 		srcs := []fuzzydb.Source{redSrc, roundSrc}
-		res, c, err := fuzzydb.TopKWith(alg, srcs, fuzzydb.Min, 5)
+		res, c, err := fuzzydb.Evaluate(ctx, alg, srcs, fuzzydb.Min, 5)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -115,11 +118,11 @@ func main() {
 		{Attr: "Color", Target: "red"},
 		{Attr: "Color", Target: "orange"},
 	}
-	ext, err := eng.TopK(fuzzydb.And{Children: []fuzzydb.Query{atoms[0], atoms[1]}}, 3)
+	ext, err := eng.Query(ctx, fuzzydb.And{Children: []fuzzydb.Query{atoms[0], atoms[1]}}, fuzzydb.TopN(3))
 	if err != nil {
 		log.Fatal(err)
 	}
-	int_, err := eng.TopKInternal(atoms, 3)
+	int_, err := eng.TopKInternal(ctx, atoms, 3)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -42,8 +43,10 @@ func main() {
 	}
 
 	// Top 2 answers of (Color="red") AND (Shape="round") under the
-	// standard fuzzy conjunction (min).
-	results, cost, err := fuzzydb.TopK(sources, fuzzydb.Min, 2)
+	// standard fuzzy conjunction (min). Every evaluation is a request:
+	// it takes a context, so callers can cancel or bound it.
+	ctx := context.Background()
+	results, cost, err := fuzzydb.Evaluate(ctx, fuzzydb.FaginsAlgorithm, sources, fuzzydb.Min, 2)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -56,7 +59,7 @@ func main() {
 
 	// The same query under a different conjunction rule: the algebraic
 	// product. A₀ is correct for any monotone aggregation (Theorem 4.2).
-	results, _, err = fuzzydb.TopK(sources, fuzzydb.AlgebraicProduct, 2)
+	results, _, err = fuzzydb.Evaluate(ctx, fuzzydb.FaginsAlgorithm, sources, fuzzydb.AlgebraicProduct, 2)
 	if err != nil {
 		log.Fatal(err)
 	}

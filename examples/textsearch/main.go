@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -44,8 +45,9 @@ func main() {
 		log.Fatal(err)
 	}
 
+	ctx := context.Background()
 	show := func(q string, k int) {
-		rep, err := eng.TopKString(q, k)
+		rep, err := eng.QueryString(ctx, q, fuzzydb.TopN(k))
 		if err != nil {
 			log.Fatal(err)
 		}

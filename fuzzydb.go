@@ -8,17 +8,42 @@
 // The package is a facade over the implementation packages. Typical use
 // mirrors the paper's running example — a compact-disk store with a
 // relational subsystem for Artist and a QBIC-like image subsystem for
-// AlbumColor:
+// AlbumColor — through the request API: every evaluation takes a
+// context.Context and per-request options:
 //
 //	artist := fuzzydb.NewRelationalSubsystem("Artist", artists)
 //	color := fuzzydb.NewVectorSubsystem("AlbumColor", covers, targets)
 //	eng, err := fuzzydb.NewEngine([]fuzzydb.Subsystem{artist, color})
-//	rep, err := eng.TopKString(`Artist = "Beatles" AND AlbumColor ~ "red"`, 10)
+//	rep, err := eng.QueryString(ctx,
+//		`Artist = "Beatles" AND AlbumColor ~ "red"`,
+//		fuzzydb.TopN(10))
 //
 // The report carries the answers (a graded set), the exact middleware
 // cost (sorted and random accesses, Section 5 of the paper), and the plan
 // the optimizer chose (A₀′ for min-conjunctions, B₀ for disjunctions,
 // naive for non-monotone queries, A₀ otherwise).
+//
+// # Requests: cancellation, budgets, parallelism, streaming
+//
+// The paper's model is middleware talking to remote, independently slow
+// subsystems, so evaluation is request-scoped. Canceling the context
+// stops an evaluation promptly, mid-phase; TopN bounds the answer count;
+// WithAccessBudget caps the Section 5 spend (the evaluation stops with
+// ErrBudgetExceeded and a partial-cost report rather than overshooting);
+// WithParallelism(p) issues each round's sorted accesses concurrently —
+// one worker per subsystem — with access tallies bit-identical to the
+// serial execution, since readahead is buffered and only consumption is
+// metered. For incremental consumption, Results streams answers in
+// descending grade order:
+//
+//	for r, err := range eng.Results(ctx, q, fuzzydb.TopN(5)) {
+//		if err != nil { ... }
+//		fmt.Println(r.Object, r.Grade)
+//	}
+//
+// The context-free entry points (TopK, TopKWith, eng.TopK,
+// eng.TopKString) remain as deprecated wrappers over the request API and
+// keep old callers compiling.
 //
 // # Performance: the dense-universe fast path
 //
@@ -40,6 +65,8 @@
 package fuzzydb
 
 import (
+	"context"
+
 	"fuzzydb/internal/agg"
 	"fuzzydb/internal/core"
 	"fuzzydb/internal/cost"
@@ -110,11 +137,7 @@ func NewWeighted(base AggFunc, weights []float64) (AggFunc, error) {
 // max, min, mean, median, and the gymnastics rule by choice of weights;
 // it is strict exactly when the last weight is positive.
 func NewOWA(weights []float64) (AggFunc, error) {
-	o, err := agg.NewOWA(weights)
-	if err != nil {
-		return nil, err
-	}
-	return o, nil
+	return agg.NewOWA(weights)
 }
 
 // Parameterized t-norm families (all members monotone and strict, so the
@@ -221,7 +244,42 @@ type (
 	CostModel = cost.Model
 	// Paginator delivers "the next k best" incrementally.
 	Paginator = core.Paginator
+	// Executor decides how the physical source operations of an
+	// evaluation are issued (serial or overlapped across subsystems);
+	// access tallies are executor-independent.
+	Executor = core.Executor
+	// ExecContext carries one evaluation's context, executor, cost
+	// model, and budget; library users driving algorithms directly build
+	// one via core semantics (see Evaluate for the packaged form).
+	ExecContext = core.ExecContext
+	// EvalOption configures Evaluate (executor, cost model, budget).
+	EvalOption = core.EvalOption
+	// BudgetError reports an evaluation halted by its access budget,
+	// with the limit and spend (errors.Is(err, ErrBudgetExceeded)).
+	BudgetError = core.BudgetError
 )
+
+// ErrBudgetExceeded classifies evaluations halted by WithAccessBudget.
+var ErrBudgetExceeded = core.ErrBudgetExceeded
+
+// SerialExecutor returns the inline executor: every subsystem access on
+// the calling goroutine, exactly as the paper's cost analysis narrates.
+func SerialExecutor() Executor { return core.Serial{} }
+
+// ConcurrentExecutor returns the overlapping executor: up to p source
+// operations in flight at once, one worker per subsystem, with sorted
+// readahead buffered so the Section 5 tallies stay bit-identical to the
+// serial execution. p ≤ 0 means GOMAXPROCS.
+func ConcurrentExecutor(p int) Executor { return core.Concurrent{P: p} }
+
+// WithEvalExecutor selects the executor for one Evaluate call.
+func WithEvalExecutor(x Executor) EvalOption { return core.WithExecutor(x) }
+
+// WithEvalCostModel prices accesses for Evaluate's budget accounting.
+func WithEvalCostModel(m CostModel) EvalOption { return core.WithCostModel(m) }
+
+// WithEvalBudget caps the weighted access cost of one Evaluate call.
+func WithEvalBudget(limit float64) EvalOption { return core.WithAccessBudget(limit) }
 
 // The algorithm family.
 var (
@@ -250,27 +308,63 @@ var (
 	NaiveAlgorithm Algorithm = core.NaiveSorted{}
 )
 
+// Evaluate finds the top k answers of F_t(sources...) with the given
+// algorithm under the caller's context, and reports the exact middleware
+// cost — the full tallies on success, the partial spend when the
+// evaluation stops early on cancellation or budget exhaustion.
+func Evaluate(ctx context.Context, alg Algorithm, sources []Source, t AggFunc, k int, opts ...EvalOption) ([]Result, Cost, error) {
+	return core.Evaluate(ctx, alg, sources, t, k, opts...)
+}
+
 // TopK finds the top k answers of F_t(sources...) with Fagin's Algorithm
 // and reports the exact middleware cost.
+//
+// Deprecated: use Evaluate with a context.
 func TopK(sources []Source, t AggFunc, k int) ([]Result, Cost, error) {
-	return core.Evaluate(core.A0{}, sources, t, k)
+	return core.Evaluate(context.Background(), core.A0{}, sources, t, k)
 }
 
 // TopKWith runs a specific algorithm from the family.
+//
+// Deprecated: use Evaluate with a context.
 func TopKWith(alg Algorithm, sources []Source, t AggFunc, k int) ([]Result, Cost, error) {
-	return core.Evaluate(alg, sources, t, k)
+	return core.Evaluate(context.Background(), alg, sources, t, k)
 }
 
 // Engine: the Garlic-style middleware.
 type (
-	// Engine routes queries to subsystems, plans, and evaluates.
+	// Engine routes queries to subsystems, plans, and evaluates. Its
+	// request API is Query / QueryString / Results (context plus
+	// QueryOptions); the context-free TopK forms are deprecated
+	// wrappers.
 	Engine = middleware.Middleware
-	// Report is a query outcome: results, exact cost, and the plan.
+	// Report is a query outcome: results, exact cost, and the plan. On
+	// cancellation or budget exhaustion it carries the partial cost with
+	// nil results.
 	Report = middleware.Report
 	// Plan describes the chosen algorithm and its justification.
 	Plan = middleware.Plan
 	// EngineOption configures NewEngine.
 	EngineOption = middleware.Option
+	// QueryOption configures one engine request (TopN, WithAlgorithm,
+	// WithParallelism, WithAccessBudget, WithCostModel).
+	QueryOption = middleware.QueryOption
+	// UnknownAttributeError carries the attribute no subsystem owns
+	// (errors.As; errors.Is ErrUnknownAttribute also matches).
+	UnknownAttributeError = middleware.UnknownAttributeError
+	// SizeMismatchError carries the attribute and sizes of a universe
+	// disagreement.
+	SizeMismatchError = middleware.SizeMismatchError
+)
+
+// Sentinels classifying engine errors (see the typed forms above).
+var (
+	// ErrUnknownAttribute reports an atom whose attribute no registered
+	// subsystem owns.
+	ErrUnknownAttribute = middleware.ErrUnknownAttribute
+	// ErrSizeMismatch reports subsystems or results over different
+	// object universes.
+	ErrSizeMismatch = middleware.ErrSizeMismatch
 )
 
 // NewEngine builds an engine over subsystems sharing one object universe.
@@ -283,6 +377,35 @@ func WithSemantics(sem Semantics) EngineOption { return middleware.WithSemantics
 
 // WithObjectNames attaches display names to objects.
 func WithObjectNames(names []string) EngineOption { return middleware.WithNames(names) }
+
+// Per-request options for Engine.Query, Engine.QueryString,
+// Engine.Results, and Engine.Paginate.
+
+// DefaultTopN is the answer count a request gets without TopN.
+const DefaultTopN = middleware.DefaultTopN
+
+// TopN asks a request for the k best answers (default DefaultTopN; a k
+// beyond the universe size means "all").
+func TopN(k int) QueryOption { return middleware.TopN(k) }
+
+// WithAlgorithm overrides the planner's algorithm choice for one
+// request; the caller takes on the planner's job of matching algorithm
+// to query shape.
+func WithAlgorithm(alg Algorithm) QueryOption { return middleware.WithAlgorithm(alg) }
+
+// WithParallelism evaluates one request with up to p subsystem accesses
+// in flight at once (one worker per subsystem); tallies stay
+// bit-identical to serial evaluation.
+func WithParallelism(p int) QueryOption { return middleware.WithParallelism(p) }
+
+// WithAccessBudget caps one request's weighted middleware cost; the
+// evaluation stops with ErrBudgetExceeded and a partial-cost report
+// rather than overshooting.
+func WithAccessBudget(limit float64) QueryOption { return middleware.WithAccessBudget(limit) }
+
+// WithCostModel prices sorted and random accesses for the request's
+// budget accounting.
+func WithCostModel(model CostModel) QueryOption { return middleware.WithCostModel(model) }
 
 // Synthetic workloads (Section 5's probabilistic model).
 type (

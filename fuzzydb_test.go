@@ -1,6 +1,8 @@
 package fuzzydb_test
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
 
@@ -151,7 +153,7 @@ func TestPaginationThroughPublicAPI(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p, err := eng.Paginate(q)
+	p, err := eng.Paginate(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +176,7 @@ func TestFilterThroughPublicAPI(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := eng.Filter(q, 0.6)
+	rep, err := eng.Filter(context.Background(), q, 0.6)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -265,4 +267,87 @@ func TestCostModelPublicAPI(t *testing.T) {
 	if m.Of(c) != 13 {
 		t.Errorf("weighted cost = %v", m.Of(c))
 	}
+}
+
+func TestRequestAPIThroughFacade(t *testing.T) {
+	eng := buildCDStore(t)
+	ctx := context.Background()
+	old, err := eng.TopKString(`Artist = "Beatles" AND AlbumColor ~ "red"`, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, opts := range [][]fuzzydb.QueryOption{
+		{fuzzydb.TopN(3)},
+		{fuzzydb.TopN(3), fuzzydb.WithParallelism(2)},
+	} {
+		rep, err := eng.QueryString(ctx, `Artist = "Beatles" AND AlbumColor ~ "red"`, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Cost != old.Cost || len(rep.Results) != len(old.Results) {
+			t.Fatalf("Query disagrees with deprecated TopKString: %v %v vs %v %v",
+				rep.Results, rep.Cost, old.Results, old.Cost)
+		}
+		for i := range rep.Results {
+			if rep.Results[i] != old.Results[i] {
+				t.Errorf("result %d: %v != %v", i, rep.Results[i], old.Results[i])
+			}
+		}
+	}
+
+	// Streaming matches the one-shot evaluation prefix.
+	q, err := fuzzydb.ParseQuery(`Artist = "Beatles" AND AlbumColor ~ "red"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var streamed []fuzzydb.Result
+	for r, err := range eng.Results(ctx, q, fuzzydb.TopN(2)) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		streamed = append(streamed, r)
+		if len(streamed) == 3 {
+			break
+		}
+	}
+	for i := range streamed {
+		if streamed[i] != old.Results[i] {
+			t.Errorf("streamed %d: %v != %v", i, streamed[i], old.Results[i])
+		}
+	}
+
+	// Direct evaluation under both executors through the facade.
+	db := fuzzydb.DatabaseGenerator{N: 800, M: 3, Law: fuzzydb.UniformLaw{}, Seed: 9}.MustGenerate()
+	serialRes, serialCost, err := fuzzydb.Evaluate(ctx, fuzzydb.FaginsAlgorithm, fuzzydb.DatabaseSources(db), fuzzydb.Min, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	concRes, concCost, err := fuzzydb.Evaluate(ctx, fuzzydb.FaginsAlgorithm, fuzzydb.DatabaseSources(db), fuzzydb.Min, 6,
+		fuzzydb.WithEvalExecutor(fuzzydb.ConcurrentExecutor(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serialCost != concCost {
+		t.Fatalf("executor cost mismatch: %v vs %v", serialCost, concCost)
+	}
+	for i := range serialRes {
+		if serialRes[i] != concRes[i] {
+			t.Errorf("executor result %d mismatch", i)
+		}
+	}
+}
+
+func TestBudgetThroughFacade(t *testing.T) {
+	eng := buildCDStore(t)
+	db := fuzzydb.DatabaseGenerator{N: 4000, M: 2, Law: fuzzydb.UniformLaw{}, Seed: 10}.MustGenerate()
+	_, _, err := fuzzydb.Evaluate(context.Background(), fuzzydb.FaginsAlgorithm, fuzzydb.DatabaseSources(db), fuzzydb.Min, 10,
+		fuzzydb.WithEvalBudget(25))
+	if !errors.Is(err, fuzzydb.ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+	var be *fuzzydb.BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("err %v does not expose *fuzzydb.BudgetError", err)
+	}
+	_ = eng
 }

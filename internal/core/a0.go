@@ -49,7 +49,7 @@ func (a A0) Name() string {
 func (A0) Exact() bool { return true }
 
 // TopK implements Algorithm.
-func (a A0) TopK(lists []*subsys.Counted, t agg.Func, k int) ([]Result, error) {
+func (a A0) TopK(ec *ExecContext, lists []*subsys.Counted, t agg.Func, k int) ([]Result, error) {
 	if _, err := checkArgs(lists, k); err != nil {
 		return nil, err
 	}
@@ -58,21 +58,19 @@ func (a A0) TopK(lists []*subsys.Counted, t agg.Func, k int) ([]Result, error) {
 	}
 
 	sc := acquireScratch(lists)
-	defer sc.release()
-	a.sortedPhase(sc, lists, k)
-
-	// Random access phase: complete every seen object's grade vector.
-	// Grades already delivered by sorted access are served from the
-	// middleware's cache at no cost.
-	entries := sc.entriesBuf()
-	buf := sc.gradesBuf(len(lists))
-	for _, obj := range sc.objects() {
-		gradesInto(buf, lists, obj)
-		entries = append(entries, gradedset.Entry{Object: obj, Grade: t.Apply(buf)})
+	defer ec.releaseScratch(sc)
+	if err := a.sortedPhase(ec, sc, lists, k); err != nil {
+		return nil, err
 	}
-	sc.keepEntries(entries)
 
-	// Computation phase.
+	// Random access and computation phases: complete every seen object's
+	// grade vector (grades already delivered by sorted access are served
+	// from the middleware's cache at no cost) and aggregate.
+	entries, err := ec.appendScores(sc, lists, sc.objects(), t, sc.entriesBuf())
+	sc.keepEntries(entries)
+	if err != nil {
+		return nil, err
+	}
 	return topKResults(entries, k), nil
 }
 
@@ -80,11 +78,17 @@ func (a A0) TopK(lists []*subsys.Counted, t agg.Func, k int) ([]Result, error) {
 // the per-list prefixes holds at least k objects (or the lists are
 // exhausted, which by k ≤ N also yields k matches). Afterwards sc's
 // touched set holds every object seen under sorted access in any list.
-func (a A0) sortedPhase(sc *scratch, lists []*subsys.Counted, k int) {
+func (a A0) sortedPhase(ec *ExecContext, sc *scratch, lists []*subsys.Counted, k int) error {
 	m := int32(len(lists))
 	cursors := subsys.Cursors(lists)
 	matches := 0
 	for matches < k {
+		if err := ec.Stage(cursors, 1); err != nil {
+			return err
+		}
+		if err := ec.ReserveRound(cursors); err != nil {
+			return err
+		}
 		exhausted := true
 		for _, cu := range cursors {
 			e, ok := cu.Next()
@@ -95,7 +99,7 @@ func (a A0) sortedPhase(sc *scratch, lists []*subsys.Counted, k int) {
 			if sc.visit(e.Object) == m {
 				matches++
 				if a.MidRoundStop && matches >= k {
-					return
+					return nil
 				}
 			}
 		}
@@ -103,6 +107,19 @@ func (a A0) sortedPhase(sc *scratch, lists []*subsys.Counted, k int) {
 			break
 		}
 	}
+	return nil
+}
+
+// liveCursors counts the cursors that will deliver on the next round —
+// the exact sorted-access price of one round-robin step.
+func liveCursors(cursors []*subsys.Cursor) int {
+	live := 0
+	for _, cu := range cursors {
+		if !cu.Exhausted() {
+			live++
+		}
+	}
+	return live
 }
 
 // A0Prime is algorithm A₀′ of Section 4: the refinement for the standard
@@ -127,7 +144,7 @@ func (A0Prime) Exact() bool { return true }
 // TopK implements Algorithm. The aggregation function must behave as min;
 // it is applied to compute overall grades, but the candidate pruning is
 // justified only for min (the middleware's planner enforces this).
-func (a A0Prime) TopK(lists []*subsys.Counted, t agg.Func, k int) ([]Result, error) {
+func (a A0Prime) TopK(ec *ExecContext, lists []*subsys.Counted, t agg.Func, k int) ([]Result, error) {
 	if _, err := checkArgs(lists, k); err != nil {
 		return nil, err
 	}
@@ -137,11 +154,17 @@ func (a A0Prime) TopK(lists []*subsys.Counted, t agg.Func, k int) ([]Result, err
 	// discovery order (which round-robin makes deterministic).
 	m := len(lists)
 	sc := acquireScratch(lists)
-	defer sc.release()
+	defer ec.releaseScratch(sc)
 	cursors := subsys.Cursors(lists)
 	prefixes := make([][]gradedset.Entry, m)
 	var matches []int
 	for len(matches) < k {
+		if err := ec.Stage(cursors, 1); err != nil {
+			return nil, err
+		}
+		if err := ec.ReserveRound(cursors); err != nil {
+			return nil, err
+		}
 		exhausted := true
 		stop := false
 		for i, cu := range cursors {
@@ -181,16 +204,16 @@ func (a A0Prime) TopK(lists []*subsys.Counted, t agg.Func, k int) ([]Result, err
 	}
 
 	// Candidates: members of the i₀ prefix graded at least g₀ there.
-	entries := sc.entriesBuf()
-	buf := sc.gradesBuf(m)
+	cand := make([]int, 0, len(prefixes[i0]))
 	for _, e := range prefixes[i0] {
-		if e.Grade < g0 {
-			continue
+		if e.Grade >= g0 {
+			cand = append(cand, e.Object)
 		}
-		gradesInto(buf, lists, e.Object)
-		entries = append(entries, gradedset.Entry{Object: e.Object, Grade: t.Apply(buf)})
 	}
+	entries, err := ec.appendScores(sc, lists, cand, t, sc.entriesBuf())
 	sc.keepEntries(entries)
-
+	if err != nil {
+		return nil, err
+	}
 	return topKResults(entries, k), nil
 }

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fuzzydb/internal/agg"
-	"fuzzydb/internal/gradedset"
 	"fuzzydb/internal/subsys"
 )
 
@@ -34,16 +33,25 @@ func (A0Adaptive) Name() string { return "A0-adaptive" }
 func (A0Adaptive) Exact() bool { return true }
 
 // TopK implements Algorithm.
-func (a A0Adaptive) TopK(lists []*subsys.Counted, t agg.Func, k int) ([]Result, error) {
+func (a A0Adaptive) TopK(ec *ExecContext, lists []*subsys.Counted, t agg.Func, k int) ([]Result, error) {
 	if _, err := checkArgs(lists, k); err != nil {
 		return nil, err
 	}
 	m := int32(len(lists))
 	cursors := subsys.Cursors(lists)
 	sc := acquireScratch(lists)
-	defer sc.release()
+	defer ec.releaseScratch(sc)
 	matches := 0
 	for matches < k {
+		// Staging readies every frontier, since which list the next
+		// access goes to is decided only now (readahead on the losers is
+		// free; only consumption is metered).
+		if err := ec.Stage(cursors, 1); err != nil {
+			return nil, err
+		}
+		if err := ec.Reserve(1, 0); err != nil {
+			return nil, err
+		}
 		// Pick the live cursor with the highest frontier grade; ties go
 		// to the lowest index, which reduces to round-robin order on
 		// fully tied frontiers only by virtue of LastGrade decreasing as
@@ -71,12 +79,10 @@ func (a A0Adaptive) TopK(lists []*subsys.Counted, t agg.Func, k int) ([]Result, 
 		}
 	}
 
-	entries := sc.entriesBuf()
-	buf := sc.gradesBuf(len(lists))
-	for _, obj := range sc.objects() {
-		gradesInto(buf, lists, obj)
-		entries = append(entries, gradedset.Entry{Object: obj, Grade: t.Apply(buf)})
-	}
+	entries, err := ec.appendScores(sc, lists, sc.objects(), t, sc.entriesBuf())
 	sc.keepEntries(entries)
+	if err != nil {
+		return nil, err
+	}
 	return topKResults(entries, k), nil
 }

@@ -28,16 +28,25 @@ func (B0) Exact() bool { return true }
 
 // TopK implements Algorithm. The aggregation function must behave as max;
 // the middleware's planner selects B0 only in that case.
-func (B0) TopK(lists []*subsys.Counted, t agg.Func, k int) ([]Result, error) {
+func (B0) TopK(ec *ExecContext, lists []*subsys.Counted, t agg.Func, k int) ([]Result, error) {
 	if _, err := checkArgs(lists, k); err != nil {
 		return nil, err
 	}
 	sc := acquireScratch(lists)
-	defer sc.release()
-	for _, l := range lists {
-		cu := subsys.NewCursor(l)
-		// The top-k prefix is wanted unconditionally, so fetch it as one
-		// batched sorted access (still exactly k units of cost).
+	defer ec.releaseScratch(sc)
+	cursors := subsys.Cursors(lists)
+	// Every list's top-k prefix is wanted unconditionally: stage them all
+	// (in parallel under a concurrent executor) before consuming.
+	if err := ec.Stage(cursors, k); err != nil {
+		return nil, err
+	}
+	for _, cu := range cursors {
+		// k ≤ N, so each list delivers exactly k entries.
+		if err := ec.Reserve(k, 0); err != nil {
+			return nil, err
+		}
+		// One batched sorted access per list (still exactly k units of
+		// cost).
 		for _, e := range cu.NextBatch(k) {
 			sc.offerMax(e.Object, e.Grade)
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -27,7 +28,7 @@ func benchAlgorithm(b *testing.B, alg Algorithm, n, m, k int) {
 		for j := range srcs {
 			srcs[j] = subsys.FromList(db.List(j))
 		}
-		if _, _, err := Evaluate(alg, srcs, agg.Min, k); err != nil {
+		if _, _, err := Evaluate(context.Background(), alg, srcs, agg.Min, k); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -62,7 +63,7 @@ func BenchmarkMedianSubsetDecomposition(b *testing.B) {
 		for j := range srcs {
 			srcs[j] = subsys.FromList(db.List(j))
 		}
-		if _, _, err := Evaluate(OrderStat{}, srcs, agg.Median, 5); err != nil {
+		if _, _, err := Evaluate(context.Background(), OrderStat{}, srcs, agg.Median, 5); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -74,7 +75,7 @@ func BenchmarkFilter(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		srcs := []subsys.Source{subsys.FromList(db.List(0)), subsys.FromList(db.List(1))}
 		lists := subsys.CountAll(srcs)
-		if _, err := Filter(lists, agg.Min, 0.95); err != nil {
+		if _, err := Filter(Background(), lists, agg.Min, 0.95); err != nil {
 			b.Fatal(err)
 		}
 	}

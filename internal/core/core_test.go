@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -25,7 +26,7 @@ func sourcesOf(db *scoredb.Database) []subsys.Source {
 // run evaluates alg on db with fresh counters.
 func run(t *testing.T, alg Algorithm, db *scoredb.Database, f agg.Func, k int) ([]Result, cost.Cost) {
 	t.Helper()
-	res, c, err := Evaluate(alg, sourcesOf(db), f, k)
+	res, c, err := Evaluate(context.Background(), alg, sourcesOf(db), f, k)
 	if err != nil {
 		t.Fatalf("%s: %v", alg.Name(), err)
 	}
@@ -86,13 +87,13 @@ func TestArgumentValidation(t *testing.T) {
 	algs := []Algorithm{NaiveSorted{}, NaiveRandom{}, A0{}, A0Prime{}, B0{}, TA{}, NRA{}, Ullman{}, OrderStat{J: 1}}
 	for _, alg := range algs {
 		lists := subsys.CountAll(sourcesOf(db))
-		if _, err := alg.TopK(lists, agg.Min, 0); !errors.Is(err, ErrBadK) {
+		if _, err := alg.TopK(Background(), lists, agg.Min, 0); !errors.Is(err, ErrBadK) {
 			t.Errorf("%s: k=0 error = %v", alg.Name(), err)
 		}
-		if _, err := alg.TopK(lists, agg.Min, 3); !errors.Is(err, ErrBadK) {
+		if _, err := alg.TopK(Background(), lists, agg.Min, 3); !errors.Is(err, ErrBadK) {
 			t.Errorf("%s: k>N error = %v", alg.Name(), err)
 		}
-		if _, err := alg.TopK(nil, agg.Min, 1); err == nil {
+		if _, err := alg.TopK(Background(), nil, agg.Min, 1); err == nil {
 			t.Errorf("%s: empty lists accepted", alg.Name())
 		}
 	}
@@ -101,13 +102,13 @@ func TestArgumentValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := (Ullman{}).TopK(subsys.CountAll(sourcesOf(db3)), agg.Min, 1); !errors.Is(err, ErrArity) {
+	if _, err := (Ullman{}).TopK(Background(), subsys.CountAll(sourcesOf(db3)), agg.Min, 1); !errors.Is(err, ErrArity) {
 		t.Errorf("ullman m=3 error = %v", err)
 	}
-	if _, err := (Ullman{Probe: 2}).TopK(subsys.CountAll(sourcesOf(db)), agg.Min, 1); !errors.Is(err, ErrArity) {
+	if _, err := (Ullman{Probe: 2}).TopK(Background(), subsys.CountAll(sourcesOf(db)), agg.Min, 1); !errors.Is(err, ErrArity) {
 		t.Errorf("ullman probe=2 error = %v", err)
 	}
-	if _, err := (OrderStat{J: 5}).TopK(subsys.CountAll(sourcesOf(db)), agg.Median, 1); !errors.Is(err, ErrArity) {
+	if _, err := (OrderStat{J: 5}).TopK(Background(), subsys.CountAll(sourcesOf(db)), agg.Median, 1); !errors.Is(err, ErrArity) {
 		t.Errorf("orderstat j>m error = %v", err)
 	}
 }
@@ -119,7 +120,7 @@ func TestMonotoneCheck(t *testing.T) {
 	}
 	notMonotone := nonMonotone{}
 	for _, alg := range []Algorithm{A0{StrictMonotoneCheck: true}, TA{StrictMonotoneCheck: true}, NRA{StrictMonotoneCheck: true}} {
-		if _, err := alg.TopK(subsys.CountAll(sourcesOf(db)), notMonotone, 1); !errors.Is(err, ErrNotMonotone) {
+		if _, err := alg.TopK(Background(), subsys.CountAll(sourcesOf(db)), notMonotone, 1); !errors.Is(err, ErrNotMonotone) {
 			t.Errorf("%s: non-monotone accepted: %v", alg.Name(), err)
 		}
 	}

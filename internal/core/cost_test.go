@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -133,7 +134,7 @@ func TestFilterMatchesExhaustiveScan(t *testing.T) {
 		fn := fns[seed%3]
 		theta := float64(seed%11) / 10
 		lists := subsys.CountAll(sourcesOf(db))
-		got, err := Filter(lists, fn, theta)
+		got, err := Filter(Background(), lists, fn, theta)
 		if err != nil {
 			return false
 		}
@@ -162,13 +163,13 @@ func TestFilterMatchesExhaustiveScan(t *testing.T) {
 func TestFilterValidation(t *testing.T) {
 	db := scoredb.Generator{N: 10, M: 2, Seed: 41}.MustGenerate()
 	lists := subsys.CountAll(sourcesOf(db))
-	if _, err := Filter(lists, agg.Min, -0.1); err == nil {
+	if _, err := Filter(Background(), lists, agg.Min, -0.1); err == nil {
 		t.Error("negative threshold accepted")
 	}
-	if _, err := Filter(lists, agg.Min, 1.1); err == nil {
+	if _, err := Filter(Background(), lists, agg.Min, 1.1); err == nil {
 		t.Error("threshold > 1 accepted")
 	}
-	if _, err := Filter(nil, agg.Min, 0.5); err == nil {
+	if _, err := Filter(Background(), nil, agg.Min, 0.5); err == nil {
 		t.Error("empty lists accepted")
 	}
 }
@@ -176,7 +177,7 @@ func TestFilterValidation(t *testing.T) {
 func TestFilterIsCheaperThanDrainForHighThresholds(t *testing.T) {
 	db := scoredb.Generator{N: 5000, M: 2, Seed: 42}.MustGenerate()
 	lists := subsys.CountAll(sourcesOf(db))
-	if _, err := Filter(lists, agg.Min, 0.99); err != nil {
+	if _, err := Filter(Background(), lists, agg.Min, 0.99); err != nil {
 		t.Fatal(err)
 	}
 	if c := subsys.TotalCost(lists); c.Sum() >= 2000 {
@@ -192,7 +193,7 @@ func TestPaginatorMatchesWideTopK(t *testing.T) {
 		}
 		want, _ := run(t, NaiveSorted{}, db, agg.Min, 15)
 		lists := subsys.CountAll(sourcesOf(db))
-		p := NewPaginator(A0{}, lists, agg.Min)
+		p := NewPaginator(Background(), A0{}, lists, agg.Min)
 		var all []Result
 		for len(all) < 15 {
 			page, err := p.NextPage(5)
@@ -228,7 +229,7 @@ func TestPaginatorCostIsIncremental(t *testing.T) {
 	db := scoredb.Generator{N: 5000, M: 2, Seed: 43}.MustGenerate()
 
 	lists := subsys.CountAll(sourcesOf(db))
-	p := NewPaginator(A0{}, lists, agg.Min)
+	p := NewPaginator(Background(), A0{}, lists, agg.Min)
 	if _, err := p.NextPage(10); err != nil {
 		t.Fatal(err)
 	}
@@ -241,12 +242,12 @@ func TestPaginatorCostIsIncremental(t *testing.T) {
 	// Reference points: one run of k=10 and one of k=20, each from
 	// scratch (what restarting without the cache would cost).
 	fresh10 := subsys.CountAll(sourcesOf(db))
-	if _, err := (A0{}).TopK(fresh10, agg.Min, 10); err != nil {
+	if _, err := (A0{}).TopK(Background(), fresh10, agg.Min, 10); err != nil {
 		t.Fatal(err)
 	}
 	scratch10 := subsys.TotalCost(fresh10).Sum()
 	fresh20 := subsys.CountAll(sourcesOf(db))
-	if _, err := (A0{}).TopK(fresh20, agg.Min, 20); err != nil {
+	if _, err := (A0{}).TopK(Background(), fresh20, agg.Min, 20); err != nil {
 		t.Fatal(err)
 	}
 	scratch20 := subsys.TotalCost(fresh20).Sum()
@@ -269,7 +270,7 @@ func TestPaginatorCostIsIncremental(t *testing.T) {
 func TestPaginatorEdges(t *testing.T) {
 	db := scoredb.Generator{N: 7, M: 2, Seed: 44}.MustGenerate()
 	lists := subsys.CountAll(sourcesOf(db))
-	p := NewPaginator(A0{}, lists, agg.Min)
+	p := NewPaginator(Background(), A0{}, lists, agg.Min)
 	if _, err := p.NextPage(0); err == nil {
 		t.Error("page size 0 accepted")
 	}
@@ -288,7 +289,7 @@ func TestPaginatorEdges(t *testing.T) {
 
 func TestEvaluateReportsCost(t *testing.T) {
 	db := scoredb.Generator{N: 100, M: 2, Seed: 45}.MustGenerate()
-	res, c, err := Evaluate(A0{}, sourcesOf(db), agg.Min, 3)
+	res, c, err := Evaluate(context.Background(), A0{}, sourcesOf(db), agg.Min, 3)
 	if err != nil {
 		t.Fatal(err)
 	}

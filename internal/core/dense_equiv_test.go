@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -87,11 +88,11 @@ func TestDenseFastPathMatchesMapFallback(t *testing.T) {
 			for _, tc := range algs {
 				k := 1 + rng.Intn(n)
 				label := fmt.Sprintf("%s/m=%d/%s-%s/k=%d", lawName, m, tc.alg.Name(), tc.f.Name(), k)
-				rDense, cDense, err := Evaluate(tc.alg, sourcesOf(db), tc.f, k)
+				rDense, cDense, err := Evaluate(context.Background(), tc.alg, sourcesOf(db), tc.f, k)
 				if err != nil {
 					t.Fatalf("%s: dense: %v", label, err)
 				}
-				rMap, cMap, err := Evaluate(tc.alg, opaqueSourcesOf(db), tc.f, k)
+				rMap, cMap, err := Evaluate(context.Background(), tc.alg, opaqueSourcesOf(db), tc.f, k)
 				if err != nil {
 					t.Fatalf("%s: map: %v", label, err)
 				}
@@ -109,11 +110,11 @@ func TestDenseFastPathUllman(t *testing.T) {
 		for probe := 0; probe < 2; probe++ {
 			k := 1 + rng.Intn(20)
 			alg := Ullman{Probe: probe}
-			rDense, cDense, err := Evaluate(alg, sourcesOf(db), agg.Min, k)
+			rDense, cDense, err := Evaluate(context.Background(), alg, sourcesOf(db), agg.Min, k)
 			if err != nil {
 				t.Fatal(err)
 			}
-			rMap, cMap, err := Evaluate(alg, opaqueSourcesOf(db), agg.Min, k)
+			rMap, cMap, err := Evaluate(context.Background(), alg, opaqueSourcesOf(db), agg.Min, k)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -133,11 +134,11 @@ func TestDenseFastPathFilterFirst(t *testing.T) {
 	}
 	for _, k := range []int{1, 5, 40} {
 		alg := FilterFirst{}
-		rDense, cDense, err := Evaluate(alg, sourcesOf(db), agg.Min, k)
+		rDense, cDense, err := Evaluate(context.Background(), alg, sourcesOf(db), agg.Min, k)
 		if err != nil {
 			t.Fatal(err)
 		}
-		rMap, cMap, err := Evaluate(alg, opaqueSourcesOf(db), agg.Min, k)
+		rMap, cMap, err := Evaluate(context.Background(), alg, opaqueSourcesOf(db), agg.Min, k)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -150,13 +151,13 @@ func TestDenseFastPathFilter(t *testing.T) {
 	db := scoredb.Generator{N: 400, M: 3, Law: scoredb.Uniform{}, Seed: 29}.MustGenerate()
 	for _, theta := range []float64{0, 0.3, 0.8, 1} {
 		dense := subsys.CountAll(sourcesOf(db))
-		rDense, err := Filter(dense, agg.Min, theta)
+		rDense, err := Filter(Background(), dense, agg.Min, theta)
 		if err != nil {
 			t.Fatal(err)
 		}
 		cDense := subsys.TotalCost(dense)
 		opaque := subsys.CountAll(opaqueSourcesOf(db))
-		rMap, err := Filter(opaque, agg.Min, theta)
+		rMap, err := Filter(Background(), opaque, agg.Min, theta)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -165,17 +166,126 @@ func TestDenseFastPathFilter(t *testing.T) {
 	}
 }
 
+// TestSerialVsConcurrentExecutors is the executor-equivalence invariant:
+// the concurrent executor is a transport change only. Across the
+// algorithm family, grade laws, arities, parallelism degrees, and
+// randomized k — and on both the dense fast path and the map fallback —
+// it must return byte-identical results and identical cost.Cost tallies
+// to the serial executor. (The CI suite runs this under -race, which
+// also exercises the staging and gather fan-outs for data races.)
+func TestSerialVsConcurrentExecutors(t *testing.T) {
+	laws := map[string]scoredb.GradeLaw{
+		"Uniform":      scoredb.Uniform{},
+		"Binary":       scoredb.Binary{P: 0.08},
+		"BoundedAbove": scoredb.BoundedAbove{Max: 0.8},
+	}
+	algs := []struct {
+		alg Algorithm
+		f   agg.Func
+	}{
+		{A0{}, agg.Min},
+		{A0{MidRoundStop: true}, agg.Min},
+		{A0{}, agg.ArithmeticMean},
+		{A0Prime{}, agg.Min},
+		{A0Prime{MidRoundStop: true}, agg.Min},
+		{A0Adaptive{}, agg.Min},
+		{TA{}, agg.Min},
+		{NRA{}, agg.Min},
+		{B0{}, agg.Max},
+		{NaiveSorted{}, agg.Min},
+		{NaiveRandom{}, agg.Min},
+		{OrderStat{}, agg.Median},
+	}
+	rng := rand.New(rand.NewSource(13))
+	for lawName, law := range laws {
+		for m := 2; m <= 5; m++ {
+			n := 200 + rng.Intn(400)
+			db := scoredb.Generator{N: n, M: m, Law: law, Seed: uint64(300*m) + 11}.MustGenerate()
+			for _, tc := range algs {
+				k := 1 + rng.Intn(n)
+				// Small staging batches force many refill fan-outs even at
+				// these sizes; p sweeps below, at, and above one worker per
+				// list.
+				p := 1 + rng.Intn(m+2)
+				conc := Concurrent{P: p, Batch: 16}
+				label := fmt.Sprintf("%s/m=%d/%s-%s/k=%d/p=%d", lawName, m, tc.alg.Name(), tc.f.Name(), k, p)
+				for _, mode := range []struct {
+					name string
+					srcs func(*scoredb.Database) []subsys.Source
+				}{
+					{"dense", sourcesOf},
+					{"map", opaqueSourcesOf},
+				} {
+					rSerial, cSerial, err := Evaluate(context.Background(), tc.alg, mode.srcs(db), tc.f, k)
+					if err != nil {
+						t.Fatalf("%s/%s: serial: %v", label, mode.name, err)
+					}
+					rConc, cConc, err := Evaluate(context.Background(), tc.alg, mode.srcs(db), tc.f, k,
+						WithExecutor(conc))
+					if err != nil {
+						t.Fatalf("%s/%s: concurrent: %v", label, mode.name, err)
+					}
+					requireIdentical(t, label+"/"+mode.name, rConc, rSerial, cConc, cSerial)
+				}
+			}
+		}
+	}
+}
+
+// TestConcurrentExecutorUnderConcurrentQueries layers the two axes of
+// concurrency: many goroutines each running parallel-executor
+// evaluations over shared pools (run with -race in CI). Answers and
+// costs must match the serial single-threaded reference.
+func TestConcurrentExecutorUnderConcurrentQueries(t *testing.T) {
+	db := scoredb.Generator{N: 400, M: 3, Seed: 44}.MustGenerate()
+	want, wantCost, err := Evaluate(context.Background(), A0{}, sourcesOf(db), agg.Min, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, 32)
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				res, c, err := Evaluate(context.Background(), A0{}, sourcesOf(db), agg.Min, 9,
+					WithExecutor(Concurrent{P: 3, Batch: 32}))
+				if err != nil {
+					errs <- err.Error()
+					return
+				}
+				if c != wantCost || len(res) != len(want) {
+					errs <- fmt.Sprintf("goroutine %d: diverged", g)
+					return
+				}
+				for j := range res {
+					if res[j] != want[j] {
+						errs <- fmt.Sprintf("goroutine %d: result %d diverged", g, j)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}
+
 // TestScratchReuseIsDeterministic re-runs one query through the same
 // pooled scratch repeatedly: epoch-stamped reuse must not leak state
 // between evaluations.
 func TestScratchReuseIsDeterministic(t *testing.T) {
 	db := scoredb.Generator{N: 300, M: 3, Seed: 37}.MustGenerate()
-	first, cFirst, err := Evaluate(A0{}, sourcesOf(db), agg.Min, 12)
+	first, cFirst, err := Evaluate(context.Background(), A0{}, sourcesOf(db), agg.Min, 12)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 50; i++ {
-		res, c, err := Evaluate(A0{}, sourcesOf(db), agg.Min, 12)
+		res, c, err := Evaluate(context.Background(), A0{}, sourcesOf(db), agg.Min, 12)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -209,7 +319,7 @@ func TestPooledScratchUnderConcurrentQueries(t *testing.T) {
 	wantCost := make(map[key]cost.Cost)
 	for di, db := range dbs {
 		for ai, tc := range algs {
-			res, c, err := Evaluate(tc.alg, sourcesOf(db), tc.f, 9)
+			res, c, err := Evaluate(context.Background(), tc.alg, sourcesOf(db), tc.f, 9)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -228,7 +338,7 @@ func TestPooledScratchUnderConcurrentQueries(t *testing.T) {
 				di := (g + i) % len(dbs)
 				ai := (g * 7) % len(algs)
 				tc := algs[ai]
-				res, c, err := Evaluate(tc.alg, sourcesOf(dbs[di]), tc.f, 9)
+				res, c, err := Evaluate(context.Background(), tc.alg, sourcesOf(dbs[di]), tc.f, 9)
 				if err != nil {
 					errs <- err.Error()
 					return

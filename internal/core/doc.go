@@ -39,6 +39,23 @@
 // the next k best answers by continuing where we left off" feature noted
 // after Theorem 4.2.
 //
+// # Requests and executors
+//
+// Evaluation is request-scoped: Evaluate takes a context.Context and
+// per-request options, and every algorithm takes an *ExecContext
+// carrying that context, the cost model, an optional access budget, and
+// an Executor. The executor is the transport between algorithms and
+// subsystems: Serial issues every access inline; Concurrent overlaps
+// them across lists (one worker per subsystem), staging sorted ranks
+// into uncounted readahead buffers and fanning the random-access phase
+// out per list. Executors never change semantics — the Section 5
+// tallies meter what the algorithm consumes, which is identical under
+// either executor, and the equivalence tests pin that bit for bit.
+// Cancellation is honored between accesses (Serial) or by abandoning
+// in-flight workers (Concurrent); budgets are enforced by reservation
+// before each step, so a budgeted evaluation stops with ErrBudgetExceeded
+// and a partial cost that never overshoots the limit.
+//
 // All algorithms interact with data exclusively through subsys.Counted,
 // so reported costs are exactly the S and R of the Section 5 cost model.
 package core

@@ -1,0 +1,606 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+
+	"fuzzydb/internal/agg"
+	"fuzzydb/internal/cost"
+	"fuzzydb/internal/gradedset"
+	"fuzzydb/internal/subsys"
+)
+
+// Executor is the transport between the algorithms and the subsystems:
+// it decides how the physical source operations behind a query are
+// issued. Two implementations ship — Serial, which performs every access
+// inline, and Concurrent, which overlaps accesses across lists (one
+// worker per subsystem), modeling a middleware whose subsystems are
+// remote and independently slow.
+//
+// Executors change wall-clock only, never semantics: the Section 5
+// access tallies meter what the algorithm consumes, and consumption is
+// identical under every executor (the equivalence tests pin this bit for
+// bit). Concurrent achieves that by staging — prefetching sorted ranks
+// into the lists' uncounted buffers — rather than by consuming on the
+// algorithm's behalf.
+type Executor interface {
+	// Name identifies the executor in reports and experiment tables.
+	Name() string
+	// Parallel reports whether the executor overlaps source operations;
+	// false lets hot paths skip staging bookkeeping entirely.
+	Parallel() bool
+	// Stage ensures each non-exhausted cursor can deliver its next
+	// `ahead` entries without touching its source, prefetching in
+	// parallel where the implementation allows. On cancellation it
+	// returns an *AbandonedError if source operations may still be in
+	// flight.
+	Stage(ctx context.Context, cursors []*subsys.Cursor, ahead int) error
+	// Gather performs the random-access phase: cols[j][i] =
+	// lists[j].Grade(objs[i]) for every list j and object i. Each list is
+	// probed by at most one worker, in ascending object-index order, so
+	// per-list tallies and memo state match the serial order exactly.
+	Gather(ctx context.Context, lists []*subsys.Counted, objs []int, cols [][]float64) error
+}
+
+// AbandonedError reports that an evaluation stopped (on cancellation)
+// while concurrent source operations were still in flight. The lists and
+// scratch state of such an evaluation are poisoned — workers may still
+// be writing to them — so the engine reports the cost as of the last
+// quiescent checkpoint and lets the abandoned state be garbage collected
+// instead of returning it to the pools.
+type AbandonedError struct {
+	// Cause is the context error that triggered the abandonment.
+	Cause error
+}
+
+// Error implements error.
+func (e *AbandonedError) Error() string {
+	return fmt.Sprintf("core: evaluation abandoned with accesses in flight: %v", e.Cause)
+}
+
+// Unwrap exposes the context error to errors.Is (context.Canceled,
+// context.DeadlineExceeded).
+func (e *AbandonedError) Unwrap() error { return e.Cause }
+
+// ErrBudgetExceeded reports an evaluation halted by its access budget.
+// Inspect the concrete *BudgetError via errors.As for the tallies.
+var ErrBudgetExceeded = errors.New("core: access budget exceeded")
+
+// BudgetError is the typed form of ErrBudgetExceeded: the evaluation
+// stopped because the next step would have cost more than the remaining
+// budget. Spent is the weighted cost already incurred (it never exceeds
+// Limit: reservations are made before accesses are issued, so a budgeted
+// evaluation cannot overshoot).
+type BudgetError struct {
+	// Limit is the configured budget (weighted by the cost model).
+	Limit float64
+	// Spent is the weighted cost incurred before the stop.
+	Spent float64
+	// Need is the (worst-case) weighted cost of the step that would have
+	// crossed the limit.
+	Need float64
+}
+
+// Error implements error.
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("core: access budget exceeded: spent %.6g of %.6g, next step needs %.6g", e.Spent, e.Limit, e.Need)
+}
+
+// Unwrap ties the typed error to the ErrBudgetExceeded sentinel.
+func (e *BudgetError) Unwrap() error { return ErrBudgetExceeded }
+
+// ExecContext carries the per-request execution state of one evaluation:
+// the caller's context, the access executor, the cost model, and the
+// optional access budget. Every algorithm takes one; Background() is the
+// zero-configuration form the deprecated context-free entry points use.
+//
+// An ExecContext is bound to at most one evaluation at a time (it tracks
+// that evaluation's lists for budget accounting and abandonment
+// snapshots); build a fresh one per request, as Evaluate does.
+type ExecContext struct {
+	ctx       context.Context
+	done      <-chan struct{}
+	exec      Executor
+	par       bool // exec.Parallel(), cached off the hot path
+	model     cost.Model
+	budget    float64 // <= 0 means unlimited
+	lists     []*subsys.Counted
+	safe      cost.Cost // tallies at the last quiescent checkpoint
+	abandoned bool
+}
+
+// EvalOption configures an evaluation (see Evaluate and NewExecContext).
+type EvalOption func(*ExecContext)
+
+// WithExecutor selects the access executor (default Serial{}).
+func WithExecutor(x Executor) EvalOption {
+	return func(ec *ExecContext) {
+		if x != nil {
+			ec.exec = x
+		}
+	}
+}
+
+// WithCostModel prices the two access modes for budget accounting
+// (default cost.Unweighted). Invalid models (non-positive prices) are
+// ignored.
+func WithCostModel(m cost.Model) EvalOption {
+	return func(ec *ExecContext) {
+		if m.Valid() {
+			ec.model = m
+		}
+	}
+}
+
+// WithAccessBudget bounds the weighted middleware cost of the
+// evaluation: before each step the algorithm reserves the step's
+// worst-case cost, and if the reservation would cross the limit the
+// evaluation stops with a *BudgetError and the partial cost spent so
+// far. Reservations are pessimistic (a probe that turns out to be cached
+// is reserved at full price), so a budgeted evaluation never overshoots
+// but may stop slightly before the budget is genuinely exhausted.
+// A non-positive limit means unlimited.
+func WithAccessBudget(limit float64) EvalOption {
+	return func(ec *ExecContext) { ec.budget = limit }
+}
+
+// NewExecContext builds the execution state for one evaluation over the
+// given counted lists. The lists are used for budget accounting and for
+// cost snapshots on abandonment; callers that run algorithms directly
+// (tests, the paginator) pass the same lists they hand to TopK.
+func NewExecContext(ctx context.Context, lists []*subsys.Counted, opts ...EvalOption) *ExecContext {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ec := &ExecContext{
+		ctx:   ctx,
+		done:  ctx.Done(),
+		exec:  Serial{},
+		model: cost.Unweighted,
+		lists: lists,
+	}
+	for _, opt := range opts {
+		opt(ec)
+	}
+	ec.par = ec.exec.Parallel()
+	return ec
+}
+
+// Background returns an ExecContext with the defaults — background
+// context, serial executor, unweighted model, no budget — for callers
+// that predate the request API.
+func Background() *ExecContext { return NewExecContext(context.Background(), nil) }
+
+// Ctx returns the caller's context.
+func (ec *ExecContext) Ctx() context.Context { return ec.ctx }
+
+// Executor returns the access executor in use.
+func (ec *ExecContext) Executor() Executor { return ec.exec }
+
+// CostModel returns the access prices used for budget accounting.
+func (ec *ExecContext) CostModel() cost.Model { return ec.model }
+
+// Abandoned reports whether the evaluation stopped with source
+// operations still in flight (see AbandonedError). The lists of an
+// abandoned evaluation must not be read or released.
+func (ec *ExecContext) Abandoned() bool { return ec.abandoned }
+
+// SafeCost returns the access tallies recorded at the last quiescent
+// checkpoint — the exact spend of an abandoned evaluation as of the last
+// moment no worker was in flight.
+func (ec *ExecContext) SafeCost() cost.Cost { return ec.safe }
+
+// err is the per-round cancellation check: a non-blocking poll of the
+// context's done channel (a few nanoseconds when the context cannot be
+// canceled).
+func (ec *ExecContext) err() error {
+	if ec.done == nil {
+		return nil
+	}
+	select {
+	case <-ec.done:
+		return fmt.Errorf("core: evaluation canceled: %w", context.Cause(ec.ctx))
+	default:
+		return nil
+	}
+}
+
+// snapshot records the current tallies as the quiescent checkpoint. Only
+// called when no worker is in flight.
+func (ec *ExecContext) snapshot() {
+	if ec.lists != nil {
+		ec.safe = subsys.TotalCost(ec.lists)
+	}
+}
+
+// spent returns the weighted cost incurred so far.
+func (ec *ExecContext) spent() float64 {
+	ec.snapshot()
+	return ec.model.Of(ec.safe)
+}
+
+// Stage is the per-round staging point of the sorted-access loops: it
+// checks cancellation, and under a parallel executor prefetches the next
+// `ahead` ranks of every live cursor concurrently. The algorithm then
+// consumes (and pays for) entries exactly as it would serially.
+func (ec *ExecContext) Stage(cursors []*subsys.Cursor, ahead int) error {
+	if err := ec.err(); err != nil {
+		return err
+	}
+	if !ec.par {
+		return nil
+	}
+	ec.snapshot()
+	err := ec.exec.Stage(ec.ctx, cursors, ahead)
+	if err != nil {
+		var ab *AbandonedError
+		if errors.As(err, &ab) {
+			ec.abandoned = true
+		}
+	}
+	return err
+}
+
+// ReserveRound gates one round-robin step — at most one sorted access
+// per live cursor — against the budget. Free (a single compare) with no
+// budget configured.
+func (ec *ExecContext) ReserveRound(cursors []*subsys.Cursor) error {
+	if ec.budget <= 0 {
+		return nil
+	}
+	return ec.Reserve(liveCursors(cursors), 0)
+}
+
+// Reserve gates a step that will perform at most nSorted sorted and
+// nRandom random accesses against the budget. With no budget configured
+// it is free. It does not consume anything: the actual spend is whatever
+// the step's accesses tally.
+func (ec *ExecContext) Reserve(nSorted, nRandom int) error {
+	if ec.budget <= 0 {
+		return nil
+	}
+	need := ec.model.C1*float64(nSorted) + ec.model.C2*float64(nRandom)
+	if spent := ec.spent(); spent+need > ec.budget {
+		return &BudgetError{Limit: ec.budget, Spent: spent, Need: need}
+	}
+	return nil
+}
+
+// Gather runs the random-access phase — cols[j][i] = lists[j].Grade of
+// objs[i] — through the executor. Under a budget it degrades to a serial
+// object-major sweep with an exact per-object reservation, so the budget
+// is never overshot.
+func (ec *ExecContext) Gather(lists []*subsys.Counted, objs []int, cols [][]float64) error {
+	if err := ec.err(); err != nil {
+		return err
+	}
+	if ec.budget > 0 {
+		return ec.gatherBudgeted(lists, objs, cols)
+	}
+	if ec.par {
+		ec.snapshot()
+		err := ec.exec.Gather(ec.ctx, lists, objs, cols)
+		if err != nil {
+			var ab *AbandonedError
+			if errors.As(err, &ab) {
+				ec.abandoned = true
+			}
+		}
+		return err
+	}
+	return Serial{}.Gather(ec.ctx, lists, objs, cols)
+}
+
+// appendScores runs the random-access-plus-computation phase shared by
+// the A₀ family: for every object, complete its grade vector across
+// lists and append (object, t(vector)) to entries, preserving object
+// order. Serially it is a single object-major sweep (the best cache
+// behavior for the memoized probes); under a parallel executor the
+// probes fan out one worker per list through Gather and the aggregation
+// runs over the gathered columns. Tallies are identical either way: each
+// (list, object) grade is paid for at most once, whatever the order.
+func (ec *ExecContext) appendScores(sc *scratch, lists []*subsys.Counted, objs []int, t agg.Func, entries []gradedset.Entry) ([]gradedset.Entry, error) {
+	buf := sc.gradesBuf(len(lists))
+	if ec.par && ec.budget <= 0 && gatherFansOut(len(lists), len(objs)) {
+		cols := sc.colsBuf(len(lists), len(objs))
+		if err := ec.Gather(lists, objs, cols); err != nil {
+			return entries, err
+		}
+		for i, obj := range objs {
+			for j := range cols {
+				buf[j] = cols[j][i]
+			}
+			entries = append(entries, gradedset.Entry{Object: obj, Grade: t.Apply(buf)})
+		}
+		return entries, nil
+	}
+	for i, obj := range objs {
+		if i%ctxCheckEvery == 0 {
+			if err := ec.err(); err != nil {
+				return entries, err
+			}
+		}
+		if err := ec.ReserveProbes(lists, obj); err != nil {
+			return entries, err
+		}
+		gradesInto(buf, lists, obj)
+		entries = append(entries, gradedset.Entry{Object: obj, Grade: t.Apply(buf)})
+	}
+	return entries, nil
+}
+
+// ReserveProbes reserves the random accesses needed to complete obj's
+// grade vector across lists: exactly the grades not already paid for.
+// Free with no budget configured.
+func (ec *ExecContext) ReserveProbes(lists []*subsys.Counted, obj int) error {
+	if ec.budget <= 0 {
+		return nil
+	}
+	missing := 0
+	for _, l := range lists {
+		if _, ok := l.Known(obj); !ok {
+			missing++
+		}
+	}
+	return ec.Reserve(0, missing)
+}
+
+// gatherBudgeted is the budget-respecting gather: object-major, with an
+// exact reservation (only genuinely unknown grades are priced) before
+// each object's probes.
+func (ec *ExecContext) gatherBudgeted(lists []*subsys.Counted, objs []int, cols [][]float64) error {
+	for i, obj := range objs {
+		if i%budgetCheckEvery == 0 {
+			if err := ec.err(); err != nil {
+				return err
+			}
+		}
+		if err := ec.ReserveProbes(lists, obj); err != nil {
+			return err
+		}
+		for j, l := range lists {
+			cols[j][i] = l.Grade(obj)
+		}
+	}
+	return nil
+}
+
+// releaseScratch pools the scratch unless the evaluation was abandoned
+// (in which case in-flight workers may still write to it; let the GC
+// collect it instead).
+func (ec *ExecContext) releaseScratch(s *scratch) {
+	if !ec.abandoned {
+		s.release()
+	}
+}
+
+const (
+	// defaultStageBatch is the readahead span the concurrent executor
+	// prefetches per list when a round-robin consumer (ahead == 1) runs a
+	// buffer dry: large enough to amortize the fan-out synchronization
+	// over hundreds of rounds, small enough to keep readahead waste
+	// bounded on early-stopping queries.
+	defaultStageBatch = 512
+	// gatherSerialCutoff is the probe count below which Concurrent.Gather
+	// runs inline: the work is too small to pay a goroutine fan-out for.
+	gatherSerialCutoff = 4096
+	// ctxCheckEvery paces cancellation polls inside long serial probe
+	// loops.
+	ctxCheckEvery = 4096
+	// budgetCheckEvery paces cancellation polls in the budgeted gather
+	// (which already pays a reservation per object).
+	budgetCheckEvery = 64
+)
+
+// Serial is the inline executor: every access happens on the calling
+// goroutine, exactly as the paper's cost analysis narrates it.
+// Cancellation is honored between accesses.
+type Serial struct{}
+
+// Name implements Executor.
+func (Serial) Name() string { return "serial" }
+
+// Parallel implements Executor.
+func (Serial) Parallel() bool { return false }
+
+// Stage implements Executor: nothing to do — consumption fetches on
+// demand. (ExecContext short-circuits before calling this; it exists to
+// satisfy the interface for callers driving an executor directly.)
+func (Serial) Stage(ctx context.Context, cursors []*subsys.Cursor, ahead int) error { return nil }
+
+// Gather implements Executor: list-major inline probing with periodic
+// cancellation checks.
+func (Serial) Gather(ctx context.Context, lists []*subsys.Counted, objs []int, cols [][]float64) error {
+	done := ctx.Done()
+	for j, l := range lists {
+		col := cols[j]
+		for i, obj := range objs {
+			if done != nil && i%ctxCheckEvery == 0 {
+				select {
+				case <-done:
+					return fmt.Errorf("core: evaluation canceled: %w", context.Cause(ctx))
+				default:
+				}
+			}
+			col[i] = l.Grade(obj)
+		}
+	}
+	return nil
+}
+
+// Concurrent is the overlapping executor: it issues the physical source
+// operations of an evaluation on up to P goroutines, one list per
+// worker, so the m per-round sorted accesses (and the whole
+// random-access phase) proceed in parallel across subsystems. Staged
+// sorted ranks land in the lists' uncounted readahead buffers in spans
+// of Batch, which both hides subsystem latency and amortizes the fan-out
+// synchronization; the algorithm pays per rank as it consumes, so
+// Section 5 tallies are bit-identical to Serial's.
+//
+// On cancellation mid-fan-out the executor abandons its workers (each
+// finishes its in-flight source call and exits) and returns an
+// *AbandonedError promptly instead of waiting out a slow or wedged
+// subsystem.
+type Concurrent struct {
+	// P caps the number of concurrently executing source operations;
+	// 0 means GOMAXPROCS. Useful values are 2…m — one worker per list.
+	P int
+	// Batch is the readahead span per staging refill; 0 means the
+	// defaultStageBatch (512-rank) default.
+	Batch int
+}
+
+// Name implements Executor.
+func (c Concurrent) Name() string { return fmt.Sprintf("concurrent(p=%d)", c.p()) }
+
+// Parallel implements Executor.
+func (Concurrent) Parallel() bool { return true }
+
+func (c Concurrent) p() int {
+	if c.P > 0 {
+		return c.P
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (c Concurrent) batch() int {
+	if c.Batch > 0 {
+		return c.Batch
+	}
+	return defaultStageBatch
+}
+
+// Stage implements Executor: refill every cursor whose readahead buffer
+// is shy of `ahead` entries, in parallel. Round-robin consumers
+// (ahead == 1) get a Batch-deep refill so the fan-out happens once per
+// Batch rounds; bulk consumers (B₀'s top-k prefixes, the naive drain)
+// state their exact need and get exactly that.
+func (c Concurrent) Stage(ctx context.Context, cursors []*subsys.Cursor, ahead int) error {
+	if ahead < 1 {
+		ahead = 1
+	}
+	target := ahead
+	if ahead == 1 {
+		target = c.batch()
+	}
+	var needy []*subsys.Cursor
+	for _, cu := range cursors {
+		// Buffer check first: it is a plain compare, while Exhausted costs
+		// a length lookup, and a warm buffer is the common case.
+		if cu.Buffered() < ahead && !cu.Exhausted() {
+			needy = append(needy, cu)
+		}
+	}
+	if len(needy) == 0 {
+		return nil
+	}
+	return c.fanOut(ctx, len(needy), func(ctx context.Context, i int) bool {
+		needy[i].Prefetch(target)
+		return true
+	})
+}
+
+// gatherFansOut reports whether a random-access phase of the given
+// shape is worth a goroutine fan-out: enough probes to amortize the
+// synchronization, and more than one CPU to overlap compute-bound
+// probes on. (Sorted staging still fans out on one CPU — its workers
+// overlap waiting, not compute.)
+func gatherFansOut(m, nObjs int) bool {
+	return nObjs*m >= gatherSerialCutoff && runtime.GOMAXPROCS(0) > 1
+}
+
+// Gather implements Executor: one worker per list, each probing every
+// object in ascending index order (the same per-list order Serial uses,
+// so memo state and tallies agree exactly).
+func (c Concurrent) Gather(ctx context.Context, lists []*subsys.Counted, objs []int, cols [][]float64) error {
+	if !gatherFansOut(len(lists), len(objs)) {
+		// Inline keeps the same per-list probe order; cancellation is
+		// honored between probes rather than by abandonment.
+		return Serial{}.Gather(ctx, lists, objs, cols)
+	}
+	return c.fanOut(ctx, len(lists), func(ctx context.Context, j int) bool {
+		l, col := lists[j], cols[j]
+		done := ctx.Done()
+		for i, obj := range objs {
+			if done != nil && i%ctxCheckEvery == 0 {
+				select {
+				case <-done:
+					return false // abandoned; stop burning the subsystem
+				default:
+				}
+			}
+			col[i] = l.Grade(obj)
+		}
+		return true
+	})
+}
+
+// fanOut runs f(ctx, 0..n-1) on up to p() workers and waits for all of
+// them — unless ctx is canceled first, in which case it returns an
+// *AbandonedError immediately and the workers finish (or notice the
+// cancellation) on their own. f reports whether it completed its item;
+// a worker whose f bails early (on cancellation) poisons the fan-out,
+// so a run can only return nil when every item was fully processed.
+func (c Concurrent) fanOut(ctx context.Context, n int, f func(ctx context.Context, i int) bool) error {
+	workers := c.p()
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 && ctx.Done() == nil {
+		// No overlap possible and no cancellation to honor: run inline.
+		// f cannot bail without a cancelable context.
+		for i := 0; i < n; i++ {
+			f(ctx, i)
+		}
+		return nil
+	}
+	var next atomic.Int64
+	var aborted atomic.Bool
+	// Buffered to workers: a worker's final send never blocks, so an
+	// abandoned worker still exits on its own.
+	tokens := make(chan struct{}, workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer func() { tokens <- struct{}{} }()
+			for !aborted.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if !f(ctx, i) {
+					aborted.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	done := ctx.Done()
+	for w := 0; w < workers; w++ {
+		select {
+		case <-tokens:
+		case <-done:
+			// Drain without blocking: if every worker finished AND none
+			// bailed, nothing is in flight and the work is complete.
+			for ; w < workers; w++ {
+				select {
+				case <-tokens:
+				default:
+					return &AbandonedError{Cause: context.Cause(ctx)}
+				}
+			}
+			if aborted.Load() {
+				return &AbandonedError{Cause: context.Cause(ctx)}
+			}
+			return nil
+		}
+	}
+	if aborted.Load() {
+		// Every worker exited, but at least one bailed mid-item: the
+		// results are incomplete and must be discarded by the caller.
+		return &AbandonedError{Cause: context.Cause(ctx)}
+	}
+	return nil
+}

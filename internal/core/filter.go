@@ -24,7 +24,7 @@ import (
 // For t = min the per-coordinate bound is just g ≥ θ: drain each list
 // down to grade θ, exactly the "color score at least 0.2" filter of the
 // related-work discussion.
-func Filter(lists []*subsys.Counted, t agg.Func, theta float64) ([]Result, error) {
+func Filter(ec *ExecContext, lists []*subsys.Counted, t agg.Func, theta float64) ([]Result, error) {
 	if len(lists) == 0 {
 		return nil, ErrNoLists
 	}
@@ -44,10 +44,17 @@ func Filter(lists []*subsys.Counted, t agg.Func, theta float64) ([]Result, error
 	}
 
 	sc := acquireScratch(lists)
-	defer sc.release()
+	defer ec.releaseScratch(sc)
 	for i := range lists {
 		cu := subsys.NewCursor(lists[i])
-		for {
+		only := []*subsys.Cursor{cu}
+		for !cu.Exhausted() {
+			if err := ec.Stage(only, 1); err != nil {
+				return nil, err
+			}
+			if err := ec.Reserve(1, 0); err != nil {
+				return nil, err
+			}
 			e, ok := cu.Next()
 			if !ok {
 				break
@@ -59,15 +66,23 @@ func Filter(lists []*subsys.Counted, t agg.Func, theta float64) ([]Result, error
 		}
 	}
 
-	var out []gradedset.Entry
-	gbuf := sc.gradesBuf(m)
+	// Candidates: objects seen in every drained prefix; complete their
+	// grade vectors through the executor and apply the exact test.
+	cand := make([]int, 0, len(sc.objects()))
 	for _, obj := range sc.objects() {
-		if int(sc.countOf(obj)) < m {
-			continue
+		if int(sc.countOf(obj)) == m {
+			cand = append(cand, obj)
 		}
-		gradesInto(gbuf, lists, obj)
-		if g := t.Apply(gbuf); g >= theta {
-			out = append(out, gradedset.Entry{Object: obj, Grade: g})
+	}
+	scored, err := ec.appendScores(sc, lists, cand, t, sc.entriesBuf())
+	sc.keepEntries(scored)
+	if err != nil {
+		return nil, err
+	}
+	var out []gradedset.Entry
+	for _, e := range scored {
+		if e.Grade >= theta {
+			out = append(out, e)
 		}
 	}
 	gradedset.SortEntries(out)

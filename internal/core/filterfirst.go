@@ -39,7 +39,7 @@ func (f FilterFirst) Name() string { return "filter-first" }
 func (FilterFirst) Exact() bool { return true }
 
 // TopK implements Algorithm. The aggregation function must behave as min.
-func (f FilterFirst) TopK(lists []*subsys.Counted, t agg.Func, k int) ([]Result, error) {
+func (f FilterFirst) TopK(ec *ExecContext, lists []*subsys.Counted, t agg.Func, k int) ([]Result, error) {
 	n, err := checkArgs(lists, k)
 	if err != nil {
 		return nil, err
@@ -48,12 +48,19 @@ func (f FilterFirst) TopK(lists []*subsys.Counted, t agg.Func, k int) ([]Result,
 		return nil, fmt.Errorf("%w: drive list %d of %d", ErrArity, f.Drive, len(lists))
 	}
 	drive := subsys.NewCursor(lists[f.Drive])
+	driveOnly := []*subsys.Cursor{drive}
 
 	// Sorted access on the driving list: perfect matches arrive first.
 	// One extra access (the first non-1 grade) proves completeness; it
 	// must be 0 or the list is not binary.
 	var matches []int
-	for {
+	for !drive.Exhausted() {
+		if err := ec.Stage(driveOnly, 1); err != nil {
+			return nil, err
+		}
+		if err := ec.Reserve(1, 0); err != nil {
+			return nil, err
+		}
 		e, ok := drive.Next()
 		if !ok {
 			break
@@ -70,12 +77,11 @@ func (f FilterFirst) TopK(lists []*subsys.Counted, t agg.Func, k int) ([]Result,
 
 	// Random access for the matches only.
 	sc := acquireScratch(lists)
-	defer sc.release()
-	entries := sc.entriesBuf()
-	buf := sc.gradesBuf(len(lists))
-	for _, obj := range matches {
-		gradesInto(buf, lists, obj)
-		entries = append(entries, gradedset.Entry{Object: obj, Grade: t.Apply(buf)})
+	defer ec.releaseScratch(sc)
+	entries, err := ec.appendScores(sc, lists, matches, t, sc.entriesBuf())
+	if err != nil {
+		sc.keepEntries(entries)
+		return nil, err
 	}
 
 	// If the crisp conjunct has fewer than k perfect matches, every

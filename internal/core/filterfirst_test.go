@@ -66,7 +66,7 @@ func TestFilterFirstCostTracksSelectivity(t *testing.T) {
 func TestFilterFirstRejectsFuzzyDrivingList(t *testing.T) {
 	db := scoredb.Generator{N: 50, M: 2, Law: scoredb.Uniform{}, Seed: 9}.MustGenerate()
 	lists := subsys.CountAll(sourcesOf(db))
-	if _, err := (FilterFirst{}).TopK(lists, agg.Min, 3); !errors.Is(err, ErrNotBinary) {
+	if _, err := (FilterFirst{}).TopK(Background(), lists, agg.Min, 3); !errors.Is(err, ErrNotBinary) {
 		t.Errorf("fuzzy driving list error = %v", err)
 	}
 }
@@ -86,7 +86,7 @@ func TestFilterFirstDriveSelection(t *testing.T) {
 		t.Errorf("drive=1: got=%v want=%v", got, want)
 	}
 	lists := subsys.CountAll(sourcesOf(db))
-	if _, err := (FilterFirst{Drive: 5}).TopK(lists, agg.Min, 3); !errors.Is(err, ErrArity) {
+	if _, err := (FilterFirst{Drive: 5}).TopK(Background(), lists, agg.Min, 3); !errors.Is(err, ErrArity) {
 		t.Errorf("bad drive error = %v", err)
 	}
 }

@@ -175,7 +175,7 @@ func TestLemma62IntersectionProperty(t *testing.T) {
 			srcs[i] = subsys.FromList(db.List(i))
 		}
 		counted := subsys.CountAll(srcs)
-		if _, err := (A0{}).TopK(counted, agg.Min, k); err != nil {
+		if _, err := (A0{}).TopK(Background(), counted, agg.Min, k); err != nil {
 			return false
 		}
 		c := subsys.TotalCost(counted)

@@ -20,17 +20,25 @@ func (NaiveSorted) Exact() bool { return true }
 
 // TopK implements Algorithm. It is correct for every aggregation
 // function, monotone or not, since it sees every grade.
-func (NaiveSorted) TopK(lists []*subsys.Counted, t agg.Func, k int) ([]Result, error) {
+func (NaiveSorted) TopK(ec *ExecContext, lists []*subsys.Counted, t agg.Func, k int) ([]Result, error) {
 	n, err := checkArgs(lists, k)
 	if err != nil {
 		return nil, err
 	}
+	cursors := subsys.Cursors(lists)
+	// Every list is drained in full by definition: stage the complete
+	// prefixes (in parallel under a concurrent executor) up front.
+	if err := ec.Stage(cursors, n); err != nil {
+		return nil, err
+	}
 	grades := make([][]float64, len(lists))
-	for i, l := range lists {
-		cu := subsys.NewCursor(l)
+	for i, cu := range cursors {
+		if err := ec.Reserve(n, 0); err != nil {
+			return nil, err
+		}
 		grades[i] = make([]float64, n)
-		// The whole list is wanted by definition, so drain it in one
-		// batched sorted access (cost is still one unit per rank).
+		// Drain in one batched sorted access (cost is still one unit per
+		// rank).
 		for _, e := range cu.NextBatch(n) {
 			grades[i][e.Object] = e.Grade
 		}
@@ -58,8 +66,10 @@ func (NaiveRandom) Name() string { return "naive-random" }
 // Exact implements Algorithm.
 func (NaiveRandom) Exact() bool { return true }
 
-// TopK implements Algorithm.
-func (NaiveRandom) TopK(lists []*subsys.Counted, t agg.Func, k int) ([]Result, error) {
+// TopK implements Algorithm. The probe sweep stays object-major and
+// unbuffered even under a parallel executor: a didactic O(mN) baseline
+// is not worth an m×N staging matrix.
+func (NaiveRandom) TopK(ec *ExecContext, lists []*subsys.Counted, t agg.Func, k int) ([]Result, error) {
 	n, err := checkArgs(lists, k)
 	if err != nil {
 		return nil, err
@@ -67,6 +77,14 @@ func (NaiveRandom) TopK(lists []*subsys.Counted, t agg.Func, k int) ([]Result, e
 	entries := make([]gradedset.Entry, n)
 	buf := make([]float64, len(lists))
 	for obj := 0; obj < n; obj++ {
+		if obj%ctxCheckEvery == 0 {
+			if err := ec.err(); err != nil {
+				return nil, err
+			}
+		}
+		if err := ec.ReserveProbes(lists, obj); err != nil {
+			return nil, err
+		}
 		gradesInto(buf, lists, obj)
 		entries[obj] = gradedset.Entry{Object: obj, Grade: t.Apply(buf)}
 	}

@@ -32,7 +32,7 @@ func (NRA) Exact() bool { return false }
 // TopK implements Algorithm. Per-object partial grade vectors live in a
 // flat slot arena indexed through the scratch (slot s owns grades
 // [s·m, (s+1)·m)), so the sorted phase allocates nothing per object.
-func (nra NRA) TopK(lists []*subsys.Counted, t agg.Func, k int) ([]Result, error) {
+func (nra NRA) TopK(ec *ExecContext, lists []*subsys.Counted, t agg.Func, k int) ([]Result, error) {
 	if _, err := checkArgs(lists, k); err != nil {
 		return nil, err
 	}
@@ -42,7 +42,7 @@ func (nra NRA) TopK(lists []*subsys.Counted, t agg.Func, k int) ([]Result, error
 	m := len(lists)
 	cursors := subsys.Cursors(lists)
 	sc := acquireScratch(lists)
-	defer sc.release()
+	defer ec.releaseScratch(sc)
 	grades := sc.f64Arena() // slot*m + j: grade of slot's object in list j
 	known := sc.boolArena() // slot*m + j: whether that grade has been seen
 	defer func() {
@@ -81,6 +81,12 @@ func (nra NRA) TopK(lists []*subsys.Counted, t agg.Func, k int) ([]Result, error
 	}
 
 	for {
+		if err := ec.Stage(cursors, 1); err != nil {
+			return nil, err
+		}
+		if err := ec.ReserveRound(cursors); err != nil {
+			return nil, err
+		}
 		exhausted := true
 		for i, cu := range cursors {
 			e, ok := cu.Next()

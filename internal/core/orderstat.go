@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"fuzzydb/internal/agg"
-	"fuzzydb/internal/gradedset"
 	"fuzzydb/internal/subsys"
 )
 
@@ -46,7 +45,7 @@ func (OrderStat) Exact() bool { return true }
 // TopK implements Algorithm. The aggregation function t must be the
 // matching order statistic (or median); it is used to compute the final
 // grades.
-func (o OrderStat) TopK(lists []*subsys.Counted, t agg.Func, k int) ([]Result, error) {
+func (o OrderStat) TopK(ec *ExecContext, lists []*subsys.Counted, t agg.Func, k int) ([]Result, error) {
 	if _, err := checkArgs(lists, k); err != nil {
 		return nil, err
 	}
@@ -61,13 +60,16 @@ func (o OrderStat) TopK(lists []*subsys.Counted, t agg.Func, k int) ([]Result, e
 
 	inner := A0Prime{}
 	sc := acquireScratch(lists)
-	defer sc.release()
+	defer ec.releaseScratch(sc)
 	for _, subset := range agg.Subsets(m, j) {
 		sub := make([]*subsys.Counted, len(subset))
 		for i, idx := range subset {
 			sub[i] = lists[idx]
 		}
-		res, err := inner.TopK(sub, agg.Min, k)
+		// The inner runs share this evaluation's ExecContext, so budget
+		// accounting spans all subsets and the shared-cache discount
+		// (a grade paid by one subset is free to the rest) is preserved.
+		res, err := inner.TopK(ec, sub, agg.Min, k)
 		if err != nil {
 			return nil, fmt.Errorf("subset %v: %w", subset, err)
 		}
@@ -76,12 +78,10 @@ func (o OrderStat) TopK(lists []*subsys.Counted, t agg.Func, k int) ([]Result, e
 		}
 	}
 
-	entries := sc.entriesBuf()
-	buf := sc.gradesBuf(m)
-	for _, obj := range sc.objects() {
-		gradesInto(buf, lists, obj)
-		entries = append(entries, gradedset.Entry{Object: obj, Grade: t.Apply(buf)})
-	}
+	entries, err := ec.appendScores(sc, lists, sc.objects(), t, sc.entriesBuf())
 	sc.keepEntries(entries)
+	if err != nil {
+		return nil, err
+	}
 	return topKResults(entries, k), nil
 }

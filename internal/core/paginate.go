@@ -15,6 +15,7 @@ import (
 // already paid for, and previously fetched grades are served from the
 // cache — then returns only the new answers.
 type Paginator struct {
+	ec       *ExecContext
 	alg      Algorithm
 	lists    []*subsys.Counted
 	t        agg.Func
@@ -24,9 +25,14 @@ type Paginator struct {
 
 // NewPaginator prepares paginated evaluation of F_t(A₁,…,Aₘ) with the
 // given algorithm (A0, A0Prime, or TA — any exact monotone-query
-// algorithm works).
-func NewPaginator(alg Algorithm, lists []*subsys.Counted, t agg.Func) *Paginator {
-	return &Paginator{alg: alg, lists: lists, t: t, returned: make(map[int]bool)}
+// algorithm works) under the given execution state. The ExecContext's
+// cancellation, budget, and executor apply across all pages: a budget
+// bounds the cumulative cost of the whole pagination.
+func NewPaginator(ec *ExecContext, alg Algorithm, lists []*subsys.Counted, t agg.Func) *Paginator {
+	if ec == nil {
+		ec = Background()
+	}
+	return &Paginator{ec: ec, alg: alg, lists: lists, t: t, returned: make(map[int]bool)}
 }
 
 // Delivered returns how many answers have been produced so far.
@@ -47,7 +53,7 @@ func (p *Paginator) NextPage(pageSize int) ([]Result, error) {
 	if r > n {
 		r = n
 	}
-	all, err := p.alg.TopK(p.lists, p.t, r)
+	all, err := p.alg.TopK(p.ec, p.lists, p.t, r)
 	if err != nil {
 		return nil, err
 	}

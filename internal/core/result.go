@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -22,7 +23,10 @@ func (r Result) String() string { return fmt.Sprintf("(%d, %.4f)", r.Object, r.G
 // Algorithm finds the top k answers of F_t(A₁,…,Aₘ) where list i is the
 // graded answer of atomic query Aᵢ. Implementations touch the lists only
 // through the Counted access interface, so every grade they learn is
-// metered.
+// metered, and they route their access phases through the ExecContext
+// (Stage before each sorted round, Gather for bulk random access,
+// Reserve before paying), which is how cancellation, access budgets, and
+// the pluggable executor reach every member of the family uniformly.
 type Algorithm interface {
 	// Name identifies the algorithm in experiment tables.
 	Name() string
@@ -30,8 +34,12 @@ type Algorithm interface {
 	// is true for every algorithm except NRA, whose grades are lower
 	// bounds (the returned objects are still a correct top-k set).
 	Exact() bool
-	// TopK returns k results in descending grade order.
-	TopK(lists []*subsys.Counted, t agg.Func, k int) ([]Result, error)
+	// TopK returns k results in descending grade order. On cancellation
+	// or budget exhaustion it returns nil results and an error that
+	// wraps the context error or ErrBudgetExceeded respectively; the
+	// cost spent so far remains readable from the lists (or from the
+	// ExecContext's SafeCost if the evaluation was abandoned).
+	TopK(ec *ExecContext, lists []*subsys.Counted, t agg.Func, k int) ([]Result, error)
 }
 
 // Errors shared by the algorithms.
@@ -75,14 +83,23 @@ func topKResults(entries []gradedset.Entry, k int) []Result {
 	return out
 }
 
-// Evaluate wraps sources in counters, runs the algorithm, and returns the
-// results together with the exact middleware access cost incurred. The
-// counters' pooled caches are recycled before returning, so callers that
-// need the lists to outlive the evaluation (pagination, multi-phase
-// plans) should wrap sources with subsys.CountAll themselves.
-func Evaluate(alg Algorithm, srcs []subsys.Source, t agg.Func, k int) ([]Result, cost.Cost, error) {
+// Evaluate wraps sources in counters, runs the algorithm under the given
+// context and options, and returns the results together with the exact
+// middleware access cost incurred — on success the full Section 5
+// tallies, on cancellation or budget exhaustion the partial cost spent
+// before the stop. The counters' pooled caches are recycled before
+// returning, so callers that need the lists to outlive the evaluation
+// (pagination, multi-phase plans) should wrap sources with
+// subsys.CountAll and drive the algorithm themselves.
+func Evaluate(ctx context.Context, alg Algorithm, srcs []subsys.Source, t agg.Func, k int, opts ...EvalOption) ([]Result, cost.Cost, error) {
 	counted := subsys.CountAll(srcs)
-	res, err := alg.TopK(counted, t, k)
+	ec := NewExecContext(ctx, counted, opts...)
+	res, err := alg.TopK(ec, counted, t, k)
+	if ec.Abandoned() {
+		// Workers may still be touching the lists: report the cost as of
+		// the last quiescent point and let the GC reclaim the state.
+		return res, ec.SafeCost(), err
+	}
 	c := subsys.TotalCost(counted)
 	subsys.ReleaseAll(counted)
 	return res, c, err

@@ -49,6 +49,8 @@ type scratch struct {
 	grades  []float64         // shared grade-vector buffer
 	f64s    []float64         // reusable flat arena (NRA's partial grade vectors)
 	bools   []bool            // reusable flat arena (NRA's known flags)
+	cols    []float64         // reusable flat arena (Gather's m×n grade columns)
+	colv    [][]float64       // column views into cols
 }
 
 var scratchPool = sync.Pool{New: func() interface{} { return new(scratch) }}
@@ -236,6 +238,24 @@ func (s *scratch) boolArena() []bool {
 
 // keepBoolArena stores the grown arena back for reuse.
 func (s *scratch) keepBoolArena(a []bool) { s.bools = a }
+
+// colsBuf returns m reusable grade columns of length n (one flat backing
+// array, sliced), the staging area of the executor's Gather phase. The
+// views alias the scratch and are valid until release.
+func (s *scratch) colsBuf(m, n int) [][]float64 {
+	if cap(s.cols) < m*n {
+		s.cols = make([]float64, m*n)
+	}
+	s.cols = s.cols[:cap(s.cols)]
+	if cap(s.colv) < m {
+		s.colv = make([][]float64, m)
+	}
+	s.colv = s.colv[:m]
+	for j := 0; j < m; j++ {
+		s.colv[j] = s.cols[j*n : (j+1)*n]
+	}
+	return s.colv
+}
 
 // gradesInto fills dst with obj's grade in every list via metered random
 // access (free where already known). It is gradesFor without the per-call

@@ -32,7 +32,7 @@ func (TA) Name() string { return "TA" }
 func (TA) Exact() bool { return true }
 
 // TopK implements Algorithm.
-func (ta TA) TopK(lists []*subsys.Counted, t agg.Func, k int) ([]Result, error) {
+func (ta TA) TopK(ec *ExecContext, lists []*subsys.Counted, t agg.Func, k int) ([]Result, error) {
 	if _, err := checkArgs(lists, k); err != nil {
 		return nil, err
 	}
@@ -41,7 +41,7 @@ func (ta TA) TopK(lists []*subsys.Counted, t agg.Func, k int) ([]Result, error) 
 	}
 	cursors := subsys.Cursors(lists)
 	sc := acquireScratch(lists)
-	defer sc.release()
+	defer ec.releaseScratch(sc)
 	buf := sc.gradesBuf(len(lists))
 	// top maintains the best k exact grades seen so far (a min-heap with
 	// the k-th best at the root). Grades are exact on first sight and
@@ -52,6 +52,12 @@ func (ta TA) TopK(lists []*subsys.Counted, t agg.Func, k int) ([]Result, error) 
 		lasts[i] = 1
 	}
 	for {
+		if err := ec.Stage(cursors, 1); err != nil {
+			return nil, err
+		}
+		if err := ec.ReserveRound(cursors); err != nil {
+			return nil, err
+		}
 		exhausted := true
 		for i, cu := range cursors {
 			e, ok := cu.Next()
@@ -61,6 +67,11 @@ func (ta TA) TopK(lists []*subsys.Counted, t agg.Func, k int) ([]Result, error) 
 			exhausted = false
 			lasts[i] = e.Grade
 			if sc.visit(e.Object) == 1 {
+				// Eager random access is TA's defining move; each probe is
+				// reserved at its exact (uncached) price.
+				if err := ec.ReserveProbes(lists, e.Object); err != nil {
+					return nil, err
+				}
 				gradesInto(buf, lists, e.Object)
 				top.offer(gradedset.Entry{Object: e.Object, Grade: t.Apply(buf)})
 			}

@@ -36,7 +36,7 @@ func (Ullman) Exact() bool { return true }
 
 // TopK implements Algorithm. It requires exactly two lists and min
 // semantics for t.
-func (u Ullman) TopK(lists []*subsys.Counted, t agg.Func, k int) ([]Result, error) {
+func (u Ullman) TopK(ec *ExecContext, lists []*subsys.Counted, t agg.Func, k int) ([]Result, error) {
 	if len(lists) != 2 {
 		return nil, fmt.Errorf("%w: ullman needs exactly 2 lists, got %d", ErrArity, len(lists))
 	}
@@ -47,6 +47,7 @@ func (u Ullman) TopK(lists []*subsys.Counted, t agg.Func, k int) ([]Result, erro
 		return nil, fmt.Errorf("%w: probe list %d", ErrArity, u.Probe)
 	}
 	primary := subsys.NewCursor(lists[u.Probe])
+	primaryOnly := []*subsys.Cursor{primary}
 	other := lists[1-u.Probe]
 
 	// top incrementally maintains the best k candidates (the same
@@ -54,10 +55,19 @@ func (u Ullman) TopK(lists []*subsys.Counted, t agg.Func, k int) ([]Result, erro
 	// is O(log k) instead of re-selecting over all candidates.
 	top := &boundedTopK{k: k}
 	var pair [2]float64
-	for {
+	for !primary.Exhausted() {
+		if err := ec.Stage(primaryOnly, 1); err != nil {
+			return nil, err
+		}
+		if err := ec.Reserve(1, 0); err != nil {
+			return nil, err
+		}
 		e, ok := primary.Next()
 		if !ok {
 			break // all objects seen; candidates are complete
+		}
+		if err := ec.ReserveProbes(lists, e.Object); err != nil {
+			return nil, err
 		}
 		pair[0], pair[1] = e.Grade, other.Grade(e.Object)
 		top.offer(gradedset.Entry{Object: e.Object, Grade: t.Apply(pair[:])})

@@ -1,6 +1,7 @@
 package middleware
 
 import (
+	"context"
 	"fmt"
 
 	"fuzzydb/internal/core"
@@ -25,10 +26,10 @@ type ConjunctionEvaluator interface {
 // the "internal conjunction" flavor a user may request for efficiency.
 // One sorted stream comes back: the middleware's work is a single-list
 // top-k, but the grades follow the subsystem's semantics, so the answer
-// may legitimately differ from the external conjunction (TopK), which
+// may legitimately differ from the external conjunction (Query), which
 // evaluates the atoms separately and combines them under the middleware's
 // rules. That divergence is precisely the Section 8 phenomenon.
-func (m *Middleware) TopKInternal(atoms []query.Atomic, k int) (*Report, error) {
+func (m *Middleware) TopKInternal(ctx context.Context, atoms []query.Atomic, k int, opts ...QueryOption) (*Report, error) {
 	if len(atoms) == 0 {
 		return nil, fmt.Errorf("middleware: internal conjunction of nothing")
 	}
@@ -42,7 +43,7 @@ func (m *Middleware) TopKInternal(atoms []query.Atomic, k int) (*Report, error) 
 	}
 	s, ok := m.subsystems[attr]
 	if !ok {
-		return nil, fmt.Errorf("%w: %q", ErrUnknownAttribute, attr)
+		return nil, &UnknownAttributeError{Attr: attr}
 	}
 	ce, ok := s.(ConjunctionEvaluator)
 	if !ok {
@@ -52,20 +53,18 @@ func (m *Middleware) TopKInternal(atoms []query.Atomic, k int) (*Report, error) 
 	if err != nil {
 		return nil, err
 	}
+	cfg := newQueryConfig(opts)
 	counted := subsys.CountAll([]subsys.Source{src})
+	ec := core.NewExecContext(ctx, counted, cfg.evalOptions()...)
 	alg := core.B0{} // single list: the prefix is the answer
-	res, err := alg.TopK(counted, m.sem.And, k)
-	if err != nil {
-		return nil, err
+	plan := &Plan{
+		Algorithm: alg,
+		Atoms:     atoms,
+		Agg:       m.sem.And,
+		Reason:    fmt.Sprintf("internal conjunction pushed down to subsystem %q (Section 8)", attr),
 	}
-	return &Report{
-		Results: res,
-		Cost:    subsys.TotalCost(counted),
-		Plan: &Plan{
-			Algorithm: alg,
-			Atoms:     atoms,
-			Agg:       m.sem.And,
-			Reason:    fmt.Sprintf("internal conjunction pushed down to subsystem %q (Section 8)", attr),
-		},
-	}, nil
+	// k is passed through unclamped: like the other explicit-k entry
+	// points, out-of-range values surface core.ErrBadK.
+	res, err := alg.TopK(ec, counted, m.sem.And, k)
+	return finishReport(ec, counted, plan, res, err)
 }

@@ -2,6 +2,28 @@
 // attribute, parses and plans queries, evaluates them with the optimal
 // algorithm from the core package, and reports exact middleware costs.
 //
+// # The request API
+//
+// Evaluation is request-scoped: Query takes a context and per-request
+// functional options, so a caller can bound, cancel, and parallelize
+// each evaluation independently of how the engine was built —
+//
+//	rep, err := mw.Query(ctx, q, TopN(10), WithParallelism(4),
+//		WithAccessBudget(5000))
+//
+// Results is the streaming form: it yields answers one at a time in
+// descending grade order (an iter.Seq2), widening the underlying top-r
+// computation page by page over shared counted lists, so "the next k
+// best" resumes from the prefixes already paid for. On cancellation or
+// budget exhaustion Query returns the partial-cost report together with
+// the error (errors.Is context.Canceled / core.ErrBudgetExceeded).
+//
+// TopK and TopKString remain as deprecated context-free wrappers over
+// Query; the specialist entry points (Filter, TopKMedian, TopKInternal,
+// Paginate) changed signature to take the request context directly.
+//
+// # Planning
+//
 // Planning follows the paper's results directly:
 //
 //   - conjunction of atoms under min            → A₀′ (Theorem 4.4)
@@ -22,8 +44,10 @@
 package middleware
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"iter"
 	"math"
 
 	"fuzzydb/internal/agg"
@@ -42,7 +66,8 @@ type Middleware struct {
 	names      []string
 }
 
-// Errors returned by the middleware.
+// Errors returned by the middleware. The sentinels classify; the typed
+// forms below carry the offending attribute and sizes for errors.As.
 var (
 	// ErrUnknownAttribute reports an atom whose attribute no registered
 	// subsystem owns.
@@ -50,6 +75,44 @@ var (
 	// ErrSizeMismatch reports subsystems over different object universes.
 	ErrSizeMismatch = errors.New("middleware: subsystems disagree on universe size")
 )
+
+// UnknownAttributeError is the typed form of ErrUnknownAttribute:
+//
+//	var uae *middleware.UnknownAttributeError
+//	if errors.As(err, &uae) { suggestClosest(uae.Attr) }
+type UnknownAttributeError struct {
+	// Attr is the attribute no registered subsystem owns.
+	Attr string
+}
+
+// Error implements error.
+func (e *UnknownAttributeError) Error() string {
+	return fmt.Sprintf("%v: %q", ErrUnknownAttribute, e.Attr)
+}
+
+// Unwrap ties the typed error to the ErrUnknownAttribute sentinel, so
+// existing errors.Is checks keep working.
+func (e *UnknownAttributeError) Unwrap() error { return ErrUnknownAttribute }
+
+// SizeMismatchError is the typed form of ErrSizeMismatch: the named
+// attribute's subsystem (or query result) covers Got objects where the
+// engine's universe has Want.
+type SizeMismatchError struct {
+	// Attr is the attribute whose subsystem or result disagreed.
+	Attr string
+	// Got is the size the subsystem or result reported.
+	Got int
+	// Want is the engine's universe size.
+	Want int
+}
+
+// Error implements error.
+func (e *SizeMismatchError) Error() string {
+	return fmt.Sprintf("%v: %q has %d objects, want %d", ErrSizeMismatch, e.Attr, e.Got, e.Want)
+}
+
+// Unwrap ties the typed error to the ErrSizeMismatch sentinel.
+func (e *SizeMismatchError) Unwrap() error { return ErrSizeMismatch }
 
 // Option configures the middleware.
 type Option func(*Middleware)
@@ -77,7 +140,7 @@ func New(subsystems []subsys.Subsystem, opts ...Option) (*Middleware, error) {
 	}
 	for _, s := range subsystems {
 		if s.Size() != m.n {
-			return nil, fmt.Errorf("%w: %q has %d objects, want %d", ErrSizeMismatch, s.Attribute(), s.Size(), m.n)
+			return nil, &SizeMismatchError{Attr: s.Attribute(), Got: s.Size(), Want: m.n}
 		}
 		if _, dup := m.subsystems[s.Attribute()]; dup {
 			return nil, fmt.Errorf("middleware: duplicate subsystem for attribute %q", s.Attribute())
@@ -130,7 +193,7 @@ func (m *Middleware) PlanQuery(q query.Node) (*Plan, error) {
 	}
 	for _, a := range c.Atoms {
 		if _, ok := m.subsystems[a.Attr]; !ok {
-			return nil, fmt.Errorf("%w: %q", ErrUnknownAttribute, a.Attr)
+			return nil, &UnknownAttributeError{Attr: a.Attr}
 		}
 	}
 	p := &Plan{Atoms: c.Atoms, Agg: c.Func}
@@ -204,27 +267,249 @@ func (m *Middleware) selectiveConjunct(atoms []query.Atomic) (drive int, sel flo
 
 // Report is the outcome of a query evaluation.
 type Report struct {
-	// Results in descending grade order.
+	// Results in descending grade order. Nil when the evaluation stopped
+	// early (cancellation, budget): the report then carries the partial
+	// cost only.
 	Results []core.Result
-	// Cost is the exact middleware access cost of the evaluation.
+	// Cost is the exact middleware access cost of the evaluation — the
+	// full tallies on success, the partial spend on an early stop.
 	Cost cost.Cost
 	// PerList breaks the cost down by atom, aligned with Plan.Atoms: how
-	// much sorted and random access each subsystem served.
+	// much sorted and random access each subsystem served. Nil when the
+	// evaluation was abandoned with accesses in flight.
 	PerList []cost.Cost
 	// Plan that produced the results.
 	Plan *Plan
 }
 
-// TopK evaluates q and returns the top k answers with cost accounting.
-func (m *Middleware) TopK(q query.Node, k int) (*Report, error) {
+// DefaultTopN is the number of answers Query returns when TopN is not
+// given.
+const DefaultTopN = 10
+
+// queryConfig is the per-request configuration assembled from
+// QueryOptions.
+type queryConfig struct {
+	k           int
+	alg         core.Algorithm
+	parallelism int
+	budget      float64
+	model       cost.Model
+}
+
+// QueryOption configures one evaluation (see Query and Results).
+type QueryOption func(*queryConfig)
+
+// TopN asks for the k best answers (default DefaultTopN). A k beyond the
+// universe size is clamped to it — "the best ten of seven" means all
+// seven — while k < 1 is still an error. For Results it is also the page
+// size of the underlying incremental widening.
+func TopN(k int) QueryOption {
+	return func(c *queryConfig) { c.k = k }
+}
+
+// WithAlgorithm overrides the planner's choice. The caller takes on the
+// planner's job of matching algorithm to query shape (e.g. B₀ is only
+// correct under max, A₀′ under min); correctness guarantees are the
+// algorithm's own.
+func WithAlgorithm(alg core.Algorithm) QueryOption {
+	return func(c *queryConfig) { c.alg = alg }
+}
+
+// WithParallelism evaluates the request with the concurrent executor: up
+// to p source operations in flight at once, one worker per subsystem
+// (see core.Concurrent). p ≤ 1 means serial. Access tallies are
+// bit-identical to the serial executor's; only wall-clock changes.
+func WithParallelism(p int) QueryOption {
+	return func(c *queryConfig) { c.parallelism = p }
+}
+
+// WithAccessBudget bounds the weighted middleware cost of the request:
+// the evaluation stops with core.ErrBudgetExceeded — and a partial-cost
+// report — before it would cross the limit (see core.WithAccessBudget).
+// Non-positive means unlimited.
+func WithAccessBudget(limit float64) QueryOption {
+	return func(c *queryConfig) { c.budget = limit }
+}
+
+// WithCostModel prices sorted and random accesses for budget accounting
+// (default cost.Unweighted).
+func WithCostModel(model cost.Model) QueryOption {
+	return func(c *queryConfig) { c.model = model }
+}
+
+func newQueryConfig(opts []QueryOption) queryConfig {
+	cfg := queryConfig{k: DefaultTopN, model: cost.Unweighted}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return cfg
+}
+
+// evalOptions lowers the request configuration onto the core evaluation
+// options.
+func (c queryConfig) evalOptions() []core.EvalOption {
+	opts := []core.EvalOption{core.WithCostModel(c.model)}
+	if c.parallelism > 1 {
+		opts = append(opts, core.WithExecutor(core.Concurrent{P: c.parallelism}))
+	}
+	if c.budget > 0 {
+		opts = append(opts, core.WithAccessBudget(c.budget))
+	}
+	return opts
+}
+
+// clampK caps k at the universe size ("the best ten of seven" means all
+// seven); k < 1 is left for checkArgs to reject.
+func (m *Middleware) clampK(k int) int {
+	if k > m.n {
+		return m.n
+	}
+	return k
+}
+
+// Query plans and evaluates q under the caller's context: the single
+// entry point of the request API. Options bound the answer count (TopN),
+// pin an algorithm (WithAlgorithm), run the subsystem accesses
+// concurrently (WithParallelism), and cap the spend (WithAccessBudget,
+// WithCostModel).
+//
+// On success the report carries the answers, the exact Section 5 access
+// cost, its per-subsystem breakdown, and the plan. On cancellation or
+// budget exhaustion Query returns the error together with a partial-cost
+// report, so callers can account for what an interrupted evaluation
+// spent.
+func (m *Middleware) Query(ctx context.Context, q query.Node, opts ...QueryOption) (*Report, error) {
+	cfg := newQueryConfig(opts)
 	plan, err := m.PlanQuery(q)
 	if err != nil {
 		return nil, err
 	}
-	return m.execute(plan, k)
+	if cfg.alg != nil {
+		plan.Algorithm = cfg.alg
+		plan.Reason = fmt.Sprintf("algorithm pinned to %s by WithAlgorithm", cfg.alg.Name())
+	}
+	return m.execute(ctx, plan, cfg)
+}
+
+// QueryString parses q from concrete syntax and evaluates it via Query.
+func (m *Middleware) QueryString(ctx context.Context, q string, opts ...QueryOption) (*Report, error) {
+	n, err := query.Parse(q)
+	if err != nil {
+		return nil, err
+	}
+	return m.Query(ctx, n, opts...)
+}
+
+// Results evaluates q incrementally: a push iterator over answers in
+// descending grade order, delivering "the next k best" on demand — the
+// continuation feature noted after Theorem 4.2 — until the universe is
+// exhausted or the consumer stops. Pages of TopN answers are computed at
+// a time over shared counted lists, so deeper pages resume from the
+// prefixes already paid for rather than starting over.
+//
+// The options of Query apply per request; a budget bounds the cumulative
+// cost across all pages. On an error (cancellation, budget, a planning
+// failure, or a non-paginable algorithm pinned via WithAlgorithm) the
+// iterator yields one (zero Result, err) pair and stops.
+func (m *Middleware) Results(ctx context.Context, q query.Node, opts ...QueryOption) iter.Seq2[core.Result, error] {
+	return func(yield func(core.Result, error) bool) {
+		pag, ec, counted, err := m.preparePagination(ctx, q, newQueryConfig(opts))
+		if err != nil {
+			yield(core.Result{}, err)
+			return
+		}
+		defer func() {
+			if !ec.Abandoned() {
+				subsys.ReleaseAll(counted)
+			}
+		}()
+		pageSize := m.clampK(pag.pageSize)
+		for {
+			page, err := pag.p.NextPage(pageSize)
+			if err != nil {
+				yield(core.Result{}, err)
+				return
+			}
+			if len(page) == 0 {
+				return
+			}
+			for _, r := range page {
+				if !yield(r, nil) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// pagination bundles a prepared paginator with the page size the request
+// asked for.
+type pagination struct {
+	p        *core.Paginator
+	pageSize int
+}
+
+// preparePagination is the shared front half of Paginate and Results:
+// plan, apply a WithAlgorithm pin, validate paginability, evaluate the
+// atoms, and bind the execution state.
+func (m *Middleware) preparePagination(ctx context.Context, q query.Node, cfg queryConfig) (pagination, *core.ExecContext, []*subsys.Counted, error) {
+	plan, err := m.PlanQuery(q)
+	if err != nil {
+		return pagination{}, nil, nil, err
+	}
+	pinned := cfg.alg != nil
+	if pinned {
+		plan.Algorithm = cfg.alg
+		plan.Reason = fmt.Sprintf("algorithm pinned to %s by WithAlgorithm", cfg.alg.Name())
+	}
+	alg, err := paginableAlgorithm(plan, pinned)
+	if err != nil {
+		return pagination{}, nil, nil, err
+	}
+	lists, err := m.sources(plan.Atoms)
+	if err != nil {
+		return pagination{}, nil, nil, err
+	}
+	counted := subsys.CountAll(lists)
+	ec := core.NewExecContext(ctx, counted, cfg.evalOptions()...)
+	return pagination{p: core.NewPaginator(ec, alg, counted, plan.Agg), pageSize: cfg.k}, ec, counted, nil
+}
+
+// paginableAlgorithm adapts a plan's algorithm for incremental widening.
+// B₀ paginates correctly only for single lists: a planner-chosen B₀
+// over a multi-list disjunction silently falls back to A₀ (same
+// answers, graded-prefix semantics), while an explicit pin is refused
+// loudly — the caller asked for a specific access pattern the paginator
+// cannot honor. Inexact algorithms (NRA) are refused either way, since
+// their bound-grades make pages unstable.
+func paginableAlgorithm(plan *Plan, pinned bool) (core.Algorithm, error) {
+	if _, isB0 := plan.Algorithm.(core.B0); isB0 && len(plan.Atoms) > 1 {
+		if pinned {
+			return nil, fmt.Errorf("middleware: cannot paginate with B0 over %d lists; it is exact only for the first page", len(plan.Atoms))
+		}
+		return core.A0{}, nil
+	}
+	if !plan.Algorithm.Exact() {
+		return nil, fmt.Errorf("middleware: cannot paginate with %s: its grades are bounds, so pages are not stable", plan.Algorithm.Name())
+	}
+	return plan.Algorithm, nil
+}
+
+// TopK evaluates q and returns the top k answers with cost accounting.
+// Unlike Query (which clamps), it preserves the historical contract of
+// rejecting k outside [1, N].
+//
+// Deprecated: use Query with a context and TopN.
+func (m *Middleware) TopK(q query.Node, k int) (*Report, error) {
+	if k > m.n {
+		return nil, fmt.Errorf("%w: k=%d, N=%d", core.ErrBadK, k, m.n)
+	}
+	return m.Query(context.Background(), q, TopN(k))
 }
 
 // TopKString parses and evaluates a query in concrete syntax.
+//
+// Deprecated: use QueryString with a context and TopN.
 func (m *Middleware) TopKString(q string, k int) (*Report, error) {
 	n, err := query.Parse(q)
 	if err != nil {
@@ -236,33 +521,27 @@ func (m *Middleware) TopKString(q string, k int) (*Report, error) {
 // TopKMedian evaluates the median of the given atoms with the subset
 // decomposition of Remark 6.1 — the O(√(Nk)) route that beats the strict
 // lower bound.
-func (m *Middleware) TopKMedian(atoms []query.Atomic, k int) (*Report, error) {
-	lists, err := m.sources(atoms)
-	if err != nil {
-		return nil, err
+func (m *Middleware) TopKMedian(ctx context.Context, atoms []query.Atomic, k int, opts ...QueryOption) (*Report, error) {
+	// Like the other explicit-k entry points, out-of-range k surfaces
+	// core.ErrBadK rather than being clamped.
+	if k > m.n {
+		return nil, fmt.Errorf("%w: k=%d, N=%d", core.ErrBadK, k, m.n)
 	}
-	counted := subsys.CountAll(lists)
-	defer subsys.ReleaseAll(counted)
-	alg := core.OrderStat{}
-	res, err := alg.TopK(counted, agg.Median, k)
-	if err != nil {
-		return nil, err
+	cfg := newQueryConfig(opts)
+	cfg.k = k
+	plan := &Plan{
+		Algorithm: core.OrderStat{},
+		Atoms:     atoms,
+		Agg:       agg.Median,
+		Reason:    "median via max-of-subset-mins (Rem 6.1): O(√(Nk)), beats the strict bound",
 	}
-	return &Report{
-		Results: res,
-		Cost:    subsys.TotalCost(counted),
-		Plan: &Plan{
-			Algorithm: alg,
-			Atoms:     atoms,
-			Agg:       agg.Median,
-			Reason:    "median via max-of-subset-mins (Rem 6.1): O(√(Nk)), beats the strict bound",
-		},
-	}, nil
+	return m.execute(ctx, plan, cfg)
 }
 
 // Filter evaluates the threshold query "overall grade ≥ theta" for a
 // monotone q, in the Chaudhuri–Gravano style.
-func (m *Middleware) Filter(q query.Node, theta float64) (*Report, error) {
+func (m *Middleware) Filter(ctx context.Context, q query.Node, theta float64, opts ...QueryOption) (*Report, error) {
+	cfg := newQueryConfig(opts)
 	q = query.Rewrite(q, query.RulesFor(m.sem))
 	c, err := query.Compile(q, m.sem)
 	if err != nil {
@@ -275,63 +554,66 @@ func (m *Middleware) Filter(q query.Node, theta float64) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	counted := subsys.CountAll(lists)
-	defer subsys.ReleaseAll(counted)
-	res, err := core.Filter(counted, c.Func, theta)
-	if err != nil {
-		return nil, err
+	plan := &Plan{
+		Atoms:  c.Atoms,
+		Agg:    c.Func,
+		Reason: fmt.Sprintf("filter condition: all objects with grade >= %g [CG96]", theta),
 	}
-	return &Report{
-		Results: res,
-		Cost:    subsys.TotalCost(counted),
-		Plan: &Plan{
-			Algorithm: nil,
-			Atoms:     c.Atoms,
-			Agg:       c.Func,
-			Reason:    fmt.Sprintf("filter condition: all objects with grade >= %g [CG96]", theta),
-		},
-	}, nil
+	counted := subsys.CountAll(lists)
+	ec := core.NewExecContext(ctx, counted, cfg.evalOptions()...)
+	res, err := core.Filter(ec, counted, c.Func, theta)
+	return finishReport(ec, counted, plan, res, err)
 }
 
 // Paginate prepares paginated evaluation of q ("give me the next k"),
-// per the continuation feature noted after Theorem 4.2.
-func (m *Middleware) Paginate(q query.Node) (*core.Paginator, error) {
-	plan, err := m.PlanQuery(q)
+// per the continuation feature noted after Theorem 4.2. The context and
+// options govern every subsequent NextPage call; Results is the
+// iterator-shaped form of the same machinery.
+func (m *Middleware) Paginate(ctx context.Context, q query.Node, opts ...QueryOption) (*core.Paginator, error) {
+	pag, _, _, err := m.preparePagination(ctx, q, newQueryConfig(opts))
 	if err != nil {
 		return nil, err
 	}
-	if !plan.Algorithm.Exact() {
-		return nil, fmt.Errorf("middleware: cannot paginate with %s", plan.Algorithm.Name())
-	}
-	lists, err := m.sources(plan.Atoms)
-	if err != nil {
-		return nil, err
-	}
-	// B0 only paginates correctly for single lists; use A0 otherwise.
-	alg := plan.Algorithm
-	if _, isB0 := alg.(core.B0); isB0 && len(plan.Atoms) > 1 {
-		alg = core.A0{}
-	}
-	return core.NewPaginator(alg, subsys.CountAll(lists), plan.Agg), nil
+	return pag.p, nil
 }
 
-// execute runs a plan.
-func (m *Middleware) execute(plan *Plan, k int) (*Report, error) {
+// execute runs a plan under the request configuration. Errors mid-
+// evaluation (cancellation, budget) come back with a partial-cost
+// report.
+func (m *Middleware) execute(ctx context.Context, plan *Plan, cfg queryConfig) (*Report, error) {
 	lists, err := m.sources(plan.Atoms)
 	if err != nil {
 		return nil, err
 	}
 	counted := subsys.CountAll(lists)
-	defer subsys.ReleaseAll(counted)
-	res, err := plan.Algorithm.TopK(counted, plan.Agg, k)
+	ec := core.NewExecContext(ctx, counted, cfg.evalOptions()...)
+	res, err := plan.Algorithm.TopK(ec, counted, plan.Agg, m.clampK(cfg.k))
+	return finishReport(ec, counted, plan, res, err)
+}
+
+// finishReport is the shared evaluation epilogue: it assembles the
+// report (full tallies plus the per-atom breakdown when the lists align
+// with the plan's atoms), releases the pooled lists, and attaches the
+// results only on success. An abandoned evaluation — workers possibly
+// still touching the lists — gets the last quiescent cost instead, and
+// its state is left for the GC.
+func finishReport(ec *core.ExecContext, counted []*subsys.Counted, plan *Plan, res []core.Result, err error) (*Report, error) {
+	if ec.Abandoned() {
+		return &Report{Cost: ec.SafeCost(), Plan: plan}, err
+	}
+	rep := &Report{Cost: subsys.TotalCost(counted), Plan: plan}
+	if len(counted) == len(plan.Atoms) {
+		rep.PerList = make([]cost.Cost, len(counted))
+		for i, c := range counted {
+			rep.PerList[i] = c.Cost()
+		}
+	}
+	subsys.ReleaseAll(counted)
 	if err != nil {
-		return nil, err
+		return rep, err
 	}
-	perList := make([]cost.Cost, len(counted))
-	for i, c := range counted {
-		perList[i] = c.Cost()
-	}
-	return &Report{Results: res, Cost: subsys.TotalCost(counted), PerList: perList, Plan: plan}, nil
+	rep.Results = res
+	return rep, nil
 }
 
 // sources evaluates each atom against its subsystem.
@@ -340,14 +622,14 @@ func (m *Middleware) sources(atoms []query.Atomic) ([]subsys.Source, error) {
 	for i, a := range atoms {
 		s, ok := m.subsystems[a.Attr]
 		if !ok {
-			return nil, fmt.Errorf("%w: %q", ErrUnknownAttribute, a.Attr)
+			return nil, &UnknownAttributeError{Attr: a.Attr}
 		}
 		src, err := s.Query(a.Target)
 		if err != nil {
 			return nil, fmt.Errorf("attribute %q: %w", a.Attr, err)
 		}
 		if src.Len() != m.n {
-			return nil, fmt.Errorf("%w: result for %q has %d objects", ErrSizeMismatch, a.Attr, src.Len())
+			return nil, &SizeMismatchError{Attr: a.Attr, Got: src.Len(), Want: m.n}
 		}
 		out[i] = src
 	}

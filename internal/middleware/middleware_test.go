@@ -1,6 +1,7 @@
 package middleware
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -222,7 +223,7 @@ func TestPlansMatchNaive(t *testing.T) {
 			}
 			srcs[i] = src
 		}
-		want, _, err := core.Evaluate(core.NaiveSorted{}, srcs, c.Func, 4)
+		want, _, err := core.Evaluate(context.Background(), core.NaiveSorted{}, srcs, c.Func, 4)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -309,7 +310,7 @@ func TestNames(t *testing.T) {
 
 func TestFilterThroughMiddleware(t *testing.T) {
 	mw, _ := cdStore(t)
-	rep, err := mw.Filter(query.MustParse(`Artist = "Beatles" AND AlbumColor ~ "red"`), 0.5)
+	rep, err := mw.Filter(context.Background(), query.MustParse(`Artist = "Beatles" AND AlbumColor ~ "red"`), 0.5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -319,7 +320,7 @@ func TestFilterThroughMiddleware(t *testing.T) {
 		}
 	}
 	// Negated queries cannot be filtered.
-	if _, err := mw.Filter(query.MustParse(`NOT Artist = "Beatles"`), 0.5); err == nil {
+	if _, err := mw.Filter(context.Background(), query.MustParse(`NOT Artist = "Beatles"`), 0.5); err == nil {
 		t.Error("filter accepted a non-monotone query")
 	}
 }
@@ -331,7 +332,7 @@ func TestMedianThroughMiddleware(t *testing.T) {
 		{Attr: "AlbumColor", Target: "red"},
 		{Attr: "AlbumColor", Target: "blue"},
 	}
-	rep, err := mw.TopKMedian(atoms, 2)
+	rep, err := mw.TopKMedian(context.Background(), atoms, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -340,7 +341,7 @@ func TestMedianThroughMiddleware(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, _, err := core.Evaluate(core.NaiveSorted{}, srcs, agg.Median, 2)
+	want, _, err := core.Evaluate(context.Background(), core.NaiveSorted{}, srcs, agg.Median, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -351,7 +352,7 @@ func TestMedianThroughMiddleware(t *testing.T) {
 
 func TestPaginateThroughMiddleware(t *testing.T) {
 	mw, _ := cdStore(t)
-	p, err := mw.Paginate(query.MustParse(`Artist = "Beatles" AND AlbumColor ~ "red"`))
+	p, err := mw.Paginate(context.Background(), query.MustParse(`Artist = "Beatles" AND AlbumColor ~ "red"`))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -384,7 +385,7 @@ func TestInternalVsExternalConjunction(t *testing.T) {
 		{Attr: "AlbumColor", Target: "red"},
 		{Attr: "AlbumColor", Target: "blue"},
 	}
-	internal, err := mw.TopKInternal(atoms, 3)
+	internal, err := mw.TopKInternal(context.Background(), atoms, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -410,20 +411,20 @@ func TestInternalVsExternalConjunction(t *testing.T) {
 		t.Error("internal and external conjunction agreed everywhere; semantics mismatch not modeled")
 	}
 	// Internal conjunction across different attributes must be refused.
-	if _, err := mw.TopKInternal([]query.Atomic{
+	if _, err := mw.TopKInternal(context.Background(), []query.Atomic{
 		{Attr: "Artist", Target: "Beatles"},
 		{Attr: "AlbumColor", Target: "red"},
 	}, 2); err == nil {
 		t.Error("cross-attribute internal conjunction accepted")
 	}
 	// A subsystem without the capability must be refused.
-	if _, err := mw.TopKInternal([]query.Atomic{
+	if _, err := mw.TopKInternal(context.Background(), []query.Atomic{
 		{Attr: "Artist", Target: "Beatles"},
 		{Attr: "Artist", Target: "Dylan"},
 	}, 2); err == nil {
 		t.Error("relational internal conjunction accepted")
 	}
-	if _, err := mw.TopKInternal(nil, 2); err == nil {
+	if _, err := mw.TopKInternal(context.Background(), nil, 2); err == nil {
 		t.Error("empty internal conjunction accepted")
 	}
 }
@@ -467,7 +468,7 @@ func TestPlannerSelectiveFilterFirst(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, _, err := core.Evaluate(core.A0Prime{}, srcs, plan.Agg, 5)
+	want, _, err := core.Evaluate(context.Background(), core.A0Prime{}, srcs, plan.Agg, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -479,7 +480,7 @@ func TestPlannerSelectiveFilterFirst(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, cA0, err := core.Evaluate(core.A0Prime{}, fresh, plan.Agg, 5)
+	_, cA0, err := core.Evaluate(context.Background(), core.A0Prime{}, fresh, plan.Agg, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -517,7 +518,7 @@ func TestWeightedQueryThroughEngine(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, _, err := core.Evaluate(core.NaiveSorted{}, srcs, c.Func, 3)
+	want, _, err := core.Evaluate(context.Background(), core.NaiveSorted{}, srcs, c.Func, 3)
 	if err != nil {
 		t.Fatal(err)
 	}

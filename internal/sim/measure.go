@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math"
 
 	"fuzzydb/internal/agg"
@@ -95,7 +96,7 @@ func measure(alg core.Algorithm, gen genFunc, f agg.Func, k, trials int, seedBas
 		for j := range srcs {
 			srcs[j] = subsys.FromList(db.List(j))
 		}
-		_, c, err := core.Evaluate(alg, srcs, f, k)
+		_, c, err := core.Evaluate(context.Background(), alg, srcs, f, k)
 		if err != nil {
 			panic(err) // experiment misconfiguration is a programming error
 		}

@@ -31,6 +31,17 @@
 // recycle the pooled arrays; long-lived consumers such as paginators may
 // simply skip it.
 //
+// # Readahead vs delivery
+//
+// Counted distinguishes buffering from paying: Prefetch reads sorted
+// ranks from the source into the prefix buffer without advancing the
+// sorted-access tally or the grade memo, and consumption (EntryAt, the
+// cursors) delivers buffered ranks, at which point they are metered and
+// memoized. A concurrent executor exploits this to overlap the per-round
+// sorted accesses of all m lists — readahead is a latency-hiding detail
+// of the transport, while the Section 5 tallies record exactly what the
+// algorithm consumed, bit-identical to a serial evaluation.
+//
 // The package also provides realistic stand-ins for the subsystems the
 // paper names: a relational predicate engine (0/1 grades, the
 // Artist="Beatles" conjunct), a color-histogram similarity engine in the

@@ -75,7 +75,16 @@ func (s ListSource) Universe() (int, bool) { return s.list.DenseUniverse() }
 // everything it has received, so re-reading an already-delivered rank
 // (for example when a later phase of a plan rescans a prefix) costs
 // nothing. The sorted cost of a list is therefore its high-water mark:
-// the deepest prefix ever requested.
+// the deepest prefix ever delivered to an algorithm.
+//
+// The buffered prefix can run ahead of the paid high-water mark: Prefetch
+// reads ranks from the source into the buffer without delivering them.
+// That is how a concurrent executor overlaps the m per-round sorted
+// accesses across subsystems — readahead is a latency-hiding detail of
+// the transport, while the Section 5 tallies meter exactly what the
+// algorithm consumed, so they are bit-identical to a serial evaluation.
+// The grade memo (which decides whether a later random access is free)
+// is likewise updated only at delivery time, never by readahead.
 //
 // Over a dense universe (the source implements UniverseHinter) the
 // memo is an epoch-stamped flat array drawn from a pool, so a metered
@@ -84,9 +93,10 @@ func (s ListSource) Universe() (int, bool) { return s.list.DenseUniverse() }
 // order, so re-reads never touch the source again.
 type Counted struct {
 	src     Source
-	fetched int               // high-water mark: entries delivered by sorted access
+	length  int               // src.Len(), cached off the interface
+	fetched int               // paid high-water mark: entries delivered by sorted access
 	random  int               // R for this list
-	prefix  []gradedset.Entry // the delivered prefix, prefix[r] = entry at rank r
+	prefix  []gradedset.Entry // buffered prefix, prefix[r] = entry at rank r; may exceed fetched
 	dc      *denseCache       // dense-universe memo; nil → map fallback
 	known   map[int]float64   // map fallback memo (also overflow for out-of-universe probes)
 }
@@ -94,7 +104,7 @@ type Counted struct {
 // Count wraps src for metered access. When src reports a dense universe
 // the memo is array-backed; otherwise a map is used.
 func Count(src Source) *Counted {
-	c := &Counted{src: src}
+	c := &Counted{src: src, length: src.Len()}
 	if h, ok := src.(UniverseHinter); ok {
 		if n, dense := h.Universe(); dense {
 			c.dc = acquireDenseCache(n)
@@ -136,7 +146,7 @@ func ReleaseAll(cs []*Counted) {
 }
 
 // Len returns the number of graded objects.
-func (c *Counted) Len() int { return c.src.Len() }
+func (c *Counted) Len() int { return c.length }
 
 // Universe reports the dense universe size when the underlying source
 // declared one (see UniverseHinter).
@@ -164,38 +174,69 @@ func (c *Counted) record(obj int, g float64) {
 	c.known[obj] = g
 }
 
+// ensureBuffered extends the buffered prefix to at least n entries,
+// reading the missing ranks from the source in one batched call. It does
+// not deliver anything: the paid high-water mark and the grade memo are
+// untouched.
+func (c *Counted) ensureBuffered(n int) {
+	if n <= len(c.prefix) {
+		return
+	}
+	span := c.src.Entries(len(c.prefix), n)
+	c.prefix = append(c.prefix, span...)
+}
+
+// deliver pays for ranks [fetched, hi): the entries enter the grade memo
+// and the sorted-access tally advances. Callers must have buffered
+// through hi first.
+func (c *Counted) deliver(hi int) {
+	if hi <= c.fetched {
+		return
+	}
+	for _, got := range c.prefix[c.fetched:hi] {
+		c.record(got.Object, got.Grade)
+	}
+	c.fetched = hi
+}
+
+// Prefetch buffers the first n ranks of the list (clamped to its length)
+// without delivering them: no sorted-access cost is incurred and the
+// grade memo is unchanged. An executor uses it to overlap subsystem reads
+// across lists; the algorithm still pays per rank as it consumes them.
+// Prefetch must not race with any other access to the same Counted —
+// executors hand each list to exactly one worker and rejoin before the
+// algorithm resumes.
+func (c *Counted) Prefetch(n int) {
+	if n > c.length {
+		n = c.length
+	}
+	c.ensureBuffered(n)
+}
+
+// Buffered returns how many ranks are buffered (paid or prefetched).
+func (c *Counted) Buffered() int { return len(c.prefix) }
+
 // EntryAt returns the entry at the given rank via sorted access,
 // advancing (and paying for) the prefix up to that rank if it has not
 // been delivered before. ok is false beyond the end of the list. The
-// advance is one batched Entries call, and the delivered prefix is kept,
-// so each rank costs exactly one source access ever.
+// advance is one batched Entries call (or free if prefetched), and the
+// delivered prefix is kept, so each rank costs exactly one source access
+// ever.
 func (c *Counted) EntryAt(rank int) (e gradedset.Entry, ok bool) {
-	if rank < 0 || rank >= c.src.Len() {
+	if rank < 0 || rank >= c.length {
 		return gradedset.Entry{}, false
 	}
-	if rank >= c.fetched {
-		span := c.src.Entries(c.fetched, rank+1)
-		for _, got := range span {
-			c.record(got.Object, got.Grade)
-		}
-		c.prefix = append(c.prefix, span...)
-		c.fetched = rank + 1
-	}
+	c.ensureBuffered(rank + 1)
+	c.deliver(rank + 1)
 	return c.prefix[rank], true
 }
 
-// entriesTo delivers ranks [cu.pos, hi) for a cursor: like EntryAt but
+// entriesTo delivers ranks [lo, hi) for a cursor: like EntryAt but
 // returning the whole span. The returned slice is valid until the next
 // sorted access on this list.
 func (c *Counted) entriesTo(lo, hi int) []gradedset.Entry {
-	if hi > c.fetched {
-		span := c.src.Entries(c.fetched, hi)
-		for _, got := range span {
-			c.record(got.Object, got.Grade)
-		}
-		c.prefix = append(c.prefix, span...)
-		c.fetched = hi
-	}
+	c.ensureBuffered(hi)
+	c.deliver(hi)
 	return c.prefix[lo:hi]
 }
 
@@ -323,6 +364,15 @@ func (cu *Cursor) NextBatch(max int) []gradedset.Entry {
 
 // Pos returns how many entries this cursor has consumed.
 func (cu *Cursor) Pos() int { return cu.pos }
+
+// Buffered returns how many entries beyond the cursor's position are
+// already buffered on the list: the number of Next calls that are
+// guaranteed not to touch the source.
+func (cu *Cursor) Buffered() int { return cu.list.Buffered() - cu.pos }
+
+// Prefetch buffers the next n entries past the cursor's position (see
+// Counted.Prefetch): free readahead, paid only on consumption.
+func (cu *Cursor) Prefetch(n int) { cu.list.Prefetch(cu.pos + n) }
 
 // LastGrade returns the grade of the most recent entry this cursor
 // consumed: the smallest grade it has seen, since grades arrive in
