@@ -23,11 +23,16 @@
 // fixed database set, independent of iteration count), so identical
 // code compares exactly; the small default tolerance only absorbs the
 // iteration-weighted sampling of snapshots taken before the metrics
-// were made deterministic. An executor-suffixed benchmark
-// ("..._Parallel/m=5") with no counterpart in the old snapshot is
-// compared against its base name ("…/m=5"), which is how the serial
-// and concurrent executors are both pinned to the same historical cost
-// trajectory.
+// were made deterministic. A variant-suffixed benchmark
+// ("..._Parallel/m=5", "..._Sharded/N=65536") with no counterpart in
+// the old snapshot is compared against its base name ("…/m=5"), which
+// is how the serial executor, the concurrent executor, and the sharded
+// evaluator are all pinned to the same historical cost trajectory: the
+// sharded benchmarks report middleware-cost/op as the unsharded-
+// equivalent tallies (which sharding must never change) and track the
+// partitioned tallies separately under sharded-cost/op, a unit the old
+// baselines do not carry and therefore gate only once it has its own
+// snapshot entry.
 package main
 
 import (
@@ -172,10 +177,15 @@ func compareSnapshots(snap Snapshot, baselinePath string, tol float64) bool {
 		ref, found := baseline[m.Name]
 		refName := m.Name
 		if !found {
-			// An executor-suffixed variant pins itself to the base
-			// benchmark's historical cost trajectory.
-			refName = strings.Replace(m.Name, "_Parallel", "", 1)
-			ref, found = baseline[refName]
+			// A variant-suffixed benchmark (_Parallel executor, _Sharded
+			// evaluator) pins itself to the base benchmark's historical
+			// cost trajectory.
+			for _, suffix := range []string{"_Parallel", "_Sharded"} {
+				refName = strings.Replace(m.Name, suffix, "", 1)
+				if ref, found = baseline[refName]; found {
+					break
+				}
+			}
 		}
 		if !found {
 			fmt.Printf("  new   %-45s (no baseline)\n", m.Name)

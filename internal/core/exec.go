@@ -110,6 +110,20 @@ type ExecContext struct {
 	lists     []*subsys.Counted
 	safe      cost.Cost // tallies at the last quiescent checkpoint
 	abandoned bool
+
+	// stop is the optional threshold stop-check a sharded evaluation
+	// installs: polled once per Stage (i.e. once per sorted round) with
+	// the algorithm's cursors; returning true fences every list, so the
+	// sorted loops run dry and the algorithm falls through to its
+	// completion phase over the objects seen so far.
+	stop func([]*subsys.Cursor) bool
+
+	// pool is the shared budget reservation pool of a sharded
+	// evaluation; nil for the single-evaluation budget path. synced and
+	// outstanding are this ExecContext's bookkeeping inside the pool.
+	pool        *budgetPool
+	synced      float64 // weighted spend already committed to the pool
+	outstanding float64 // worst-case price of the in-flight step
 }
 
 // EvalOption configures an evaluation (see Evaluate and NewExecContext).
@@ -230,6 +244,15 @@ func (ec *ExecContext) Stage(cursors []*subsys.Cursor, ahead int) error {
 	if err := ec.err(); err != nil {
 		return err
 	}
+	if ec.stop != nil && ec.stop(cursors) {
+		// Threshold stop: close every sorted stream so the algorithm's
+		// round loop terminates and completes over what it has seen. The
+		// check is one-shot — fenced lists stay fenced.
+		for _, l := range ec.lists {
+			l.Fence()
+		}
+		ec.stop = nil
+	}
 	if !ec.par {
 		return nil
 	}
@@ -263,6 +286,9 @@ func (ec *ExecContext) Reserve(nSorted, nRandom int) error {
 		return nil
 	}
 	need := ec.model.C1*float64(nSorted) + ec.model.C2*float64(nRandom)
+	if ec.pool != nil {
+		return ec.pool.reserve(ec, need)
+	}
 	if spent := ec.spent(); spent+need > ec.budget {
 		return &BudgetError{Limit: ec.budget, Spent: spent, Need: need}
 	}
@@ -388,8 +414,11 @@ const (
 	// runs inline: the work is too small to pay a goroutine fan-out for.
 	gatherSerialCutoff = 4096
 	// ctxCheckEvery paces cancellation polls inside long serial probe
-	// loops.
-	ctxCheckEvery = 4096
+	// loops: frequent enough that even a shard-sized sweep (a few hundred
+	// objects) notices cancellation mid-phase, cheap enough (one channel
+	// poll per 256 probes) to vanish in the noise of the probes
+	// themselves. Polls never touch the tallies.
+	ctxCheckEvery = 256
 	// budgetCheckEvery paces cancellation polls in the budgeted gather
 	// (which already pays a reservation per object).
 	budgetCheckEvery = 64

@@ -1,0 +1,427 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"fuzzydb/internal/agg"
+	"fuzzydb/internal/cost"
+	"fuzzydb/internal/gradedset"
+	"fuzzydb/internal/subsys"
+)
+
+// ShardConfig configures a sharded evaluation (see EvaluateSharded): the
+// dense universe {0,…,N−1} is split into Shards contiguous ranges, the
+// algorithm runs once per shard over re-ranked shard views of the
+// sources, and the per-shard top answers are merged into the global
+// top k under the package tie policy (descending grade, ascending id).
+type ShardConfig struct {
+	// Shards is the number of universe partitions. Values ≤ 1 (and
+	// non-exact algorithms, whose reported grades are not comparable
+	// across shards) evaluate unsharded; values above N are clamped to N.
+	Shards int
+	// Parallel caps the number of shard workers running at once: 0 means
+	// GOMAXPROCS, 1 runs the shards sequentially in index order — the
+	// deterministic mode, where the threshold merge stops later shards
+	// against the exact results of earlier ones and the per-shard cost
+	// tallies are reproducible bit for bit. Each worker evaluates its
+	// shard serially inside (the executor-level overlap of
+	// WithParallelism applies to unsharded evaluation; sharding fans out
+	// across shards instead).
+	Parallel int
+	// Budget bounds the weighted middleware cost of the whole evaluation
+	// across all shards, through a shared reservation pool: every shard
+	// reserves each step's worst-case price from the same pool before
+	// issuing accesses, so the global spend never overshoots the limit
+	// (the *BudgetError semantics of WithAccessBudget, globally).
+	// Non-positive means unlimited.
+	Budget float64
+	// Model prices sorted and random accesses for budget accounting
+	// (zero value means cost.Unweighted).
+	Model cost.Model
+}
+
+// ShardReport is the outcome of a sharded evaluation.
+type ShardReport struct {
+	// Results is the global top k in descending grade order (ties by
+	// ascending object id). Nil when the evaluation stopped early.
+	Results []Result
+	// Cost is the total Section 5 access cost summed over shards.
+	Cost cost.Cost
+	// PerList breaks Cost down by source (atom), summed across shards.
+	PerList []cost.Cost
+	// PerShard breaks Cost down by shard.
+	PerShard []cost.Cost
+	// Shards is the number of shards actually planned (after clamping);
+	// 1 means the evaluation degenerated to the unsharded path.
+	Shards int
+}
+
+// EvaluateSharded finds the top k answers of F_t(srcs…) by partitioned
+// evaluation: it plans cfg.Shards contiguous ranges of the universe,
+// runs alg once per shard over re-ranked shard views (each under its
+// own serial ExecContext, shards fanned out on up to cfg.Parallel
+// workers), and merges the per-shard answers into the global top k.
+//
+// Equivalence contract (pinned by TestShardedVsUnsharded): the merged
+// answers carry the same grade sequence as the unsharded evaluation of
+// alg, and the very same objects in the same order everywhere above the
+// k-th grade. Within a tie class AT the k-th grade both strategies
+// return a correct maximal choice (Section 4) over their own candidate
+// sets — the sharded pick is canonical (smallest ids) and deterministic,
+// and coincides with the unsharded pick byte for byte whenever the k-th
+// grade is untied.
+//
+// The merge is threshold-aware: finished shards publish their exact
+// answers to a shared scoreboard, and a running shard whose threshold
+// value — the aggregate t(g̲₁,…,g̲ₘ) of the last grades it has seen under
+// sorted access, an upper bound on every object it has not yet seen for
+// monotone t — falls strictly below the current global k-th grade is
+// fenced: its sorted streams run dry and the algorithm completes over
+// the objects already seen. Fencing never changes the merged answers
+// (every unseen object of a fenced shard is strictly below the final
+// k-th grade), it only saves accesses; on skewed data, shards that
+// cannot contribute stop after a handful of rounds, so the sharded
+// evaluation does less total access work than the unsharded one.
+// Fencing engages for the algorithms whose completion phase computes
+// exact grades for every seen object (A0, A0Adaptive, TA) under a
+// monotone t; other exact algorithms simply run each shard to its own
+// natural stop.
+//
+// For cfg.Shards ≤ 1 — and for non-exact algorithms such as NRA, whose
+// reported lower-bound grades cannot be merged across shards — the
+// evaluation degenerates to the plain unsharded path, byte for byte.
+//
+// On cancellation or budget exhaustion every shard worker stops
+// promptly (serial execution polls between accesses; the shared budget
+// pool fails all further reservations once any shard trips it), the
+// workers are joined, and the report carries the partial cost with nil
+// results and the first error in shard order.
+func EvaluateSharded(ctx context.Context, alg Algorithm, srcs []subsys.Source, t agg.Func, k int, cfg ShardConfig) (*ShardReport, error) {
+	model := cost.Unweighted
+	if cfg.Model.Valid() {
+		model = cfg.Model
+	}
+	if len(srcs) == 0 {
+		return &ShardReport{Shards: 1}, ErrNoLists
+	}
+	n := srcs[0].Len()
+	p := cfg.Shards
+	if p > n {
+		p = n
+	}
+	if p <= 1 || !alg.Exact() {
+		return evaluateUnsharded(ctx, alg, srcs, t, k, cfg, model)
+	}
+	// The per-shard runs see only their slice, so the global argument
+	// contract must be enforced here, exactly as checkArgs states it.
+	for i, s := range srcs {
+		if s.Len() != n {
+			return &ShardReport{Shards: 1}, fmt.Errorf("%w: list %d has %d objects, want %d", ErrArity, i, s.Len(), n)
+		}
+	}
+	if k < 1 || k > n {
+		return &ShardReport{Shards: 1}, fmt.Errorf("%w: k=%d, N=%d", ErrBadK, k, n)
+	}
+
+	plan := subsys.PlanShards(n, p)
+	var board *shardBoard
+	if t.Monotone() && fenceSafe(alg) {
+		board = &shardBoard{top: boundedTopK{k: k}}
+	}
+	var pool *budgetPool
+	if cfg.Budget > 0 {
+		pool = &budgetPool{limit: cfg.Budget}
+	}
+
+	outs := make([]shardOut, len(plan))
+	runShard := func(i int) {
+		outs[i] = evalShard(ctx, alg, srcs, t, k, plan[i], model, pool, board)
+		if board != nil && outs[i].err == nil {
+			board.publish(outs[i].res)
+		}
+	}
+
+	workers := cfg.Parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(plan) {
+		workers = len(plan)
+	}
+	if workers <= 1 {
+		// Sequential mode: shards run in index order, so the threshold
+		// scoreboard a shard stops against is a deterministic function of
+		// the data — and so are the per-shard tallies.
+		for i := range plan {
+			runShard(i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(plan) {
+						return
+					}
+					runShard(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	rep := &ShardReport{
+		PerList:  make([]cost.Cost, len(srcs)),
+		PerShard: make([]cost.Cost, len(plan)),
+		Shards:   len(plan),
+	}
+	var firstErr error
+	total := 0
+	for i := range outs {
+		rep.PerShard[i] = outs[i].total
+		rep.Cost = rep.Cost.Add(outs[i].total)
+		for j, c := range outs[i].per {
+			rep.PerList[j] = rep.PerList[j].Add(c)
+		}
+		if outs[i].err != nil && firstErr == nil {
+			firstErr = outs[i].err
+		}
+		total += len(outs[i].res)
+	}
+	if firstErr != nil {
+		return rep, firstErr
+	}
+	entries := make([]gradedset.Entry, 0, total)
+	for i := range outs {
+		for _, r := range outs[i].res {
+			entries = append(entries, gradedset.Entry{Object: r.Object, Grade: r.Grade})
+		}
+	}
+	top := gradedset.TopK(entries, k)
+	rep.Results = make([]Result, len(top))
+	for i, e := range top {
+		rep.Results[i] = Result{Object: e.Object, Grade: e.Grade}
+	}
+	return rep, nil
+}
+
+// shardOut is one shard worker's outcome.
+type shardOut struct {
+	res   []Result // global ids, exact grades
+	per   []cost.Cost
+	total cost.Cost
+	err   error
+}
+
+// evalShard runs one shard of a partitioned evaluation: re-ranked views
+// over the range, a fresh serial ExecContext (wired to the shared budget
+// pool and the threshold scoreboard when configured), the algorithm at
+// k clamped to the shard size, and local→global id translation of the
+// answers. An empty range evaluates to nothing at zero cost.
+func evalShard(ctx context.Context, alg Algorithm, srcs []subsys.Source, t agg.Func, k int, r subsys.ShardRange, model cost.Model, pool *budgetPool, board *shardBoard) shardOut {
+	var out shardOut
+	if r.Len() == 0 {
+		return out
+	}
+	counted := subsys.CountAll(subsys.ShardSources(srcs, r))
+	ec := NewExecContext(ctx, counted, WithCostModel(model))
+	if pool != nil {
+		ec.budget = pool.limit
+		ec.pool = pool
+	}
+	if board != nil {
+		ec.stop = board.stopFunc(t, len(srcs))
+	}
+	ks := k
+	if ks > r.Len() {
+		ks = r.Len()
+	}
+	res, err := alg.TopK(ec, counted, t, ks)
+	if pool != nil {
+		pool.finish(ec)
+	}
+	out.total = subsys.TotalCost(counted)
+	out.per = make([]cost.Cost, len(counted))
+	for j, c := range counted {
+		out.per[j] = c.Cost()
+	}
+	subsys.ReleaseAll(counted)
+	if err != nil {
+		out.err = err
+		return out
+	}
+	out.res = make([]Result, len(res))
+	for j, rr := range res {
+		out.res[j] = Result{Object: rr.Object + r.Lo, Grade: rr.Grade}
+	}
+	return out
+}
+
+// evaluateUnsharded is the degenerate path of EvaluateSharded: the plain
+// single-evaluation pipeline (identical to Evaluate), packaged as a
+// one-shard report. cfg.Parallel keeps its executor-level meaning here.
+func evaluateUnsharded(ctx context.Context, alg Algorithm, srcs []subsys.Source, t agg.Func, k int, cfg ShardConfig, model cost.Model) (*ShardReport, error) {
+	opts := []EvalOption{WithCostModel(model)}
+	if cfg.Parallel > 1 {
+		opts = append(opts, WithExecutor(Concurrent{P: cfg.Parallel}))
+	}
+	if cfg.Budget > 0 {
+		opts = append(opts, WithAccessBudget(cfg.Budget))
+	}
+	counted := subsys.CountAll(srcs)
+	ec := NewExecContext(ctx, counted, opts...)
+	res, err := alg.TopK(ec, counted, t, k)
+	rep := &ShardReport{Shards: 1}
+	if ec.Abandoned() {
+		rep.Cost = ec.SafeCost()
+		rep.PerShard = []cost.Cost{rep.Cost}
+		return rep, err
+	}
+	rep.Cost = subsys.TotalCost(counted)
+	rep.PerShard = []cost.Cost{rep.Cost}
+	rep.PerList = make([]cost.Cost, len(counted))
+	for j, c := range counted {
+		rep.PerList[j] = c.Cost()
+	}
+	subsys.ReleaseAll(counted)
+	if err != nil {
+		return rep, err
+	}
+	rep.Results = res
+	return rep, nil
+}
+
+// fenceSafe reports whether the algorithm tolerates a threshold fence:
+// its sorted loop treats fenced cursors as exhausted and its completion
+// phase computes exact grades for every object seen so far. A0 and
+// A0Adaptive complete every seen object by random access; TA scores
+// eagerly on first sight. A0Prime is excluded (its candidate pruning
+// needs the full k matches), FilterFirst is excluded (a truncated drive
+// scan would drop perfect matches), B0 and the naive algorithms consume
+// in one batch before any threshold exists, and OrderStat's inner runs
+// use subset arity the threshold check cannot price.
+func fenceSafe(alg Algorithm) bool {
+	switch alg.(type) {
+	case A0, A0Adaptive, TA:
+		return true
+	}
+	return false
+}
+
+// shardBoard is the shared scoreboard of a sharded evaluation: finished
+// shards publish their exact answers, and running shards poll the
+// resulting global k-th grade as their fencing bound. The bound is
+// monotone non-decreasing and always at most the final global k-th
+// grade, which is what makes fencing on a stale read safe — a stale
+// bound is merely conservative.
+type shardBoard struct {
+	mu   sync.Mutex
+	top  boundedTopK
+	full atomic.Bool
+	bits atomic.Uint64 // Float64bits of the current k-th grade
+}
+
+// publish merges one shard's exact answers into the scoreboard.
+func (b *shardBoard) publish(res []Result) {
+	b.mu.Lock()
+	for _, r := range res {
+		b.top.offer(gradedset.Entry{Object: r.Object, Grade: r.Grade})
+	}
+	if b.top.full() {
+		b.bits.Store(math.Float64bits(b.top.kth().Grade))
+		b.full.Store(true)
+	}
+	b.mu.Unlock()
+}
+
+// bound returns the current global k-th grade, once k exact answers
+// have been published.
+func (b *shardBoard) bound() (float64, bool) {
+	if !b.full.Load() {
+		return 0, false
+	}
+	return math.Float64frombits(b.bits.Load()), true
+}
+
+// stopFunc builds the per-shard threshold stop-check: fence when the
+// aggregate of the shard's last-seen sorted grades — an upper bound on
+// every object the shard has not yet seen, for monotone t — falls
+// strictly below the global k-th grade. Strictly: an unseen object tied
+// with the k-th grade could still belong to the top k under the id
+// tie-break, so equality must keep scanning.
+func (b *shardBoard) stopFunc(t agg.Func, m int) func([]*subsys.Cursor) bool {
+	buf := make([]float64, m)
+	return func(cursors []*subsys.Cursor) bool {
+		if len(cursors) != m {
+			return false
+		}
+		bound, ok := b.bound()
+		if !ok {
+			return false
+		}
+		for i, cu := range cursors {
+			buf[i] = cu.LastGrade()
+		}
+		return t.Apply(buf) < bound
+	}
+}
+
+// budgetPool is the shared access-budget ledger of a sharded
+// evaluation. Each shard synchronizes its own actual weighted spend
+// into the pool and holds at most one outstanding worst-case
+// reservation (steps within a shard are sequential, so reserving a new
+// step settles the previous one). The invariant committed + outstanding
+// ≤ limit holds at every grant, and every access is covered by a
+// reservation, so the global spend can never overshoot the limit.
+type budgetPool struct {
+	mu          sync.Mutex
+	limit       float64
+	committed   float64 // synchronized actual spend across shards
+	outstanding float64 // sum of in-flight worst-case reservations
+	broke       bool    // a reservation failed; fail all further ones
+}
+
+// reserve settles ec's previous step (commit actual spend, release its
+// reservation) and grants the next one, or fails with a *BudgetError.
+// The failure's Spent is the synchronized actual spend (committed), per
+// the BudgetError contract; a grant can be refused even when committed
+// plus need is under the limit, because other shards' outstanding
+// worst-case reservations also hold headroom — that pessimism is what
+// makes the pool overshoot-proof.
+func (p *budgetPool) reserve(ec *ExecContext, need float64) error {
+	spent := ec.model.Of(subsys.TotalCost(ec.lists))
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.committed += spent - ec.synced
+	ec.synced = spent
+	p.outstanding -= ec.outstanding
+	ec.outstanding = 0
+	if p.broke || p.committed+p.outstanding+need > p.limit {
+		p.broke = true
+		return &BudgetError{Limit: p.limit, Spent: p.committed, Need: need}
+	}
+	ec.outstanding = need
+	p.outstanding += need
+	return nil
+}
+
+// finish commits ec's final spend and releases its reservation; called
+// once when the shard's evaluation returns.
+func (p *budgetPool) finish(ec *ExecContext) {
+	spent := ec.model.Of(subsys.TotalCost(ec.lists))
+	p.mu.Lock()
+	p.committed += spent - ec.synced
+	ec.synced = spent
+	p.outstanding -= ec.outstanding
+	ec.outstanding = 0
+	p.mu.Unlock()
+}

@@ -11,6 +11,11 @@
 //	rep, err := mw.Query(ctx, q, TopN(10), WithParallelism(4),
 //		WithAccessBudget(5000))
 //
+// WithShards(P) additionally partitions the object universe into P
+// contiguous slices evaluated independently (the threshold-aware merge
+// of core.EvaluateSharded combines the per-shard answers); the report
+// then carries a per-shard cost breakdown alongside the per-atom one.
+//
 // Results is the streaming form: it yields answers one at a time in
 // descending grade order (an iter.Seq2), widening the underlying top-r
 // computation page by page over shared counted lists, so "the next k
@@ -278,6 +283,14 @@ type Report struct {
 	// much sorted and random access each subsystem served. Nil when the
 	// evaluation was abandoned with accesses in flight.
 	PerList []cost.Cost
+	// PerShard breaks the cost down by universe shard when the request
+	// asked for sharded evaluation (WithShards): PerShard[s] is the total
+	// access cost shard s incurred across all atoms. Nil for unsharded
+	// evaluations.
+	PerShard []cost.Cost
+	// Shards is the number of universe shards the evaluation ran over
+	// (0 for the unsharded path, 1 when WithShards degenerated to it).
+	Shards int
 	// Plan that produced the results.
 	Plan *Plan
 }
@@ -292,6 +305,7 @@ type queryConfig struct {
 	k           int
 	alg         core.Algorithm
 	parallelism int
+	shards      int
 	budget      float64
 	model       cost.Model
 }
@@ -321,6 +335,29 @@ func WithAlgorithm(alg core.Algorithm) QueryOption {
 // bit-identical to the serial executor's; only wall-clock changes.
 func WithParallelism(p int) QueryOption {
 	return func(c *queryConfig) { c.parallelism = p }
+}
+
+// WithShards evaluates the request over p disjoint contiguous slices of
+// the object universe: the planner's algorithm runs once per shard over
+// re-ranked shard views of the subsystem results, and the per-shard
+// answers are merged into the global top k by a threshold-aware merge —
+// a shard whose frontier aggregate falls strictly below the current
+// global k-th grade stops early (see core.EvaluateSharded). Answers
+// match the unsharded evaluation — identical grade sequence, identical
+// objects above the k-th grade, and a correct maximal choice within a
+// tie class at the k-th grade (byte-identical whenever that grade is
+// untied); the report additionally carries the per-shard cost
+// breakdown.
+//
+// WithShards composes with the other request options: WithParallelism
+// caps the number of shard workers running at once (1 = sequential
+// shards, the deterministic-cost mode; default GOMAXPROCS), and
+// WithAccessBudget becomes a single reservation pool shared by all
+// shards, so the global spend still never overshoots. p ≤ 1 means
+// unsharded. Non-exact algorithms (NRA) and the paginating entry points
+// (Results, Paginate) evaluate unsharded regardless of this option.
+func WithShards(p int) QueryOption {
+	return func(c *queryConfig) { c.shards = p }
 }
 
 // WithAccessBudget bounds the weighted middleware cost of the request:
@@ -408,9 +445,13 @@ func (m *Middleware) QueryString(ctx context.Context, q string, opts ...QueryOpt
 // prefixes already paid for rather than starting over.
 //
 // The options of Query apply per request; a budget bounds the cumulative
-// cost across all pages. On an error (cancellation, budget, a planning
-// failure, or a non-paginable algorithm pinned via WithAlgorithm) the
-// iterator yields one (zero Result, err) pair and stops.
+// cost across all pages. WithShards is ignored here (and by Paginate):
+// pagination incrementally widens one evaluation over shared counted
+// lists, a shape the partitioned evaluator does not have — the request
+// still evaluates, just unsharded. On an error (cancellation, budget, a
+// planning failure, or a non-paginable algorithm pinned via
+// WithAlgorithm) the iterator yields one (zero Result, err) pair and
+// stops.
 func (m *Middleware) Results(ctx context.Context, q query.Node, opts ...QueryOption) iter.Seq2[core.Result, error] {
 	return func(yield func(core.Result, error) bool) {
 		pag, ec, counted, err := m.preparePagination(ctx, q, newQueryConfig(opts))
@@ -585,10 +626,35 @@ func (m *Middleware) execute(ctx context.Context, plan *Plan, cfg queryConfig) (
 	if err != nil {
 		return nil, err
 	}
+	if cfg.shards > 1 {
+		return m.executeSharded(ctx, plan, cfg, lists)
+	}
 	counted := subsys.CountAll(lists)
 	ec := core.NewExecContext(ctx, counted, cfg.evalOptions()...)
 	res, err := plan.Algorithm.TopK(ec, counted, plan.Agg, m.clampK(cfg.k))
 	return finishReport(ec, counted, plan, res, err)
+}
+
+// executeSharded runs a plan through the partitioned evaluator: the
+// algorithm per universe shard, a threshold-aware merge, and the usual
+// Section 5 tallies summed across shards (total, per atom, and — new
+// with sharding — per shard).
+func (m *Middleware) executeSharded(ctx context.Context, plan *Plan, cfg queryConfig, lists []subsys.Source) (*Report, error) {
+	sr, err := core.EvaluateSharded(ctx, plan.Algorithm, lists, plan.Agg, m.clampK(cfg.k), core.ShardConfig{
+		Shards:   cfg.shards,
+		Parallel: cfg.parallelism,
+		Budget:   cfg.budget,
+		Model:    cfg.model,
+	})
+	rep := &Report{Cost: sr.Cost, PerShard: sr.PerShard, Shards: sr.Shards, Plan: plan}
+	if len(sr.PerList) == len(plan.Atoms) {
+		rep.PerList = sr.PerList
+	}
+	if err != nil {
+		return rep, err
+	}
+	rep.Results = sr.Results
+	return rep, nil
 }
 
 // finishReport is the shared evaluation epilogue: it assembles the

@@ -1,0 +1,169 @@
+package middleware
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"fuzzydb/internal/core"
+	"fuzzydb/internal/cost"
+)
+
+// TestQueryWithShardsMatchesUnsharded: a sharded engine request returns
+// the same answers as the unsharded one and reports a consistent cost
+// breakdown — total = Σ per-shard = Σ per-atom.
+func TestQueryWithShardsMatchesUnsharded(t *testing.T) {
+	mw := genStore(t, 1200, 3, 71)
+	q := genConj(3)
+	want, err := mw.Query(context.Background(), q, TopN(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{0, 1, 4} {
+		rep, err := mw.Query(context.Background(), q, TopN(15), WithShards(4), WithParallelism(par))
+		if err != nil {
+			t.Fatalf("par=%d: %v", par, err)
+		}
+		if rep.Shards != 4 {
+			t.Errorf("par=%d: Shards = %d, want 4", par, rep.Shards)
+		}
+		if len(rep.PerShard) != 4 {
+			t.Fatalf("par=%d: PerShard has %d entries, want 4", par, len(rep.PerShard))
+		}
+		if len(rep.Results) != len(want.Results) {
+			t.Fatalf("par=%d: %d results, want %d", par, len(rep.Results), len(want.Results))
+		}
+		for i := range want.Results {
+			if rep.Results[i] != want.Results[i] {
+				t.Errorf("par=%d: result %d = %v, want %v", par, i, rep.Results[i], want.Results[i])
+			}
+		}
+		var perShard, perList cost.Cost
+		for _, c := range rep.PerShard {
+			perShard = perShard.Add(c)
+		}
+		for _, c := range rep.PerList {
+			perList = perList.Add(c)
+		}
+		if rep.Cost != perShard || rep.Cost != perList {
+			t.Errorf("par=%d: cost %v, per-shard sum %v, per-atom sum %v", par, rep.Cost, perShard, perList)
+		}
+	}
+}
+
+// TestQueryWithShardsOneIsUnsharded: WithShards(1) and WithShards(0) are
+// the plain evaluation, byte for byte, cost included.
+func TestQueryWithShardsOneIsUnsharded(t *testing.T) {
+	mw := genStore(t, 800, 2, 72)
+	q := genConj(2)
+	want, err := mw.Query(context.Background(), q, TopN(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{0, 1} {
+		rep, err := mw.Query(context.Background(), q, TopN(10), WithShards(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Cost != want.Cost {
+			t.Errorf("WithShards(%d): cost %v, want %v", p, rep.Cost, want.Cost)
+		}
+		for i := range want.Results {
+			if rep.Results[i] != want.Results[i] {
+				t.Errorf("WithShards(%d): result %d differs", p, i)
+			}
+		}
+	}
+}
+
+// TestQueryWithShardsBudget: the access budget of a sharded request is a
+// single pool across shards — a starved request stops with the usual
+// typed error and a partial-cost report that never overshoots.
+func TestQueryWithShardsBudget(t *testing.T) {
+	mw := genStore(t, 2048, 2, 73)
+	q := genConj(2)
+	free, err := mw.Query(context.Background(), q, TopN(10), WithShards(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := float64(free.Cost.Sum()) / 8
+	rep, err := mw.Query(context.Background(), q, TopN(10), WithShards(4), WithAccessBudget(budget))
+	if !errors.Is(err, core.ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+	if rep == nil {
+		t.Fatal("no partial report on budget stop")
+	}
+	if rep.Results != nil {
+		t.Error("results on budget-stopped request")
+	}
+	if got := float64(rep.Cost.Sum()); got > budget {
+		t.Errorf("partial cost %v overshoots shared budget %v", got, budget)
+	}
+	if rep.Cost.Sum() == 0 {
+		t.Error("zero partial cost")
+	}
+}
+
+// TestQueryWithShardsPinnedNRA: pinning the non-exact NRA alongside
+// WithShards degenerates to the unsharded path rather than merging
+// incomparable bound grades.
+func TestQueryWithShardsPinnedNRA(t *testing.T) {
+	mw := genStore(t, 600, 2, 74)
+	q := genConj(2)
+	want, err := mw.Query(context.Background(), q, TopN(8), WithAlgorithm(core.NRA{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := mw.Query(context.Background(), q, TopN(8), WithAlgorithm(core.NRA{}), WithShards(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Shards != 1 {
+		t.Errorf("Shards = %d, want 1 (degenerate)", rep.Shards)
+	}
+	if rep.Cost != want.Cost {
+		t.Errorf("cost %v, want unsharded %v", rep.Cost, want.Cost)
+	}
+	for i := range want.Results {
+		if rep.Results[i] != want.Results[i] {
+			t.Errorf("result %d differs from unsharded NRA", i)
+		}
+	}
+}
+
+// TestResultsIgnoresShards: the streaming iterator evaluates unsharded
+// regardless of WithShards, and still delivers the full ordered answer
+// stream.
+func TestResultsIgnoresShards(t *testing.T) {
+	mw := genStore(t, 300, 2, 75)
+	q := genConj(2)
+	var plain []core.Result
+	for r, err := range mw.Results(context.Background(), q, TopN(7)) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain = append(plain, r)
+		if len(plain) == 21 {
+			break
+		}
+	}
+	var sharded []core.Result
+	for r, err := range mw.Results(context.Background(), q, TopN(7), WithShards(4)) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		sharded = append(sharded, r)
+		if len(sharded) == 21 {
+			break
+		}
+	}
+	if len(sharded) != len(plain) {
+		t.Fatalf("sharded stream yielded %d, plain %d", len(sharded), len(plain))
+	}
+	for i := range plain {
+		if sharded[i] != plain[i] {
+			t.Errorf("stream result %d = %v, want %v", i, sharded[i], plain[i])
+		}
+	}
+}

@@ -42,6 +42,25 @@
 // of the transport, while the Section 5 tallies record exactly what the
 // algorithm consumed, bit-identical to a serial evaluation.
 //
+// # Partitioned universes (sharding)
+//
+// PlanShards splits the dense universe into P contiguous ranges, and
+// ShardView presents the restriction of a parent Source to one range as
+// a full-fledged Source of its own: objects renumbered to a local dense
+// universe (so the flat-array fast path applies per shard with pooled,
+// shard-sized memos), sorted order re-ranked lazily by scanning the
+// parent's canonical order forward — a comparison-only scan, never a
+// metered access, and never an O(N) per-query copy. A per-shard Counted
+// over the view meters exactly the accesses that shard's evaluation
+// consumed, so per-shard Section 5 tallies compose by addition.
+//
+// Fence supports the threshold-aware merge that sits above the views: a
+// shard driver that can prove a shard's remaining objects are out of
+// the global top k closes the shard's sorted streams, the algorithm's
+// cursors run dry, and its completion phase runs over what was seen.
+// What Fence never touches: delivered prefixes, tallies, memos, or
+// random access.
+//
 // The package also provides realistic stand-ins for the subsystems the
 // paper names: a relational predicate engine (0/1 grades, the
 // Artist="Beatles" conjunct), a color-histogram similarity engine in the

@@ -1,0 +1,150 @@
+package subsys
+
+import "fuzzydb/internal/gradedset"
+
+// ShardRange is one contiguous slice [Lo, Hi) of the dense universe
+// {0,…,N−1}: the unit of partitioned evaluation. Shards are disjoint and
+// cover the universe, so every object belongs to exactly one shard.
+type ShardRange struct {
+	// Lo is the first global object id of the shard.
+	Lo int
+	// Hi is one past the last global object id of the shard.
+	Hi int
+}
+
+// Len returns the number of objects in the shard.
+func (r ShardRange) Len() int { return r.Hi - r.Lo }
+
+// PlanShards splits the dense universe {0,…,n−1} into p contiguous
+// ranges of near-equal size (the first n mod p shards hold one extra
+// object). p < 1 is treated as 1; when p exceeds n the first n shards
+// hold one object each and the remaining ranges are empty — callers
+// evaluating per shard skip empty ranges.
+func PlanShards(n, p int) []ShardRange {
+	if p < 1 {
+		p = 1
+	}
+	if n < 0 {
+		n = 0
+	}
+	out := make([]ShardRange, p)
+	base, rem := n/p, n%p
+	lo := 0
+	for i := range out {
+		size := base
+		if i < rem {
+			size++
+		}
+		out[i] = ShardRange{Lo: lo, Hi: lo + size}
+		lo += size
+	}
+	return out
+}
+
+// ShardView is a re-ranked view of a parent source restricted to the
+// objects of one contiguous range: the graded list the shard's subsystem
+// would have produced had it only indexed those objects. Objects are
+// renumbered to the local dense universe {0,…,Hi−Lo−1} (local id =
+// global id − Lo), so the view reports a dense universe of its own and
+// every downstream layer — pooled grade memos, flat-array scratch —
+// stays on the fast path without any per-query O(N) copy of the parent.
+//
+// Sorted order is inherited: the view's rank order is the subsequence of
+// the parent's canonical order (descending grade, ascending id on ties)
+// whose objects fall in the range, discovered lazily by scanning the
+// parent's entries forward as deeper local ranks are demanded. Because
+// renumbering subtracts a constant, the parent's tie order restricted to
+// the shard is exactly the canonical tie order on local ids.
+//
+// A view performs read-only operations on the parent (Entries, Grade),
+// so the P views of one parent may be driven from P shard workers
+// concurrently provided the parent is immutable under reads — true of
+// ListSource and every built-in subsystem. Each view itself belongs to
+// exactly one worker.
+//
+// The view assumes the parent honors the dense-universe contract
+// (objects are exactly {0,…,N−1}); an out-of-range object would belong
+// to no shard and silently vanish from every view. Wrap untrusted
+// sources with Validated before sharding them.
+type ShardView struct {
+	parent    Source
+	r         ShardRange
+	parentLen int
+	entries   []gradedset.Entry // local-id entries in shard rank order
+	scanned   int               // parent ranks examined so far
+}
+
+// NewShardView builds the shard's re-ranked view of parent.
+func NewShardView(parent Source, r ShardRange) *ShardView {
+	return &ShardView{parent: parent, r: r, parentLen: parent.Len()}
+}
+
+// ShardSources builds one view per parent source for the given range.
+func ShardSources(parents []Source, r ShardRange) []Source {
+	out := make([]Source, len(parents))
+	for i, p := range parents {
+		out[i] = NewShardView(p, r)
+	}
+	return out
+}
+
+// Len implements Source: the number of objects in the shard.
+func (s *ShardView) Len() int { return s.r.Len() }
+
+// Universe implements UniverseHinter: a shard view is always dense over
+// its local ids.
+func (s *ShardView) Universe() (int, bool) { return s.r.Len(), true }
+
+// fill extends the re-ranked prefix to at least n local entries (or the
+// shard's end), scanning the parent's sorted entries forward in chunks
+// sized to the expected stride between in-range objects.
+func (s *ShardView) fill(n int) {
+	if n > s.r.Len() {
+		n = s.r.Len()
+	}
+	for len(s.entries) < n && s.scanned < s.parentLen {
+		// Expected parent entries per in-range hit is parentLen/shardLen;
+		// scan a chunk sized for the remaining deficit, floored so tiny
+		// deficits still amortize the virtual call.
+		deficit := n - len(s.entries)
+		stride := (s.parentLen + s.r.Len() - 1) / s.r.Len()
+		chunk := deficit * stride
+		if chunk < 64 {
+			chunk = 64
+		}
+		hi := s.scanned + chunk
+		if hi > s.parentLen {
+			hi = s.parentLen
+		}
+		for _, e := range s.parent.Entries(s.scanned, hi) {
+			if e.Object >= s.r.Lo && e.Object < s.r.Hi {
+				s.entries = append(s.entries, gradedset.Entry{Object: e.Object - s.r.Lo, Grade: e.Grade})
+			}
+		}
+		s.scanned = hi
+	}
+}
+
+// Entry implements Source: the shard's entry at the given local rank.
+func (s *ShardView) Entry(rank int) gradedset.Entry {
+	s.fill(rank + 1)
+	return s.entries[rank]
+}
+
+// Entries implements Source: the shard's entries at local ranks
+// [lo, hi). The returned slice must not be mutated.
+func (s *ShardView) Entries(lo, hi int) []gradedset.Entry {
+	s.fill(hi)
+	return s.entries[lo:hi]
+}
+
+// Grade implements Source: random access by local id, translated to the
+// parent's global id.
+func (s *ShardView) Grade(obj int) float64 {
+	return s.parent.Grade(obj + s.r.Lo)
+}
+
+// Scanned reports how many parent ranks the lazy re-ranking has
+// examined: the scan cost of the view so far (comparisons, not metered
+// accesses). Exposed for tests and instrumentation.
+func (s *ShardView) Scanned() int { return s.scanned }

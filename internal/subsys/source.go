@@ -96,6 +96,7 @@ type Counted struct {
 	length  int               // src.Len(), cached off the interface
 	fetched int               // paid high-water mark: entries delivered by sorted access
 	random  int               // R for this list
+	fenced  bool              // sorted stream closed early (threshold stop); see Fence
 	prefix  []gradedset.Entry // buffered prefix, prefix[r] = entry at rank r; may exceed fetched
 	dc      *denseCache       // dense-universe memo; nil → map fallback
 	known   map[int]float64   // map fallback memo (also overflow for out-of-universe probes)
@@ -159,6 +160,22 @@ func (c *Counted) Universe() (int, bool) {
 
 // Depth returns the high-water mark of sorted access.
 func (c *Counted) Depth() int { return c.fetched }
+
+// Fence closes the list's sorted stream early: from now on every cursor
+// over it reports exhaustion and delivers nothing more, exactly as if
+// the list ended at the ranks already consumed. Random access and the
+// grade memo are unaffected — a fenced evaluation still completes the
+// grade vectors of the objects it has seen.
+//
+// Fencing is how a threshold-aware shard driver stops a shard whose
+// remaining objects provably cannot reach the global top k: the
+// algorithm's sorted loop sees its cursors run dry and falls through to
+// its completion phase over the seen objects. Fence must be called from
+// the goroutine driving the evaluation (it is not synchronized).
+func (c *Counted) Fence() { c.fenced = true }
+
+// Fenced reports whether the sorted stream was closed early.
+func (c *Counted) Fenced() bool { return c.fenced }
 
 // record memoizes a grade learned by either access mode.
 func (c *Counted) record(obj int, g float64) {
@@ -331,8 +348,11 @@ func Cursors(lists []*Counted) []*Cursor {
 }
 
 // Next returns the next entry in descending grade order, or ok = false at
-// the end of the list.
+// the end of the list (or past a Fence).
 func (cu *Cursor) Next() (e gradedset.Entry, ok bool) {
+	if cu.list.fenced {
+		return gradedset.Entry{}, false
+	}
 	e, ok = cu.list.EntryAt(cu.pos)
 	if ok {
 		cu.pos++
@@ -347,7 +367,7 @@ func (cu *Cursor) Next() (e gradedset.Entry, ok bool) {
 // sorted access on the underlying list. Callers must genuinely want all
 // max entries: every entry returned is paid for.
 func (cu *Cursor) NextBatch(max int) []gradedset.Entry {
-	if max <= 0 || cu.pos >= cu.list.Len() {
+	if max <= 0 || cu.pos >= cu.list.Len() || cu.list.fenced {
 		return nil
 	}
 	hi := cu.pos + max
@@ -381,5 +401,6 @@ func (cu *Cursor) Prefetch(n int) { cu.list.Prefetch(cu.pos + n) }
 // adaptive scheduler does every round) costs no source access.
 func (cu *Cursor) LastGrade() float64 { return cu.last }
 
-// Exhausted reports whether the cursor has consumed the whole list.
-func (cu *Cursor) Exhausted() bool { return cu.pos >= cu.list.Len() }
+// Exhausted reports whether the cursor has consumed the whole list (or
+// the list was fenced: a closed stream has nothing further to consume).
+func (cu *Cursor) Exhausted() bool { return cu.list.fenced || cu.pos >= cu.list.Len() }
