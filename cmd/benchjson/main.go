@@ -19,20 +19,25 @@
 // custom metric (middleware-cost/op and friends — ns/op is reported but
 // never gated) of every benchmark present in both snapshots must agree
 // within -drift relative tolerance, or the command exits nonzero. The
-// cost metrics are deterministic (exact means over each benchmark's
-// fixed database set, independent of iteration count), so identical
-// code compares exactly; the small default tolerance only absorbs the
-// iteration-weighted sampling of snapshots taken before the metrics
-// were made deterministic. A variant-suffixed benchmark
-// ("..._Parallel/m=5", "..._Sharded/N=65536") with no counterpart in
-// the old snapshot is compared against its base name ("…/m=5"), which
-// is how the serial executor, the concurrent executor, and the sharded
-// evaluator are all pinned to the same historical cost trajectory: the
-// sharded benchmarks report middleware-cost/op as the unsharded-
-// equivalent tallies (which sharding must never change) and track the
-// partitioned tallies separately under sharded-cost/op, a unit the old
-// baselines do not carry and therefore gate only once it has its own
-// snapshot entry.
+// cost metrics are
+// deterministic (exact means over each benchmark's fixed database set,
+// independent of iteration count), so identical code compares exactly;
+// the small default tolerance only absorbs the iteration-weighted
+// sampling of snapshots taken before the metrics were made
+// deterministic. A variant-suffixed benchmark ("..._Parallel/m=5",
+// "..._Sharded/N=65536", "..._Latency/m=5", "..._LatencyConcurrent/…")
+// with no counterpart in the old snapshot is compared against its base
+// name ("…/m=5"), which is how the serial executor, the concurrent
+// executor, the sharded evaluator, and the latency-wrapped pipelined
+// executor are all pinned to the same historical cost trajectory: a
+// transport may change wall-clock, never the Section 5 tallies. The
+// sharded benchmarks additionally track the partitioned tallies under
+// sharded-cost/op, a unit the old baselines do not carry and therefore
+// gate only once it has its own snapshot entry.
+//
+// The default -bench regexp covers the tracked non-latency benchmarks;
+// the _Latency variants sleep real per-access latencies, so CI runs
+// them in a separate invocation at -benchtime 1x (see ci.yml).
 package main
 
 import (
@@ -75,8 +80,10 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
 
 func main() {
 	// The default matches the exact benchmarks tracked in BENCH_PR<n>.json
-	// (anchored full names: a bare "BenchmarkE1" would also match E10-E16).
-	bench := flag.String("bench", "BenchmarkE1_A0_SqrtN|BenchmarkE2_A0_GeneralM", "benchmarks to run (go test -bench regexp)")
+	// (anchored: a bare "BenchmarkE1_A0_SqrtN" would also match the
+	// _Latency variants, whose real sleeps need their own -benchtime 1x
+	// invocation).
+	bench := flag.String("bench", "^(BenchmarkE1_A0_SqrtN|BenchmarkE2_A0_GeneralM)(_Parallel|_Sharded)?$", "benchmarks to run (go test -bench regexp)")
 	benchtime := flag.String("benchtime", "1s", "go test -benchtime value")
 	out := flag.String("o", "", "output file (default stdout)")
 	compare := flag.String("compare", "", "baseline snapshot to gate cost metrics against")
@@ -178,9 +185,9 @@ func compareSnapshots(snap Snapshot, baselinePath string, tol float64) bool {
 		refName := m.Name
 		if !found {
 			// A variant-suffixed benchmark (_Parallel executor, _Sharded
-			// evaluator) pins itself to the base benchmark's historical
-			// cost trajectory.
-			for _, suffix := range []string{"_Parallel", "_Sharded"} {
+			// evaluator, _Latency/_LatencyConcurrent transports) pins
+			// itself to the base benchmark's historical cost trajectory.
+			for _, suffix := range []string{"_Parallel", "_Sharded", "_LatencyConcurrent", "_Latency"} {
 				refName = strings.Replace(m.Name, suffix, "", 1)
 				if ref, found = baseline[refName]; found {
 					break

@@ -167,12 +167,15 @@ func TestDenseFastPathFilter(t *testing.T) {
 }
 
 // TestSerialVsConcurrentExecutors is the executor-equivalence invariant:
-// the concurrent executor is a transport change only. Across the
-// algorithm family, grade laws, arities, parallelism degrees, and
-// randomized k — and on both the dense fast path and the map fallback —
-// it must return byte-identical results and identical cost.Cost tallies
-// to the serial executor. (The CI suite runs this under -race, which
-// also exercises the staging and gather fan-outs for data races.)
+// the concurrent and pipelined executors are transport changes only.
+// Across the algorithm family, grade laws, arities, parallelism degrees,
+// and randomized k — and on both the dense fast path and the map
+// fallback — each must return byte-identical results and identical
+// cost.Cost tallies to the serial executor. The pipelined executor runs
+// in both its adaptive-depth and fixed-depth configurations, with small
+// caps so the background pipelines churn through many refills even at
+// these sizes. (The CI suite runs this under -race, which also exercises
+// the staging, pipeline, and gather fan-outs for data races.)
 func TestSerialVsConcurrentExecutors(t *testing.T) {
 	laws := map[string]scoredb.GradeLaw{
 		"Uniform":      scoredb.Uniform{},
@@ -207,7 +210,11 @@ func TestSerialVsConcurrentExecutors(t *testing.T) {
 				// these sizes; p sweeps below, at, and above one worker per
 				// list.
 				p := 1 + rng.Intn(m+2)
-				conc := Concurrent{P: p, Batch: 16}
+				execs := []Executor{
+					Concurrent{P: p, Batch: 16},
+					Pipelined{P: 4, MaxDepth: 16},           // adaptive depth
+					Pipelined{P: p, Depth: 1 + rng.Intn(8)}, // fixed depth
+				}
 				label := fmt.Sprintf("%s/m=%d/%s-%s/k=%d/p=%d", lawName, m, tc.alg.Name(), tc.f.Name(), k, p)
 				for _, mode := range []struct {
 					name string
@@ -220,12 +227,14 @@ func TestSerialVsConcurrentExecutors(t *testing.T) {
 					if err != nil {
 						t.Fatalf("%s/%s: serial: %v", label, mode.name, err)
 					}
-					rConc, cConc, err := Evaluate(context.Background(), tc.alg, mode.srcs(db), tc.f, k,
-						WithExecutor(conc))
-					if err != nil {
-						t.Fatalf("%s/%s: concurrent: %v", label, mode.name, err)
+					for _, x := range execs {
+						rConc, cConc, err := Evaluate(context.Background(), tc.alg, mode.srcs(db), tc.f, k,
+							WithExecutor(x))
+						if err != nil {
+							t.Fatalf("%s/%s: %s: %v", label, mode.name, x.Name(), err)
+						}
+						requireIdentical(t, label+"/"+mode.name+"/"+x.Name(), rConc, rSerial, cConc, cSerial)
 					}
-					requireIdentical(t, label+"/"+mode.name, rConc, rSerial, cConc, cSerial)
 				}
 			}
 		}

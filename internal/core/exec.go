@@ -280,19 +280,37 @@ func (ec *ExecContext) ReserveRound(cursors []*subsys.Cursor) error {
 // Reserve gates a step that will perform at most nSorted sorted and
 // nRandom random accesses against the budget. With no budget configured
 // it is free. It does not consume anything: the actual spend is whatever
-// the step's accesses tally.
+// the step's accesses tally. A failed reservation additionally closes
+// any background prefetch pipelines on the evaluation's lists — once the
+// budget is exhausted, nothing may keep touching the sources, not even
+// uncounted readahead.
 func (ec *ExecContext) Reserve(nSorted, nRandom int) error {
 	if ec.budget <= 0 {
 		return nil
 	}
 	need := ec.model.C1*float64(nSorted) + ec.model.C2*float64(nRandom)
 	if ec.pool != nil {
-		return ec.pool.reserve(ec, need)
+		if err := ec.pool.reserve(ec, need); err != nil {
+			ec.stopPrefetch()
+			return err
+		}
+		return nil
 	}
 	if spent := ec.spent(); spent+need > ec.budget {
+		ec.stopPrefetch()
 		return &BudgetError{Limit: ec.budget, Spent: spent, Need: need}
 	}
 	return nil
+}
+
+// stopPrefetch closes the background prefetch pipelines of every list of
+// the evaluation (without waiting out in-flight batches). Called when
+// the evaluation must not issue further source accesses: a budget
+// reservation failure.
+func (ec *ExecContext) stopPrefetch() {
+	for _, l := range ec.lists {
+		l.AbortPrefetch()
+	}
 }
 
 // Gather runs the random-access phase — cols[j][i] = lists[j].Grade of
@@ -330,7 +348,7 @@ func (ec *ExecContext) Gather(lists []*subsys.Counted, objs []int, cols [][]floa
 // (list, object) grade is paid for at most once, whatever the order.
 func (ec *ExecContext) appendScores(sc *scratch, lists []*subsys.Counted, objs []int, t agg.Func, entries []gradedset.Entry) ([]gradedset.Entry, error) {
 	buf := sc.gradesBuf(len(lists))
-	if ec.par && ec.budget <= 0 && gatherFansOut(len(lists), len(objs)) {
+	if ec.par && ec.budget <= 0 && ec.gatherFans(len(lists), len(objs)) {
 		cols := sc.colsBuf(len(lists), len(objs))
 		if err := ec.Gather(lists, objs, cols); err != nil {
 			return entries, err
@@ -526,7 +544,7 @@ func (c Concurrent) Stage(ctx context.Context, cursors []*subsys.Cursor, ahead i
 	if len(needy) == 0 {
 		return nil
 	}
-	return c.fanOut(ctx, len(needy), func(ctx context.Context, i int) bool {
+	return fanOut(ctx, c.p(), len(needy), func(ctx context.Context, i int) bool {
 		needy[i].Prefetch(target)
 		return true
 	})
@@ -541,6 +559,25 @@ func gatherFansOut(m, nObjs int) bool {
 	return nObjs*m >= gatherSerialCutoff && runtime.GOMAXPROCS(0) > 1
 }
 
+// gatherPlanner is the optional executor capability of deciding when a
+// random-access phase should be routed through Gather rather than probed
+// inline. A latency-hiding executor wants the fan-out almost always
+// (overlapping waits pays even on one CPU); a compute-overlap executor
+// only past the compute cutoff.
+type gatherPlanner interface {
+	gatherFanOut(m, nObjs int) bool
+}
+
+// gatherFans applies the executor's own fan-out rule when it has one,
+// else the compute-bound default. Both routes produce bit-identical
+// tallies; only wall-clock differs.
+func (ec *ExecContext) gatherFans(m, nObjs int) bool {
+	if gp, ok := ec.exec.(gatherPlanner); ok {
+		return gp.gatherFanOut(m, nObjs)
+	}
+	return gatherFansOut(m, nObjs)
+}
+
 // Gather implements Executor: one worker per list, each probing every
 // object in ascending index order (the same per-list order Serial uses,
 // so memo state and tallies agree exactly).
@@ -550,7 +587,7 @@ func (c Concurrent) Gather(ctx context.Context, lists []*subsys.Counted, objs []
 		// honored between probes rather than by abandonment.
 		return Serial{}.Gather(ctx, lists, objs, cols)
 	}
-	return c.fanOut(ctx, len(lists), func(ctx context.Context, j int) bool {
+	return fanOut(ctx, c.p(), len(lists), func(ctx context.Context, j int) bool {
 		l, col := lists[j], cols[j]
 		done := ctx.Done()
 		for i, obj := range objs {
@@ -567,14 +604,14 @@ func (c Concurrent) Gather(ctx context.Context, lists []*subsys.Counted, objs []
 	})
 }
 
-// fanOut runs f(ctx, 0..n-1) on up to p() workers and waits for all of
-// them — unless ctx is canceled first, in which case it returns an
-// *AbandonedError immediately and the workers finish (or notice the
-// cancellation) on their own. f reports whether it completed its item;
-// a worker whose f bails early (on cancellation) poisons the fan-out,
-// so a run can only return nil when every item was fully processed.
-func (c Concurrent) fanOut(ctx context.Context, n int, f func(ctx context.Context, i int) bool) error {
-	workers := c.p()
+// fanOut runs f(ctx, 0..n-1) on up to the given number of workers and
+// waits for all of them — unless ctx is canceled first, in which case it
+// returns an *AbandonedError immediately and the workers finish (or
+// notice the cancellation) on their own. f reports whether it completed
+// its item; a worker whose f bails early (on cancellation) poisons the
+// fan-out, so a run can only return nil when every item was fully
+// processed.
+func fanOut(ctx context.Context, workers, n int, f func(ctx context.Context, i int) bool) error {
 	if workers > n {
 		workers = n
 	}

@@ -1,9 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 
 	"fuzzydb/internal/agg"
+	"fuzzydb/internal/cost"
+	"fuzzydb/internal/gradedset"
 	"fuzzydb/internal/subsys"
 )
 
@@ -14,13 +18,44 @@ import (
 // same counted lists — sorted access resumes from the deepest prefix
 // already paid for, and previously fetched grades are served from the
 // cache — then returns only the new answers.
+//
+// A paginator comes in two execution shapes. The unsharded one
+// (NewPaginator) widens a single evaluation. The sharded one
+// (NewShardedPaginator) keeps one set of counted shard views per
+// universe slice alive across pages: each page widens every shard's
+// top-r computation over its own lists — resuming from that shard's
+// paid prefixes — and merges the per-shard answers into the global top r
+// under the canonical tie order. The sharded pages match the unsharded
+// ones exactly on tie-free data (and up to a correct maximal choice
+// within a tie class at page boundaries otherwise), because per-shard
+// top-r sets are prefixes of each shard's total order, so their merge is
+// the global prefix. Unlike EvaluateSharded, pagination never fences a
+// shard: a shard that looks hopeless for page one may own all of page
+// three, so every shard stays resumable.
 type Paginator struct {
-	ec       *ExecContext
 	alg      Algorithm
-	lists    []*subsys.Counted
 	t        agg.Func
+	n        int
 	returned map[int]bool
 	count    int
+
+	// Unsharded shape.
+	ec    *ExecContext
+	lists []*subsys.Counted
+
+	// Sharded shape (nil when unsharded).
+	shards  []pageShard
+	workers int
+	pool    *budgetPool
+}
+
+// pageShard is one universe slice of a sharded paginator: its range, its
+// counted re-ranked views (kept alive across pages, so deeper pages
+// resume from paid prefixes), and its own serial ExecContext.
+type pageShard struct {
+	r     subsys.ShardRange
+	ec    *ExecContext
+	lists []*subsys.Counted
 }
 
 // NewPaginator prepares paginated evaluation of F_t(A₁,…,Aₘ) with the
@@ -32,11 +67,124 @@ func NewPaginator(ec *ExecContext, alg Algorithm, lists []*subsys.Counted, t agg
 	if ec == nil {
 		ec = Background()
 	}
-	return &Paginator{ec: ec, alg: alg, lists: lists, t: t, returned: make(map[int]bool)}
+	return &Paginator{
+		ec: ec, alg: alg, lists: lists, t: t,
+		n:        lists[0].Len(),
+		returned: make(map[int]bool),
+	}
+}
+
+// NewShardedPaginator prepares paginated evaluation over cfg.Shards
+// contiguous slices of the dense universe, in the manner of
+// EvaluateSharded: re-ranked shard views, one serial ExecContext per
+// shard, shards fanned out on up to cfg.Parallel workers per page
+// (1 = sequential shards, the deterministic-cost mode), and cfg.Budget
+// as one reservation pool shared by every shard across every page.
+// cfg.Shards ≤ 1 (after clamping to N) degenerates to the unsharded
+// paginator. Non-exact algorithms are the caller's responsibility to
+// exclude, as with NewPaginator.
+func NewShardedPaginator(ctx context.Context, alg Algorithm, srcs []subsys.Source, t agg.Func, cfg ShardConfig) (*Paginator, error) {
+	model := cost.Unweighted
+	if cfg.Model.Valid() {
+		model = cfg.Model
+	}
+	if len(srcs) == 0 {
+		return nil, ErrNoLists
+	}
+	n := srcs[0].Len()
+	for i, s := range srcs {
+		if s.Len() != n {
+			return nil, fmt.Errorf("%w: list %d has %d objects, want %d", ErrArity, i, s.Len(), n)
+		}
+	}
+	p := cfg.Shards
+	if p > n {
+		p = n
+	}
+	if p <= 1 {
+		opts := []EvalOption{WithCostModel(model)}
+		if cfg.Parallel > 1 {
+			opts = append(opts, WithExecutor(Concurrent{P: cfg.Parallel}))
+		}
+		if cfg.Budget > 0 {
+			opts = append(opts, WithAccessBudget(cfg.Budget))
+		}
+		counted := subsys.CountAll(srcs)
+		return NewPaginator(NewExecContext(ctx, counted, opts...), alg, counted, t), nil
+	}
+
+	var pool *budgetPool
+	if cfg.Budget > 0 {
+		pool = &budgetPool{limit: cfg.Budget}
+	}
+	plan := subsys.PlanShards(n, p)
+	shards := make([]pageShard, 0, len(plan))
+	for _, r := range plan {
+		if r.Len() == 0 {
+			continue
+		}
+		counted := subsys.CountAll(subsys.ShardSources(srcs, r))
+		ec := NewExecContext(ctx, counted, WithCostModel(model))
+		if pool != nil {
+			ec.budget = pool.limit
+			ec.pool = pool
+		}
+		shards = append(shards, pageShard{r: r, ec: ec, lists: counted})
+	}
+	workers := cfg.Parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Paginator{
+		alg: alg, t: t, n: n,
+		returned: make(map[int]bool),
+		shards:   shards,
+		workers:  workers,
+		pool:     pool,
+	}, nil
 }
 
 // Delivered returns how many answers have been produced so far.
 func (p *Paginator) Delivered() int { return p.count }
+
+// Sharded reports whether the paginator evaluates over partitioned
+// universe slices.
+func (p *Paginator) Sharded() bool { return p.shards != nil }
+
+// Cost returns the exact Section 5 access cost the pagination has
+// incurred so far, across all pages (and, when sharded, all shards).
+func (p *Paginator) Cost() cost.Cost {
+	if p.shards == nil {
+		return subsys.TotalCost(p.lists)
+	}
+	var total cost.Cost
+	for i := range p.shards {
+		total = total.Add(subsys.TotalCost(p.shards[i].lists))
+	}
+	return total
+}
+
+// Release returns the paginator's pooled list state (grade memos, dense
+// caches) to the pools and stops any background prefetch pipelines the
+// executor attached. Call it once pagination is over; it is skipped
+// automatically when the evaluation was abandoned with accesses in
+// flight (the state is poisoned and left to the GC). A paginator
+// without prefetch pipelines may skip Release (the cost is memory held
+// until the GC runs, as before); one evaluated under a pipelined
+// executor must be Released — its per-list worker goroutines otherwise
+// park forever.
+func (p *Paginator) Release() {
+	if p.shards == nil {
+		if !p.ec.Abandoned() {
+			subsys.ReleaseAll(p.lists)
+		}
+		return
+	}
+	for i := range p.shards {
+		// Shard evaluations are serial inside: they never abandon.
+		subsys.ReleaseAll(p.shards[i].lists)
+	}
+}
 
 // NextPage returns the next pageSize best answers, in descending grade
 // order, excluding everything already delivered. Fewer than pageSize
@@ -45,15 +193,14 @@ func (p *Paginator) NextPage(pageSize int) ([]Result, error) {
 	if pageSize < 1 {
 		return nil, fmt.Errorf("%w: page size %d", ErrBadK, pageSize)
 	}
-	n := p.lists[0].Len()
-	if p.count >= n {
+	if p.count >= p.n {
 		return nil, nil
 	}
 	r := p.count + pageSize
-	if r > n {
-		r = n
+	if r > p.n {
+		r = p.n
 	}
-	all, err := p.alg.TopK(p.ec, p.lists, p.t, r)
+	all, err := p.topR(r)
 	if err != nil {
 		return nil, err
 	}
@@ -67,4 +214,57 @@ func (p *Paginator) NextPage(pageSize int) ([]Result, error) {
 	}
 	p.count += len(page)
 	return page, nil
+}
+
+// topR widens the underlying evaluation to the top r answers.
+func (p *Paginator) topR(r int) ([]Result, error) {
+	if p.shards == nil {
+		return p.alg.TopK(p.ec, p.lists, p.t, r)
+	}
+
+	outs := make([][]Result, len(p.shards))
+	errs := make([]error, len(p.shards))
+	runShard := func(i int) {
+		s := &p.shards[i]
+		ks := r
+		if ks > s.r.Len() {
+			ks = s.r.Len()
+		}
+		res, err := p.alg.TopK(s.ec, s.lists, p.t, ks)
+		if p.pool != nil {
+			p.pool.finish(s.ec)
+		}
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		outs[i] = res
+	}
+	if p.workers <= 1 || len(p.shards) == 1 {
+		for i := range p.shards {
+			runShard(i)
+		}
+	} else {
+		runIndexed(p.workers, len(p.shards), runShard)
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Merge: per-shard top-r sets are prefixes of each shard's total
+	// order, so the canonical top-r of their union is the global top-r.
+	var entries []gradedset.Entry
+	for i := range p.shards {
+		lo := p.shards[i].r.Lo
+		for _, res := range outs[i] {
+			entries = append(entries, gradedset.Entry{Object: res.Object + lo, Grade: res.Grade})
+		}
+	}
+	top := gradedset.TopK(entries, r)
+	results := make([]Result, len(top))
+	for i, e := range top {
+		results[i] = Result{Object: e.Object, Grade: e.Grade}
+	}
+	return results, nil
 }

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"fuzzydb/internal/subsys"
+)
+
+const (
+	// defaultGatherWidth is the number of random accesses Pipelined keeps
+	// in flight at once when P is unset: wide enough that a
+	// per-millisecond backend serves thousands of probes per second,
+	// narrow enough not to stampede a real service.
+	defaultGatherWidth = 64
+	// pipelinedGatherCutoff is the probe count below which
+	// Pipelined.Gather runs inline. It is deliberately tiny: the executor
+	// exists for sources where a single access costs more than a
+	// goroutine handoff.
+	pipelinedGatherCutoff = 16
+)
+
+// Pipelined is the latency-hiding executor for slow or batched sources:
+// middleware whose subsystems are remote services where the dominant
+// cost of an access is the round trip, not the compute.
+//
+// Sorted access runs through a background prefetch pipeline per list
+// (subsys.Counted.StartPrefetch): a worker goroutine issues batched
+// Entries calls ahead of the algorithm's demand with adaptive depth —
+// start at 1, double every time the algorithm stalls on the pipeline,
+// shrink when the algorithm falls behind, capped at MaxDepth — so the
+// per-call latency is amortized over ever-larger spans exactly when the
+// source is slow enough to warrant it. Stage registers every needy
+// cursor's demand before blocking on any of them, so the m refills of a
+// round proceed concurrently across lists.
+//
+// The random-access gather phase overlaps across both lists AND objects:
+// the executor resolves memoized grades first, fans the genuinely
+// missing probes out on up to P workers against the raw sources, and
+// then delivers the fetched grades in exactly the serial probe order.
+// Payment stays strictly on delivery in both phases, so the Section 5
+// tallies are bit-identical to the Serial executor's (the equivalence
+// tests pin this), and budgets compose: reservations happen before
+// delivery, and a failed reservation closes every pipeline — the
+// evaluation never prefetches past a reservation failure.
+//
+// Sources must tolerate concurrent reads (pipeline refills overlap the
+// gather probes): true of every built-in source and of
+// subsys.LatencySource, not of subsys.Validated.
+//
+// On cancellation mid-wait the executor closes the pipelines (workers
+// stop after their in-flight batch, which is never waited out) and
+// returns an *AbandonedError promptly, even with a wedged batch in
+// flight.
+type Pipelined struct {
+	// P caps the number of random accesses in flight during the gather
+	// phase; 0 means defaultGatherWidth. Unlike Concurrent, useful
+	// values exceed the CPU count: the workers overlap waiting.
+	P int
+	// Depth fixes the prefetch batch depth per list; 0 selects the
+	// adaptive policy (start 1, double on stall, shrink when ahead).
+	Depth int
+	// MaxDepth caps the adaptive depth; 0 means
+	// subsys.DefaultPrefetchCap.
+	MaxDepth int
+}
+
+// Name implements Executor.
+func (p Pipelined) Name() string {
+	if p.Depth > 0 {
+		return fmt.Sprintf("pipelined(p=%d,depth=%d)", p.width(), p.Depth)
+	}
+	return fmt.Sprintf("pipelined(p=%d)", p.width())
+}
+
+// Parallel implements Executor.
+func (Pipelined) Parallel() bool { return true }
+
+func (p Pipelined) width() int {
+	if p.P > 0 {
+		return p.P
+	}
+	return defaultGatherWidth
+}
+
+// gatherFanOut implements the executor's own fan-out rule: latency-bound
+// probes overlap profitably even on one CPU, so the cutoff is tiny.
+func (Pipelined) gatherFanOut(m, nObjs int) bool {
+	return m*nObjs >= pipelinedGatherCutoff
+}
+
+// Stage implements Executor: start (lazily) a prefetch pipeline on every
+// staged list, register each needy cursor's demand so all refills are in
+// flight at once, then wait until each cursor can deliver its next
+// `ahead` entries without touching its source. On cancellation it closes
+// the pipelines and returns an *AbandonedError without waiting for
+// wedged batches.
+func (p Pipelined) Stage(ctx context.Context, cursors []*subsys.Cursor, ahead int) error {
+	if ahead < 1 {
+		ahead = 1
+	}
+	var needy []*subsys.Cursor
+	for _, cu := range cursors {
+		if cu.Buffered() >= ahead || cu.Exhausted() {
+			continue
+		}
+		cu.StartPrefetch(p.Depth, p.MaxDepth)
+		cu.DemandAhead(ahead)
+		needy = append(needy, cu)
+	}
+	if len(needy) == 0 {
+		return nil
+	}
+	done := ctx.Done()
+	for _, cu := range needy {
+		if cu.AwaitAhead(ahead, done) {
+			continue
+		}
+		if ctx.Err() != nil {
+			for _, cu2 := range cursors {
+				cu2.AbortPrefetch()
+			}
+			return &AbandonedError{Cause: context.Cause(ctx)}
+		}
+		// The pipeline closed for a benign reason (fence, budget stop):
+		// consumption will see the fence or pay a direct read; either
+		// way it is the algorithm's round loop that decides what next.
+	}
+	return nil
+}
+
+// Gather implements Executor: cols[j][i] = lists[j].Grade(objs[i]),
+// overlapped across every (list, object) pair. Memoized grades are
+// resolved inline first; the genuinely missing probes fan out on up to
+// width() workers against the raw sources — uncounted — and are then
+// delivered in the exact serial order (list-major, ascending object
+// index), so per-list tallies and memo state match Serial bit for bit.
+func (p Pipelined) Gather(ctx context.Context, lists []*subsys.Counted, objs []int, cols [][]float64) error {
+	type probe struct{ j, i int }
+	var misses []probe
+	for j, l := range lists {
+		col := cols[j]
+		for i, obj := range objs {
+			if g, ok := l.Known(obj); ok {
+				col[i] = g
+			} else {
+				misses = append(misses, probe{j, i})
+			}
+		}
+	}
+	if len(misses) == 0 {
+		return nil
+	}
+	if len(misses) < pipelinedGatherCutoff {
+		for _, pr := range misses {
+			cols[pr.j][pr.i] = lists[pr.j].Grade(objs[pr.i])
+		}
+		return nil
+	}
+	fetched := make([]float64, len(misses))
+	err := fanOut(ctx, p.width(), len(misses), func(ctx context.Context, t int) bool {
+		if ctx.Done() != nil && t%ctxCheckEvery == 0 && ctx.Err() != nil {
+			return false
+		}
+		pr := misses[t]
+		// Raw, unmetered read: payment happens at delivery below.
+		fetched[t] = lists[pr.j].SourceGrade(objs[pr.i])
+		return true
+	})
+	if err != nil {
+		for _, l := range lists {
+			l.AbortPrefetch()
+		}
+		return err
+	}
+	// Delivery in serial probe order: each miss pays one random access
+	// (objs are distinct within a phase, so the miss set was fixed at
+	// phase start — exactly the accesses Serial would have paid).
+	for t, pr := range misses {
+		cols[pr.j][pr.i] = lists[pr.j].DeliverGrade(objs[pr.i], fetched[t])
+	}
+	return nil
+}

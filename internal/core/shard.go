@@ -161,22 +161,7 @@ func EvaluateSharded(ctx context.Context, alg Algorithm, srcs []subsys.Source, t
 			runShard(i)
 		}
 	} else {
-		var next atomic.Int64
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for {
-					i := int(next.Add(1)) - 1
-					if i >= len(plan) {
-						return
-					}
-					runShard(i)
-				}
-			}()
-		}
-		wg.Wait()
+		runIndexed(workers, len(plan), runShard)
 	}
 
 	rep := &ShardReport{
@@ -212,6 +197,32 @@ func EvaluateSharded(ctx context.Context, alg Algorithm, srcs []subsys.Source, t
 		rep.Results[i] = Result{Object: e.Object, Grade: e.Grade}
 	}
 	return rep, nil
+}
+
+// runIndexed runs f(0..n-1) on the given number of workers and joins
+// them all: the blocking shard fan-out, shared by EvaluateSharded and
+// the sharded paginator. Workers poll their serial contexts between
+// accesses, so cancellation is honored inside f, not here.
+func runIndexed(workers, n int, f func(int)) {
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // shardOut is one shard worker's outcome.

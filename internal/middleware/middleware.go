@@ -15,6 +15,11 @@
 // contiguous slices evaluated independently (the threshold-aware merge
 // of core.EvaluateSharded combines the per-shard answers); the report
 // then carries a per-shard cost breakdown alongside the per-atom one.
+// WithPrefetch(d) evaluates through the pipelined latency-hiding
+// executor — background per-subsystem prefetchers with adaptive batched
+// readahead, random accesses overlapped across subsystems and objects —
+// for requests whose subsystems are genuinely remote; the report then
+// carries the pipeline stats.
 //
 // Results is the streaming form: it yields answers one at a time in
 // descending grade order (an iter.Seq2), widening the underlying top-r
@@ -291,6 +296,11 @@ type Report struct {
 	// Shards is the number of universe shards the evaluation ran over
 	// (0 for the unsharded path, 1 when WithShards degenerated to it).
 	Shards int
+	// Prefetch reports what the pipelined executor's background
+	// prefetchers did (deepest adaptive batch, stalls, physical batched
+	// calls), summed over the subsystem lists. Nil unless the request
+	// asked for WithPrefetch and the pipelines engaged.
+	Prefetch *subsys.PipelineStats
 	// Plan that produced the results.
 	Plan *Plan
 }
@@ -308,6 +318,8 @@ type queryConfig struct {
 	shards      int
 	budget      float64
 	model       cost.Model
+	prefetch    int  // pipelined readahead depth; meaningful when prefetchOn
+	prefetchOn  bool // WithPrefetch given: use the pipelined executor
 }
 
 // QueryOption configures one evaluation (see Query and Results).
@@ -354,10 +366,38 @@ func WithParallelism(p int) QueryOption {
 // shards, the deterministic-cost mode; default GOMAXPROCS), and
 // WithAccessBudget becomes a single reservation pool shared by all
 // shards, so the global spend still never overshoots. p ≤ 1 means
-// unsharded. Non-exact algorithms (NRA) and the paginating entry points
-// (Results, Paginate) evaluate unsharded regardless of this option.
+// unsharded. The paginating entry points (Results, Paginate) honor
+// WithShards too: each page widens every shard's top-r computation over
+// shard state kept alive across pages and merges the per-shard answers
+// (no fencing — later pages may need any shard), so the page sequence
+// matches the unsharded pagination. Non-exact algorithms (NRA) evaluate
+// unsharded regardless of this option.
 func WithShards(p int) QueryOption {
 	return func(c *queryConfig) { c.shards = p }
+}
+
+// WithPrefetch evaluates the request with the pipelined executor, the
+// latency-hiding transport for slow or remote subsystems: a background
+// prefetcher per subsystem list keeps sorted streams ahead of the
+// algorithm by issuing batched sorted accesses — depth 0 selects the
+// adaptive policy (start at 1, double on stall, shrink when the
+// algorithm falls behind), depth > 0 pins the batch depth — and the
+// random-access phase overlaps across subsystems and objects
+// (WithParallelism(p>1) caps the probes in flight; otherwise a
+// wider-than-CPU default applies, since a pipelined request is
+// concurrent by nature).
+// Access tallies are bit-identical to the serial executor's; only
+// wall-clock changes. Combined with WithShards the partitioned
+// evaluator's serial per-shard execution takes precedence and prefetch
+// is not used.
+func WithPrefetch(depth int) QueryOption {
+	return func(c *queryConfig) {
+		if depth < 0 {
+			depth = 0
+		}
+		c.prefetch = depth
+		c.prefetchOn = true
+	}
 }
 
 // WithAccessBudget bounds the weighted middleware cost of the request:
@@ -383,10 +423,21 @@ func newQueryConfig(opts []QueryOption) queryConfig {
 }
 
 // evalOptions lowers the request configuration onto the core evaluation
-// options.
+// options. WithPrefetch selects the pipelined executor (WithParallelism
+// then caps its in-flight probes); plain WithParallelism selects the
+// concurrent one.
 func (c queryConfig) evalOptions() []core.EvalOption {
 	opts := []core.EvalOption{core.WithCostModel(c.model)}
-	if c.parallelism > 1 {
+	if c.prefetchOn {
+		// WithParallelism(p>1) caps the in-flight probes; p ≤ 1 (the
+		// "serial" default) keeps the executor's wider default — a
+		// pipelined request is concurrent by nature.
+		width := 0
+		if c.parallelism > 1 {
+			width = c.parallelism
+		}
+		opts = append(opts, core.WithExecutor(core.Pipelined{P: width, Depth: c.prefetch}))
+	} else if c.parallelism > 1 {
 		opts = append(opts, core.WithExecutor(core.Concurrent{P: c.parallelism}))
 	}
 	if c.budget > 0 {
@@ -445,25 +496,20 @@ func (m *Middleware) QueryString(ctx context.Context, q string, opts ...QueryOpt
 // prefixes already paid for rather than starting over.
 //
 // The options of Query apply per request; a budget bounds the cumulative
-// cost across all pages. WithShards is ignored here (and by Paginate):
-// pagination incrementally widens one evaluation over shared counted
-// lists, a shape the partitioned evaluator does not have — the request
-// still evaluates, just unsharded. On an error (cancellation, budget, a
-// planning failure, or a non-paginable algorithm pinned via
-// WithAlgorithm) the iterator yields one (zero Result, err) pair and
-// stops.
+// cost across all pages. With WithShards the widening runs per universe
+// shard over shard state kept alive across pages, each page merged
+// globally (see core.NewShardedPaginator) — the page sequence matches
+// the unsharded one. On an error (cancellation, budget, a planning
+// failure, or a non-paginable algorithm pinned via WithAlgorithm) the
+// iterator yields one (zero Result, err) pair and stops.
 func (m *Middleware) Results(ctx context.Context, q query.Node, opts ...QueryOption) iter.Seq2[core.Result, error] {
 	return func(yield func(core.Result, error) bool) {
-		pag, ec, counted, err := m.preparePagination(ctx, q, newQueryConfig(opts))
+		pag, err := m.preparePagination(ctx, q, newQueryConfig(opts))
 		if err != nil {
 			yield(core.Result{}, err)
 			return
 		}
-		defer func() {
-			if !ec.Abandoned() {
-				subsys.ReleaseAll(counted)
-			}
-		}()
+		defer pag.p.Release()
 		pageSize := m.clampK(pag.pageSize)
 		for {
 			page, err := pag.p.NextPage(pageSize)
@@ -492,11 +538,14 @@ type pagination struct {
 
 // preparePagination is the shared front half of Paginate and Results:
 // plan, apply a WithAlgorithm pin, validate paginability, evaluate the
-// atoms, and bind the execution state.
-func (m *Middleware) preparePagination(ctx context.Context, q query.Node, cfg queryConfig) (pagination, *core.ExecContext, []*subsys.Counted, error) {
+// atoms, and bind the execution state — sharded (per-shard counted views
+// kept alive across pages, see core.NewShardedPaginator) when the
+// request asked for WithShards, the single shared-list evaluation
+// otherwise.
+func (m *Middleware) preparePagination(ctx context.Context, q query.Node, cfg queryConfig) (pagination, error) {
 	plan, err := m.PlanQuery(q)
 	if err != nil {
-		return pagination{}, nil, nil, err
+		return pagination{}, err
 	}
 	pinned := cfg.alg != nil
 	if pinned {
@@ -505,15 +554,27 @@ func (m *Middleware) preparePagination(ctx context.Context, q query.Node, cfg qu
 	}
 	alg, err := paginableAlgorithm(plan, pinned)
 	if err != nil {
-		return pagination{}, nil, nil, err
+		return pagination{}, err
 	}
 	lists, err := m.sources(plan.Atoms)
 	if err != nil {
-		return pagination{}, nil, nil, err
+		return pagination{}, err
+	}
+	if cfg.shards > 1 {
+		sp, err := core.NewShardedPaginator(ctx, alg, lists, plan.Agg, core.ShardConfig{
+			Shards:   cfg.shards,
+			Parallel: cfg.parallelism,
+			Budget:   cfg.budget,
+			Model:    cfg.model,
+		})
+		if err != nil {
+			return pagination{}, err
+		}
+		return pagination{p: sp, pageSize: cfg.k}, nil
 	}
 	counted := subsys.CountAll(lists)
 	ec := core.NewExecContext(ctx, counted, cfg.evalOptions()...)
-	return pagination{p: core.NewPaginator(ec, alg, counted, plan.Agg), pageSize: cfg.k}, ec, counted, nil
+	return pagination{p: core.NewPaginator(ec, alg, counted, plan.Agg), pageSize: cfg.k}, nil
 }
 
 // paginableAlgorithm adapts a plan's algorithm for incremental widening.
@@ -608,10 +669,16 @@ func (m *Middleware) Filter(ctx context.Context, q query.Node, theta float64, op
 
 // Paginate prepares paginated evaluation of q ("give me the next k"),
 // per the continuation feature noted after Theorem 4.2. The context and
-// options govern every subsequent NextPage call; Results is the
-// iterator-shaped form of the same machinery.
+// options govern every subsequent NextPage call — including WithShards,
+// which keeps per-shard state alive across pages and merges each page
+// globally. Results is the iterator-shaped form of the same machinery
+// (and releases the underlying state itself when the stream ends);
+// callers driving the paginator directly should call its Release method
+// when done to recycle pooled state — mandatory under WithPrefetch,
+// whose background prefetcher goroutines otherwise outlive the
+// pagination.
 func (m *Middleware) Paginate(ctx context.Context, q query.Node, opts ...QueryOption) (*core.Paginator, error) {
-	pag, _, _, err := m.preparePagination(ctx, q, newQueryConfig(opts))
+	pag, err := m.preparePagination(ctx, q, newQueryConfig(opts))
 	if err != nil {
 		return nil, err
 	}
@@ -672,6 +739,14 @@ func finishReport(ec *core.ExecContext, counted []*subsys.Counted, plan *Plan, r
 		rep.PerList = make([]cost.Cost, len(counted))
 		for i, c := range counted {
 			rep.PerList[i] = c.Cost()
+		}
+	}
+	for _, c := range counted {
+		if s, ok := c.PrefetchStats(); ok {
+			if rep.Prefetch == nil {
+				rep.Prefetch = &subsys.PipelineStats{}
+			}
+			*rep.Prefetch = rep.Prefetch.Add(s)
 		}
 	}
 	subsys.ReleaseAll(counted)

@@ -132,10 +132,11 @@ func TestQueryWithShardsPinnedNRA(t *testing.T) {
 	}
 }
 
-// TestResultsIgnoresShards: the streaming iterator evaluates unsharded
-// regardless of WithShards, and still delivers the full ordered answer
-// stream.
-func TestResultsIgnoresShards(t *testing.T) {
+// TestResultsHonorsShards: the streaming iterator routes through the
+// sharded paginator under WithShards — per-shard widening with a global
+// merge per page — and the answer stream is identical to the unsharded
+// one.
+func TestResultsHonorsShards(t *testing.T) {
 	mw := genStore(t, 300, 2, 75)
 	q := genConj(2)
 	var plain []core.Result
@@ -164,6 +165,91 @@ func TestResultsIgnoresShards(t *testing.T) {
 	for i := range plain {
 		if sharded[i] != plain[i] {
 			t.Errorf("stream result %d = %v, want %v", i, sharded[i], plain[i])
+		}
+	}
+}
+
+// TestPaginateHonorsShards: the explicit paginator under WithShards
+// delivers the same pages as the unsharded one, end to end, and drains
+// the whole universe.
+func TestPaginateHonorsShards(t *testing.T) {
+	mw := genStore(t, 260, 2, 76)
+	q := genConj(2)
+	plain, err := mw.Paginate(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := mw.Paginate(context.Background(), q, WithShards(5), WithParallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sharded.Sharded() {
+		t.Fatal("WithShards(5) paginator is not sharded")
+	}
+	total := 0
+	for {
+		want, err := plain.NextPage(9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sharded.NextPage(9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("page sized %d sharded, %d unsharded", len(got), len(want))
+		}
+		if len(want) == 0 {
+			break
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("page entry %d = %v, want %v", i, got[i], want[i])
+			}
+		}
+		total += len(want)
+	}
+	if total != 260 {
+		t.Errorf("pagination delivered %d results, want the whole universe (260)", total)
+	}
+	plain.Release()
+	sharded.Release()
+}
+
+// TestQueryWithPrefetchIsCostNeutral: the pipelined executor changes
+// wall-clock only — answers and Section 5 tallies match the serial
+// request bit for bit — and the report carries pipeline stats.
+func TestQueryWithPrefetchIsCostNeutral(t *testing.T) {
+	mw := genStore(t, 1500, 3, 81)
+	q := genConj(3)
+	want, err := mw.Query(context.Background(), q, TopN(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, depth := range []int{0, 4} {
+		rep, err := mw.Query(context.Background(), q, TopN(12), WithPrefetch(depth), WithParallelism(4))
+		if err != nil {
+			t.Fatalf("depth=%d: %v", depth, err)
+		}
+		if rep.Cost != want.Cost {
+			t.Errorf("depth=%d: cost %v, want %v", depth, rep.Cost, want.Cost)
+		}
+		if len(rep.Results) != len(want.Results) {
+			t.Fatalf("depth=%d: %d results, want %d", depth, len(rep.Results), len(want.Results))
+		}
+		for i := range want.Results {
+			if rep.Results[i] != want.Results[i] {
+				t.Errorf("depth=%d: result %d = %v, want %v", depth, i, rep.Results[i], want.Results[i])
+			}
+		}
+		if rep.Prefetch == nil {
+			t.Fatalf("depth=%d: no pipeline stats on the report", depth)
+		}
+		if rep.Prefetch.Batches == 0 {
+			t.Errorf("depth=%d: pipeline stats report zero batches", depth)
+		}
+		if depth > 0 && rep.Prefetch.MaxDepth > depth {
+			t.Errorf("fixed depth %d exceeded: max %d", depth, rep.Prefetch.MaxDepth)
 		}
 	}
 }

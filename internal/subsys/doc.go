@@ -31,7 +31,7 @@
 // recycle the pooled arrays; long-lived consumers such as paginators may
 // simply skip it.
 //
-// # Readahead vs delivery
+// # Readahead vs delivery: the pay-on-delivery invariant
 //
 // Counted distinguishes buffering from paying: Prefetch reads sorted
 // ranks from the source into the prefix buffer without advancing the
@@ -41,6 +41,31 @@
 // sorted accesses of all m lists — readahead is a latency-hiding detail
 // of the transport, while the Section 5 tallies record exactly what the
 // algorithm consumed, bit-identical to a serial evaluation.
+//
+// # Background prefetch pipelines
+//
+// StartPrefetch extends the readahead buffer into a background per-list
+// pipeline: a worker goroutine issues batched sorted accesses
+// (src.Entries) ahead of the algorithm's demand, with adaptive depth —
+// start at 1, double every time the consumer stalls on the pipeline,
+// shrink when the consumer falls behind, capped at DefaultPrefetchCap —
+// so the per-call latency of a slow or remote source is amortized over
+// ever-larger spans exactly when the source is slow enough to warrant
+// it. The pay-on-delivery invariant is unchanged: the worker fills a
+// spool the consumer absorbs into the (still uncounted) prefix buffer,
+// and only consumption meters and memoizes, so tallies stay
+// bit-identical however deep the pipeline ran. The random-access twins
+// SourceGrade (raw, unmetered, callable concurrently) and DeliverGrade
+// (pays in serial order) let an executor overlap random accesses across
+// lists and objects under the same invariant.
+//
+// Lifecycle: Fence drains a list's pipeline (no further accesses once
+// the in-flight batch lands), Release stops and joins it, AbortPrefetch
+// closes it without waiting (cancellation with a wedged batch in
+// flight, budget-reservation failure — an exhausted budget must stop
+// even uncounted readahead). A pipelined source must tolerate
+// concurrent reads: every built-in source does, the stateful Validated
+// wrapper does not.
 //
 // # Partitioned universes (sharding)
 //

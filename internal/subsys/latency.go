@@ -1,0 +1,117 @@
+package subsys
+
+import (
+	"sync/atomic"
+	"time"
+
+	"fuzzydb/internal/gradedset"
+)
+
+// LatencySource wraps a Source with simulated access latency, standing
+// in for a remote backend (a subsystem reached over a network, a disk
+// index): every physical call sleeps PerCall, plus PerItem for each
+// entry or grade it delivers. A batched sorted access therefore pays the
+// per-call price once for the whole span — the amortization a real
+// cursor-style protocol gives — which is exactly the shape that makes
+// readahead depth matter: with latency dominated by PerCall, doubling
+// the batch halves the per-rank cost.
+//
+// The wrapper is stateless apart from atomic call counters, so it is
+// safe for the concurrent reads a pipelined executor performs (provided
+// the wrapped source is too, as every built-in source is). Access
+// tallies are unaffected: latency changes wall-clock, never the Section
+// 5 cost of the evaluation.
+type LatencySource struct {
+	src     Source
+	perCall time.Duration
+	perItem time.Duration
+	calls   atomic.Int64
+	items   atomic.Int64
+}
+
+// NewLatencySource wraps src with perCall latency on every physical call
+// plus perItem latency per delivered entry or grade.
+func NewLatencySource(src Source, perCall, perItem time.Duration) *LatencySource {
+	return &LatencySource{src: src, perCall: perCall, perItem: perItem}
+}
+
+// pay simulates the latency of one physical call delivering n items.
+func (s *LatencySource) pay(n int) {
+	s.calls.Add(1)
+	s.items.Add(int64(n))
+	if d := s.perCall + time.Duration(n)*s.perItem; d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// Calls returns how many physical calls the source has served — the
+// number a batched transport amortizes, as opposed to the per-rank
+// Section 5 tallies.
+func (s *LatencySource) Calls() int64 { return s.calls.Load() }
+
+// Items returns how many entries and grades the source has delivered
+// across all calls.
+func (s *LatencySource) Items() int64 { return s.items.Load() }
+
+// Len implements Source.
+func (s *LatencySource) Len() int { return s.src.Len() }
+
+// Entry implements Source: one call delivering one entry.
+func (s *LatencySource) Entry(rank int) gradedset.Entry {
+	s.pay(1)
+	return s.src.Entry(rank)
+}
+
+// Entries implements Source: one call delivering hi-lo entries — the
+// batch amortization a remote cursor protocol provides.
+func (s *LatencySource) Entries(lo, hi int) []gradedset.Entry {
+	s.pay(hi - lo)
+	return s.src.Entries(lo, hi)
+}
+
+// Grade implements Source: one call delivering one grade.
+func (s *LatencySource) Grade(obj int) float64 {
+	s.pay(1)
+	return s.src.Grade(obj)
+}
+
+// Universe forwards the wrapped source's dense-universe hint, so latency
+// simulation does not knock an evaluation off the flat-array fast path.
+func (s *LatencySource) Universe() (int, bool) {
+	if h, ok := s.src.(UniverseHinter); ok {
+		return h.Universe()
+	}
+	return 0, false
+}
+
+// LatencySubsystem wraps a subsystem so that every Source it produces is
+// latency-wrapped — the way to run an engine against simulated remote
+// backends (cmd/fuzzyquery's -latency flag). Planner statistics of the
+// wrapped subsystem (SelectivityEstimator) are not forwarded: a remote
+// backend's optimizer hints are a separate protocol concern.
+type LatencySubsystem struct {
+	sub     Subsystem
+	perCall time.Duration
+	perItem time.Duration
+}
+
+// WithLatency wraps sub so its query results simulate remote-backend
+// latency (see LatencySource).
+func WithLatency(sub Subsystem, perCall, perItem time.Duration) *LatencySubsystem {
+	return &LatencySubsystem{sub: sub, perCall: perCall, perItem: perItem}
+}
+
+// Attribute implements Subsystem.
+func (l *LatencySubsystem) Attribute() string { return l.sub.Attribute() }
+
+// Size implements Subsystem.
+func (l *LatencySubsystem) Size() int { return l.sub.Size() }
+
+// Query implements Subsystem, wrapping the result in a LatencySource.
+func (l *LatencySubsystem) Query(target string) (Source, error) {
+	src, err := l.sub.Query(target)
+	if err != nil {
+		return nil, err
+	}
+	return NewLatencySource(src, l.perCall, l.perItem), nil
+}

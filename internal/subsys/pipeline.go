@@ -1,0 +1,282 @@
+package subsys
+
+import (
+	"sync"
+
+	"fuzzydb/internal/gradedset"
+)
+
+// DefaultPrefetchCap bounds the adaptive readahead depth of a prefetch
+// pipeline: deep enough to amortize per-call latency over hundreds of
+// ranks, shallow enough that an early-stopping query never drags a large
+// unread span out of a slow subsystem.
+const DefaultPrefetchCap = 512
+
+// PipelineStats reports what a list's background prefetch pipeline did:
+// how deep the adaptive readahead grew, how often the consumer caught up
+// with it (stalls are what drive the depth doubling), and how many
+// physical batched sorted calls it issued against the source. Counters
+// reflect batches that completed; a batch still in flight when the
+// pipeline shuts down (shutdown never waits on the source) is not
+// counted.
+type PipelineStats struct {
+	// MaxDepth is the largest batch depth any single refill used.
+	MaxDepth int
+	// Stalls counts the times a consumer had to wait for the pipeline.
+	Stalls int
+	// Batches counts the physical Entries calls issued to the source.
+	Batches int
+}
+
+// Add merges two stat sets: counters sum, MaxDepth takes the maximum.
+func (s PipelineStats) Add(o PipelineStats) PipelineStats {
+	if o.MaxDepth > s.MaxDepth {
+		s.MaxDepth = o.MaxDepth
+	}
+	s.Stalls += o.Stalls
+	s.Batches += o.Batches
+	return s
+}
+
+// pipeline is the background prefetcher of one Counted list: a single
+// worker goroutine issues batched sorted accesses (src.Entries) ahead of
+// the algorithm's consumption and parks the results in a spool the
+// consumer absorbs into the list's uncounted prefix buffer. Prefetched
+// ranks are NOT delivered — the Section 5 sorted tally and the grade
+// memo advance only when the algorithm consumes a rank — so the pipeline
+// is pure transport: it changes wall-clock, never cost.
+//
+// The batch depth adapts to the consumer: it starts at 1 (or a fixed
+// configured depth), doubles every time a refill completes while the
+// consumer is waiting (a stall: the pipeline is too shallow for the
+// source's latency), up to maxDepth, and halves when a refill completes
+// that the consumer has not even asked for yet (the algorithm fell
+// behind; deep readahead would only be waste if the query stops early).
+// The worker never runs more than depth ranks past the consumer's demand
+// watermark, so a fenced or abandoned evaluation strands at most one
+// batch.
+//
+// Exactly one goroutine consumes (the one driving the evaluation); the
+// worker is the only other toucher. All shared state is guarded by mu;
+// the two buffered-by-one channels carry wakeups, not data.
+type pipeline struct {
+	src    Source
+	length int
+
+	mu       sync.Mutex
+	need     int               // consumer demand watermark (absolute rank)
+	fetched  int               // ranks fetched so far (spool covers [absorbed, fetched))
+	absorbed int               // ranks already drained to the Counted's prefix
+	spool    []gradedset.Entry // fetched, not yet absorbed
+	depth    int               // current batch depth
+	adapt    bool              // adaptive depth (false = fixed)
+	maxDepth int               // adaptive cap
+	waiting  bool              // consumer is blocked in await right now
+	closed   bool
+	stats    PipelineStats
+
+	kick    chan struct{} // consumer -> worker: demand grew / close
+	updates chan struct{} // worker -> consumer: fetched advanced / close
+	done    chan struct{} // worker exited
+}
+
+// newPipeline starts the worker for src, resuming after the `buffered`
+// ranks the list already holds. depth <= 0 selects the adaptive policy
+// (start at 1, double on stall); maxDepth <= 0 selects DefaultPrefetchCap.
+func newPipeline(src Source, length, buffered, depth, maxDepth int) *pipeline {
+	if maxDepth <= 0 {
+		maxDepth = DefaultPrefetchCap
+	}
+	adapt := depth <= 0
+	if adapt {
+		depth = 1
+	}
+	if maxDepth < depth {
+		maxDepth = depth
+	}
+	p := &pipeline{
+		src:      src,
+		length:   length,
+		need:     buffered,
+		fetched:  buffered,
+		absorbed: buffered,
+		depth:    depth,
+		adapt:    adapt,
+		maxDepth: maxDepth,
+		kick:     make(chan struct{}, 1),
+		updates:  make(chan struct{}, 1),
+		done:     make(chan struct{}),
+	}
+	go p.run()
+	return p
+}
+
+// notify posts a non-blocking wakeup token; a token already pending is
+// enough, since both loops re-check state after waking.
+func notify(ch chan struct{}) {
+	select {
+	case ch <- struct{}{}:
+	default:
+	}
+}
+
+// run is the worker loop: fetch batches of the current depth until the
+// demand-plus-depth target is covered, park until kicked, repeat.
+func (p *pipeline) run() {
+	defer close(p.done)
+	for {
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			return
+		}
+		target := p.need + p.depth
+		if target > p.length {
+			target = p.length
+		}
+		if p.fetched >= target {
+			p.mu.Unlock()
+			<-p.kick
+			continue
+		}
+		lo, d := p.fetched, p.depth
+		hi := lo + d
+		if hi > target {
+			hi = target
+		}
+		p.mu.Unlock()
+
+		// The slow call, outside the lock: one batched sorted access.
+		span := p.src.Entries(lo, hi)
+
+		p.mu.Lock()
+		if p.closed {
+			// Closed mid-flight: discard the span; fetched stays put, so
+			// the spool and the watermark remain consistent.
+			p.mu.Unlock()
+			return
+		}
+		p.spool = append(p.spool, span...)
+		p.fetched = hi
+		p.stats.Batches++
+		if d > p.stats.MaxDepth {
+			p.stats.MaxDepth = d
+		}
+		if p.adapt {
+			if p.waiting {
+				// The consumer is stalled on us: the batch was too small
+				// for the source's latency. Double it.
+				if p.depth < p.maxDepth {
+					p.depth *= 2
+					if p.depth > p.maxDepth {
+						p.depth = p.maxDepth
+					}
+				}
+			} else if p.need <= lo && p.depth > 1 {
+				// The consumer has not demanded even the start of this
+				// batch: it fell behind. Shrink the speculation.
+				p.depth /= 2
+			}
+		}
+		p.mu.Unlock()
+		notify(p.updates)
+	}
+}
+
+// demand raises the consumer's watermark to n ranks (clamped to the list
+// length) and wakes the worker. Demands are monotone.
+func (p *pipeline) demand(n int) {
+	if n > p.length {
+		n = p.length
+	}
+	p.mu.Lock()
+	if n > p.need {
+		p.need = n
+		notify(p.kick)
+	}
+	p.mu.Unlock()
+}
+
+// await blocks until at least n ranks are fetched, the pipeline closes,
+// or stop fires; it reports whether the n ranks are available. A wait
+// counts as one stall (and, via the waiting flag, drives the worker's
+// depth doubling). stop may be nil.
+func (p *pipeline) await(n int, stop <-chan struct{}) bool {
+	if n > p.length {
+		n = p.length
+	}
+	p.mu.Lock()
+	if n > p.need {
+		p.need = n
+		notify(p.kick)
+	}
+	if p.fetched >= n {
+		p.mu.Unlock()
+		return true
+	}
+	if p.closed {
+		p.mu.Unlock()
+		return false
+	}
+	p.stats.Stalls++
+	p.waiting = true
+	p.mu.Unlock()
+	defer func() {
+		p.mu.Lock()
+		p.waiting = false
+		p.mu.Unlock()
+	}()
+	for {
+		select {
+		case <-p.updates:
+		case <-stop:
+			return false
+		}
+		p.mu.Lock()
+		if p.fetched >= n {
+			p.mu.Unlock()
+			return true
+		}
+		if p.closed {
+			p.mu.Unlock()
+			return false
+		}
+		p.mu.Unlock()
+	}
+}
+
+// drainInto appends every fetched-but-unabsorbed entry to dst and marks
+// it absorbed. Non-blocking; the entries are copies, safe to keep.
+func (p *pipeline) drainInto(dst []gradedset.Entry) []gradedset.Entry {
+	p.mu.Lock()
+	if len(p.spool) > 0 {
+		dst = append(dst, p.spool...)
+		p.spool = p.spool[:0]
+		p.absorbed = p.fetched
+	}
+	p.mu.Unlock()
+	return dst
+}
+
+// close stops the worker: no further source accesses are issued once the
+// in-flight batch (if any) returns. Idempotent, non-blocking, safe from
+// any goroutine. Already-fetched entries remain drainable.
+func (p *pipeline) close() {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	notify(p.kick)
+	notify(p.updates)
+}
+
+// join waits for the worker to exit; call close first. A wedged source
+// call wedges join too — abandoning callers skip it.
+func (p *pipeline) join() { <-p.done }
+
+// snapshot returns the stats so far.
+func (p *pipeline) snapshot() PipelineStats {
+	p.mu.Lock()
+	s := p.stats
+	p.mu.Unlock()
+	return s
+}

@@ -100,6 +100,9 @@ type Counted struct {
 	prefix  []gradedset.Entry // buffered prefix, prefix[r] = entry at rank r; may exceed fetched
 	dc      *denseCache       // dense-universe memo; nil → map fallback
 	known   map[int]float64   // map fallback memo (also overflow for out-of-universe probes)
+	pipe    *pipeline         // background prefetcher; nil until StartPrefetch
+	pstats  PipelineStats     // stats snapshot kept past Release
+	piped   bool              // a pipeline ran at some point (pstats is meaningful)
 }
 
 // Count wraps src for metered access. When src reports a dense universe
@@ -130,6 +133,19 @@ func CountAll(srcs []Source) []*Counted {
 // valid). Callers that keep lists alive across evaluations — paginators,
 // multi-phase plans — simply never call it.
 func (c *Counted) Release() {
+	if c.pipe != nil {
+		// Stop the prefetcher without waiting for an in-flight batch: a
+		// wedged source must not wedge Release (a budget-stopped
+		// evaluation still releases its lists). The worker exits on its
+		// own once its call returns — it touches only its private spool
+		// and its own copy of the source, never the pooled state being
+		// recycled here — and a batch still in flight at shutdown is
+		// simply not counted in the final stats.
+		c.pipe.close()
+		c.pstats = c.pipe.snapshot()
+		c.piped = true
+		c.pipe = nil
+	}
 	if c.dc != nil {
 		releaseDenseCache(c.dc)
 		c.dc = nil
@@ -172,7 +188,16 @@ func (c *Counted) Depth() int { return c.fetched }
 // algorithm's sorted loop sees its cursors run dry and falls through to
 // its completion phase over the seen objects. Fence must be called from
 // the goroutine driving the evaluation (it is not synchronized).
-func (c *Counted) Fence() { c.fenced = true }
+//
+// Fencing also drains an attached prefetch pipeline: the worker stops
+// issuing sorted accesses once its in-flight batch (if any) returns, so
+// a fenced list costs the backing source nothing further.
+func (c *Counted) Fence() {
+	c.fenced = true
+	if c.pipe != nil {
+		c.pipe.close()
+	}
+}
 
 // Fenced reports whether the sorted stream was closed early.
 func (c *Counted) Fenced() bool { return c.fenced }
@@ -191,16 +216,85 @@ func (c *Counted) record(obj int, g float64) {
 	c.known[obj] = g
 }
 
-// ensureBuffered extends the buffered prefix to at least n entries,
-// reading the missing ranks from the source in one batched call. It does
-// not deliver anything: the paid high-water mark and the grade memo are
-// untouched.
+// ensureBuffered extends the buffered prefix to at least n entries:
+// absorbing from the background pipeline when one is attached (waiting
+// for it if necessary), and reading the missing ranks from the source in
+// one batched call otherwise (or when the pipeline was closed early). It
+// does not deliver anything: the paid high-water mark and the grade memo
+// are untouched.
 func (c *Counted) ensureBuffered(n int) {
+	if n > c.length {
+		n = c.length
+	}
 	if n <= len(c.prefix) {
 		return
 	}
+	if c.pipe != nil {
+		c.pipe.demand(n)
+		c.prefix = c.pipe.drainInto(c.prefix)
+		for len(c.prefix) < n && c.pipe.await(n, nil) {
+			c.prefix = c.pipe.drainInto(c.prefix)
+		}
+		if n <= len(c.prefix) {
+			return
+		}
+		// Pipeline closed early (fence, abort): fall through to a direct
+		// read for whatever the consumer still insists on delivering.
+	}
 	span := c.src.Entries(len(c.prefix), n)
 	c.prefix = append(c.prefix, span...)
+}
+
+// StartPrefetch attaches a background prefetch pipeline to the list: a
+// worker goroutine keeps the uncounted readahead buffer ahead of
+// consumption by issuing batched sorted accesses with adaptive depth
+// (depth <= 0: start at 1, double on stall, halve when the consumer
+// falls behind, capped at maxDepth or DefaultPrefetchCap). Payment stays
+// strictly on delivery — the pipeline never advances the sorted tally or
+// the grade memo — so tallies are bit-identical to an unpipelined run.
+//
+// The worker reads the source concurrently with the evaluation's random
+// accesses, so the source must tolerate concurrent reads (every built-in
+// source does; Validated does not). Idempotent; no-op on fenced or
+// released lists. Stop with StopPrefetch/AbortPrefetch, or let Release
+// do it.
+func (c *Counted) StartPrefetch(depth, maxDepth int) {
+	if c.pipe != nil || c.fenced || c.src == nil {
+		return
+	}
+	c.pipe = newPipeline(c.src, c.length, len(c.prefix), depth, maxDepth)
+	c.piped = true
+}
+
+// AbortPrefetch closes the pipeline without waiting for its in-flight
+// batch: no further source accesses are issued. Used on cancellation (a
+// wedged batch must not block the evaluation's return) and after a
+// budget reservation failure (never prefetch past one). Safe to call
+// from the evaluation goroutine at any time; idempotent.
+func (c *Counted) AbortPrefetch() {
+	if c.pipe != nil {
+		c.pipe.close()
+	}
+}
+
+// StopPrefetch closes the pipeline and waits for its worker to exit —
+// after it returns, the evaluation goroutine is the source's only
+// toucher again. Do not call with a wedged batch in flight (use
+// AbortPrefetch, or Release, which stop without waiting).
+func (c *Counted) StopPrefetch() {
+	if c.pipe != nil {
+		c.pipe.close()
+		c.pipe.join()
+	}
+}
+
+// PrefetchStats reports what the list's prefetch pipeline did, if one
+// was ever attached. Valid during the evaluation and after Release.
+func (c *Counted) PrefetchStats() (PipelineStats, bool) {
+	if c.pipe != nil {
+		return c.pipe.snapshot(), true
+	}
+	return c.pstats, c.piped
 }
 
 // deliver pays for ranks [fetched, hi): the entries enter the grade memo
@@ -275,6 +369,28 @@ func (c *Counted) Grade(obj int) float64 {
 		return g
 	}
 	g := c.src.Grade(obj)
+	c.random++
+	c.record(obj, g)
+	return g
+}
+
+// SourceGrade reads obj's grade from the underlying source directly:
+// no metering, no memo — raw transport. It exists for executors that
+// overlap random accesses out of band and then pay for them in order via
+// DeliverGrade; unlike every other method it may be called from several
+// goroutines at once (the source must tolerate concurrent reads).
+func (c *Counted) SourceGrade(obj int) float64 { return c.src.Grade(obj) }
+
+// DeliverGrade pays for one random access whose grade was fetched out of
+// band (see SourceGrade): if obj is already known the memoized grade is
+// returned at no cost — exactly the cache hit a serial probe would have
+// had — otherwise the random tally advances and g enters the memo. Must
+// be called from the evaluation goroutine, in the same order a serial
+// evaluation would have probed, so tallies and memo state coincide.
+func (c *Counted) DeliverGrade(obj int, g float64) float64 {
+	if g0, ok := c.Known(obj); ok {
+		return g0
+	}
 	c.random++
 	c.record(obj, g)
 	return g
@@ -393,6 +509,56 @@ func (cu *Cursor) Buffered() int { return cu.list.Buffered() - cu.pos }
 // Prefetch buffers the next n entries past the cursor's position (see
 // Counted.Prefetch): free readahead, paid only on consumption.
 func (cu *Cursor) Prefetch(n int) { cu.list.Prefetch(cu.pos + n) }
+
+// StartPrefetch attaches a background prefetch pipeline to the cursor's
+// list (see Counted.StartPrefetch); idempotent.
+func (cu *Cursor) StartPrefetch(depth, maxDepth int) { cu.list.StartPrefetch(depth, maxDepth) }
+
+// AbortPrefetch closes the list's pipeline without waiting for an
+// in-flight batch (see Counted.AbortPrefetch).
+func (cu *Cursor) AbortPrefetch() { cu.list.AbortPrefetch() }
+
+// DemandAhead tells the list's pipeline the cursor will need its next n
+// entries, so the worker can start fetching before anyone blocks. No-op
+// without a pipeline.
+func (cu *Cursor) DemandAhead(n int) {
+	if cu.list.pipe == nil || cu.list.fenced {
+		return
+	}
+	cu.list.pipe.demand(cu.pos + n)
+}
+
+// AwaitAhead blocks until the next n entries past the cursor are
+// buffered on the list (clamped to the list end), the list is fenced,
+// the pipeline closes, or stop fires; it reports whether the entries are
+// buffered. Without a pipeline it stages synchronously, like Prefetch.
+// The wait itself never touches the tallies: everything readied here is
+// paid for only when the cursor consumes it.
+func (cu *Cursor) AwaitAhead(n int, stop <-chan struct{}) bool {
+	c := cu.list
+	if c.fenced {
+		return false
+	}
+	want := cu.pos + n
+	if want > c.length {
+		want = c.length
+	}
+	if want <= len(c.prefix) {
+		return true
+	}
+	if c.pipe == nil {
+		c.ensureBuffered(want)
+		return want <= len(c.prefix)
+	}
+	for want > len(c.prefix) {
+		ok := c.pipe.await(want, stop)
+		c.prefix = c.pipe.drainInto(c.prefix)
+		if !ok {
+			break
+		}
+	}
+	return want <= len(c.prefix)
+}
 
 // LastGrade returns the grade of the most recent entry this cursor
 // consumed: the smallest grade it has seen, since grades arrive in
