@@ -198,6 +198,69 @@ func BenchmarkE2_A0_GeneralM_LatencyConcurrent(b *testing.B) {
 	}
 }
 
+// benchShardedLatencyOver times a sharded evaluation over 1 ms/call
+// remote sources, with or without per-shard prefetch pipelines. Like the
+// other latency variants it reports the deterministic cost metrics from
+// undelayed runs — middleware-cost/op is the unsharded-equivalent tally
+// pinned to the base benchmark's baseline, sharded-cost/op the
+// partitioned tally under sequential shards — while ns/op records the
+// latency-dominated wall-clock. One op simulates minutes of waiting on
+// the unpipelined path: run with -benchtime 1x.
+func benchShardedLatencyOver(b *testing.B, alg core.Algorithm, dbs []*scoredb.Database, f agg.Func, k, shards int, prefetch bool) {
+	b.Helper()
+	var meanBase, meanSharded float64
+	for _, db := range dbs {
+		meanBase += runCost(b, alg, db, f, k)
+		meanSharded += runShardedCost(b, alg, db, f, k, shards, 1)
+	}
+	meanBase /= float64(len(dbs))
+	meanSharded /= float64(len(dbs))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db := dbs[i%len(dbs)]
+		srcs := make([]subsys.Source, db.M())
+		for j := range srcs {
+			srcs[j] = subsys.NewLatencySource(subsys.FromList(db.List(j)), benchSourceLatency, 0)
+		}
+		cfg := core.ShardConfig{Shards: shards, Prefetch: prefetch}
+		if _, err := core.EvaluateSharded(context.Background(), alg, srcs, f, k, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(meanBase, "middleware-cost/op")
+	b.ReportMetric(meanSharded, "sharded-cost/op")
+}
+
+// BenchmarkE2_A0_GeneralM_ShardedLatency — the composed mode's headline:
+// the E2/m=5 workload over 1 ms/call remote sources, sharded 4 ways WITH
+// per-shard prefetch pipelines (WithShards ∘ WithPrefetch). The
+// acceptance figure of this PR: ns/op here must be ≥5x below the
+// NoPrefetch twin — per-shard batched sorted readahead plus the
+// 64-wide random-access overlap, where the sharded-but-serial path pays
+// a full round trip per access.
+func BenchmarkE2_A0_GeneralM_ShardedLatency(b *testing.B) {
+	for _, m := range []int{5} {
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+			dbs := genDBs(32768, m, 4, scoredb.Uniform{}, 2)
+			benchShardedLatencyOver(b, core.A0{}, dbs, agg.Min, 10, 4, true)
+		})
+	}
+}
+
+// BenchmarkE2_A0_GeneralM_ShardedLatencyNoPrefetch — the same sharded
+// query without prefetch: the serial-inside sharded path this PR
+// composes away. One op is minutes of simulated round trips; run with
+// -benchtime 1x only.
+func BenchmarkE2_A0_GeneralM_ShardedLatencyNoPrefetch(b *testing.B) {
+	for _, m := range []int{5} {
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+			dbs := genDBs(32768, m, 4, scoredb.Uniform{}, 2)
+			benchShardedLatencyOver(b, core.A0{}, dbs, agg.Min, 10, 4, false)
+		})
+	}
+}
+
 // runShardedCost executes one sharded evaluation and returns its total
 // unweighted middleware cost.
 func runShardedCost(b *testing.B, alg core.Algorithm, db *scoredb.Database, f agg.Func, k, shards, par int) float64 {

@@ -25,12 +25,14 @@
 // the small default tolerance only absorbs the iteration-weighted
 // sampling of snapshots taken before the metrics were made
 // deterministic. A variant-suffixed benchmark ("..._Parallel/m=5",
-// "..._Sharded/N=65536", "..._Latency/m=5", "..._LatencyConcurrent/…")
-// with no counterpart in the old snapshot is compared against its base
-// name ("…/m=5"), which is how the serial executor, the concurrent
-// executor, the sharded evaluator, and the latency-wrapped pipelined
-// executor are all pinned to the same historical cost trajectory: a
-// transport may change wall-clock, never the Section 5 tallies. The
+// "..._Sharded/N=65536", "..._Latency/m=5", "..._LatencyConcurrent/…",
+// "..._ShardedLatency/m=5", "..._ShardedLatencyNoPrefetch/…") with no
+// counterpart in the old snapshot is compared against its base name
+// ("…/m=5"), which is how the serial executor, the concurrent executor,
+// the sharded evaluator, the latency-wrapped pipelined executor, and
+// the composed sharded-pipelined mode are all pinned to the same
+// historical cost trajectory: a transport may change wall-clock, never
+// the Section 5 tallies. The
 // sharded benchmarks additionally track the partitioned tallies under
 // sharded-cost/op, a unit the old baselines do not carry and therefore
 // gate only once it has its own snapshot entry.
@@ -185,9 +187,12 @@ func compareSnapshots(snap Snapshot, baselinePath string, tol float64) bool {
 		refName := m.Name
 		if !found {
 			// A variant-suffixed benchmark (_Parallel executor, _Sharded
-			// evaluator, _Latency/_LatencyConcurrent transports) pins
-			// itself to the base benchmark's historical cost trajectory.
-			for _, suffix := range []string{"_Parallel", "_Sharded", "_LatencyConcurrent", "_Latency"} {
+			// evaluator, _Latency/_LatencyConcurrent transports, and the
+			// composed _ShardedLatency/_ShardedLatencyNoPrefetch modes)
+			// pins itself to the base benchmark's historical cost
+			// trajectory. Longest suffixes first: _ShardedLatency must be
+			// stripped whole, not matched by _Sharded.
+			for _, suffix := range []string{"_ShardedLatencyNoPrefetch", "_ShardedLatency", "_Parallel", "_Sharded", "_LatencyConcurrent", "_Latency"} {
 				refName = strings.Replace(m.Name, suffix, "", 1)
 				if ref, found = baseline[refName]; found {
 					break

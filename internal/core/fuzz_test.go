@@ -1,0 +1,231 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"fuzzydb/internal/agg"
+	"fuzzydb/internal/scoredb"
+	"fuzzydb/internal/subsys"
+)
+
+// FuzzExecutorEquivalence is the randomized cross-executor equivalence
+// harness — the property, fuzzed: every execution strategy the engine
+// offers is a transport change only. One fuzz input seeds a PRNG that
+// draws a whole scenario — universe size and grade law (dense fast path
+// or the map/sparse fallback), arity m, k, the aggregation law, the
+// algorithm, executor parameters, a shard count, and optionally an
+// access budget — and the harness then cross-checks, in the spirit of
+// fusion-rule cross-validation, that
+//
+//   - Serial, Concurrent, and Pipelined (adaptive and fixed depth)
+//     unsharded evaluations return byte-identical results and identical
+//     Section 5 tallies;
+//   - the sharded evaluation at Parallel=1, serial or pipelined inside,
+//     is itself byte-identical across the two per-shard executors —
+//     results, total, per-shard, and per-list tallies — and satisfies
+//     the shard-equivalence contract (identical grade sequence, same
+//     objects above the k-th grade, exact no-duplicate ground truth in
+//     the k-th tie class) against the unsharded reference; parallel
+//     shard workers must satisfy the same contract;
+//   - under a budget, every executor (and the sharded reservation pool
+//     at Parallel=1) stops at the same typed *BudgetError with the same
+//     spend, never overshooting.
+//
+// Run with `go test -fuzz FuzzExecutorEquivalence ./internal/core`; the
+// committed corpus under testdata/fuzz covers the interesting regimes
+// (heavy Binary/Discrete ties straddling shard boundaries, P clamped by
+// tiny universes, k = N, budget stops, fixed tiny depths).
+func FuzzExecutorEquivalence(f *testing.F) {
+	for _, seed := range []uint64{1, 7, 42, 1996, 0x5eed, 0xfa61, 0xdeadbeef, 1 << 40} {
+		f.Add(seed)
+	}
+	f.Fuzz(fuzzExecutorEquivalence)
+}
+
+// fuzzLaws is the grade-law palette the fuzzer draws from: continuous
+// (almost surely tie-free), bounded, and the two heavy-tie regimes.
+var fuzzLaws = []scoredb.GradeLaw{
+	scoredb.Uniform{},
+	scoredb.BoundedAbove{Max: 0.8},
+	scoredb.Binary{P: 0.12},
+	scoredb.Discrete{Levels: 4},
+}
+
+// fuzzCases is the algorithm × aggregation-law palette. Non-exact NRA
+// rides along to pin its sharded degeneration.
+var fuzzCases = []struct {
+	alg Algorithm
+	f   agg.Func
+}{
+	{A0{}, agg.Min},
+	{A0{MidRoundStop: true}, agg.Min},
+	{A0{}, agg.ArithmeticMean},
+	{A0Adaptive{}, agg.Min},
+	{TA{}, agg.Min},
+	{TA{}, agg.AlgebraicProduct},
+	{TA{}, agg.BoundedDifference},
+	{A0Prime{}, agg.Min},
+	{NRA{}, agg.Min},
+	{B0{}, agg.Max},
+	{NaiveSorted{}, agg.Min},
+	{OrderStat{}, agg.Median},
+}
+
+func fuzzExecutorEquivalence(t *testing.T, seed uint64) {
+	rng := rand.New(rand.NewSource(int64(seed)))
+	n := 2 + rng.Intn(280)
+	m := 2 + rng.Intn(3)
+	law := fuzzLaws[rng.Intn(len(fuzzLaws))]
+	tc := fuzzCases[rng.Intn(len(fuzzCases))]
+	k := 1 + rng.Intn(n)
+	shards := 2 + rng.Intn(6) // may exceed n: exercises the clamp
+	depth := rng.Intn(7)      // 0 = adaptive, else fixed
+	width := 1 + rng.Intn(8)
+	batch := 1 + rng.Intn(24)
+	p := 1 + rng.Intn(m+2)
+	sparse := rng.Intn(2) == 1 // map fallback instead of the dense path
+
+	db := scoredb.Generator{N: n, M: m, Law: law, Seed: seed ^ 0x9e3779b97f4a7c15}.MustGenerate()
+	srcs := func() []subsys.Source {
+		if sparse {
+			return opaqueSourcesOf(db)
+		}
+		return sourcesOf(db)
+	}
+	label := fmt.Sprintf("seed=%d/N=%d/m=%d/%s/%s-%s/k=%d/P=%d/depth=%d/sparse=%v",
+		seed, n, m, law.Name(), tc.alg.Name(), tc.f.Name(), k, shards, depth, sparse)
+
+	// Unsharded reference, then every executor against it.
+	want, wantCost, err := Evaluate(context.Background(), tc.alg, srcs(), tc.f, k)
+	if err != nil {
+		t.Fatalf("%s: serial: %v", label, err)
+	}
+	execs := []Executor{
+		Concurrent{P: p, Batch: batch},
+		Pipelined{P: width, MaxDepth: 1 + rng.Intn(16)},
+		Pipelined{P: width, Depth: 1 + depth},
+	}
+	for _, x := range execs {
+		got, gotCost, err := Evaluate(context.Background(), tc.alg, srcs(), tc.f, k, WithExecutor(x))
+		if err != nil {
+			t.Fatalf("%s: %s: %v", label, x.Name(), err)
+		}
+		requireIdentical(t, label+"/"+x.Name(), got, want, gotCost, wantCost)
+	}
+
+	// Sharded, serial inside vs pipelined inside, at the deterministic
+	// worker cap: byte-identical to each other; both against unsharded
+	// under the shard-equivalence contract.
+	serialCfg := ShardConfig{Shards: shards, Parallel: 1}
+	pipedCfg := ShardConfig{Shards: shards, Parallel: 1, Prefetch: true, PrefetchDepth: depth, PrefetchWidth: width}
+	sSerial, err := EvaluateSharded(context.Background(), tc.alg, srcs(), tc.f, k, serialCfg)
+	if err != nil {
+		t.Fatalf("%s: sharded serial: %v", label, err)
+	}
+	sPiped, err := EvaluateSharded(context.Background(), tc.alg, srcs(), tc.f, k, pipedCfg)
+	if err != nil {
+		t.Fatalf("%s: sharded pipelined: %v", label, err)
+	}
+	if sPiped.Cost != sSerial.Cost {
+		t.Errorf("%s: sharded pipelined cost %v != serial %v", label, sPiped.Cost, sSerial.Cost)
+	}
+	if len(sPiped.Results) != len(sSerial.Results) {
+		t.Fatalf("%s: %d sharded pipelined results, %d serial", label, len(sPiped.Results), len(sSerial.Results))
+	}
+	for i := range sSerial.Results {
+		if sPiped.Results[i] != sSerial.Results[i] {
+			t.Errorf("%s: sharded result %d: pipelined %v, serial %v", label, i, sPiped.Results[i], sSerial.Results[i])
+		}
+	}
+	for s := range sSerial.PerShard {
+		if sPiped.PerShard[s] != sSerial.PerShard[s] {
+			t.Errorf("%s: shard %d cost: pipelined %v, serial %v", label, s, sPiped.PerShard[s], sSerial.PerShard[s])
+		}
+	}
+	for j := range sSerial.PerList {
+		if sPiped.PerList[j] != sSerial.PerList[j] {
+			t.Errorf("%s: list %d cost: pipelined %v, serial %v", label, j, sPiped.PerList[j], sSerial.PerList[j])
+		}
+	}
+	truth := trueScorer(db, tc.f)
+	if tc.alg.Exact() {
+		requireShardEquiv(t, label+"/sharded", want, sPiped.Results, truth)
+	} else {
+		// NRA degenerates to the unsharded path byte for byte.
+		for i := range want {
+			if sPiped.Results[i] != want[i] {
+				t.Errorf("%s: degenerate result %d: %v, want %v", label, i, sPiped.Results[i], want[i])
+			}
+		}
+	}
+	// Parallel shard workers: same contract, fencing timing free.
+	sPar, err := EvaluateSharded(context.Background(), tc.alg, srcs(), tc.f, k,
+		ShardConfig{Shards: shards, Parallel: 1 + rng.Intn(4), Prefetch: rng.Intn(2) == 1, PrefetchDepth: depth})
+	if err != nil {
+		t.Fatalf("%s: sharded parallel: %v", label, err)
+	}
+	if tc.alg.Exact() {
+		requireShardEquiv(t, label+"/sharded-par", want, sPar.Results, truth)
+	}
+
+	// Budgets: every executor must stop at the same typed *BudgetError
+	// with the same spend — or all complete identically.
+	if full := wantCost.Sum(); full > 4 && rng.Intn(2) == 0 {
+		budget := 1 + float64(rng.Intn(full))
+		wantRes, wantPartial, wantErr := Evaluate(context.Background(), tc.alg, srcs(), tc.f, k,
+			WithAccessBudget(budget))
+		if wantPartial.Sum() > int(budget) {
+			t.Errorf("%s: serial budget overshoot: %v > %v", label, wantPartial.Sum(), budget)
+		}
+		for _, x := range execs {
+			got, gotCost, err := Evaluate(context.Background(), tc.alg, srcs(), tc.f, k,
+				WithAccessBudget(budget), WithExecutor(x))
+			if !sameBudgetOutcome(err, wantErr) {
+				t.Fatalf("%s: %s budget err = %v, serial %v", label, x.Name(), err, wantErr)
+			}
+			if wantErr == nil {
+				requireIdentical(t, label+"/budget/"+x.Name(), got, wantRes, gotCost, wantPartial)
+			} else if gotCost != wantPartial {
+				t.Errorf("%s: %s budget partial cost %v, serial %v", label, x.Name(), gotCost, wantPartial)
+			}
+		}
+		// Sharded reservation pool at Parallel=1: serial-inside and
+		// pipelined-inside trip identically.
+		bSerial := serialCfg
+		bSerial.Budget = budget
+		bPiped := pipedCfg
+		bPiped.Budget = budget
+		rSerial, errSerial := EvaluateSharded(context.Background(), tc.alg, srcs(), tc.f, k, bSerial)
+		rPiped, errPiped := EvaluateSharded(context.Background(), tc.alg, srcs(), tc.f, k, bPiped)
+		if !sameBudgetOutcome(errSerial, errPiped) {
+			t.Fatalf("%s: sharded budget err: serial %v, pipelined %v", label, errSerial, errPiped)
+		}
+		if rSerial.Cost != rPiped.Cost {
+			t.Errorf("%s: sharded budget cost: serial %v, pipelined %v", label, rSerial.Cost, rPiped.Cost)
+		}
+		if rPiped.Cost.Sum() > int(budget) {
+			t.Errorf("%s: sharded pool overshoot: %v > %v", label, rPiped.Cost.Sum(), budget)
+		}
+	}
+}
+
+// sameBudgetOutcome reports whether two evaluations ended the same way:
+// both clean, or both stopped by the budget with identical limits and
+// spends.
+func sameBudgetOutcome(a, b error) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	if a == nil {
+		return true
+	}
+	var ba, bb *BudgetError
+	if !errors.As(a, &ba) || !errors.As(b, &bb) {
+		return false
+	}
+	return ba.Limit == bb.Limit && ba.Spent == bb.Spent && ba.Need == bb.Need
+}

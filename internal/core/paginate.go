@@ -80,6 +80,10 @@ func NewPaginator(ec *ExecContext, alg Algorithm, lists []*subsys.Counted, t agg
 // shard, shards fanned out on up to cfg.Parallel workers per page
 // (1 = sequential shards, the deterministic-cost mode), and cfg.Budget
 // as one reservation pool shared by every shard across every page.
+// cfg.Prefetch gives every shard its own pipelined executor (gather
+// width and pipeline depth budgeted across the shard workers, as in
+// EvaluateSharded); the per-shard pipelines live as long as the shard
+// lists — across pages — so a prefetching paginator must be Released.
 // cfg.Shards ≤ 1 (after clamping to N) degenerates to the unsharded
 // paginator. Non-exact algorithms are the caller's responsibility to
 // exclude, as with NewPaginator.
@@ -103,7 +107,9 @@ func NewShardedPaginator(ctx context.Context, alg Algorithm, srcs []subsys.Sourc
 	}
 	if p <= 1 {
 		opts := []EvalOption{WithCostModel(model)}
-		if cfg.Parallel > 1 {
+		if cfg.Prefetch {
+			opts = append(opts, WithExecutor(cfg.pipelineExecutor(1, 1)))
+		} else if cfg.Parallel > 1 {
 			opts = append(opts, WithExecutor(Concurrent{P: cfg.Parallel}))
 		}
 		if cfg.Budget > 0 {
@@ -118,22 +124,37 @@ func NewShardedPaginator(ctx context.Context, alg Algorithm, srcs []subsys.Sourc
 		pool = &budgetPool{limit: cfg.Budget}
 	}
 	plan := subsys.PlanShards(n, p)
+	workers := cfg.Parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(plan) {
+		workers = len(plan)
+	}
+	var opt []EvalOption
+	if cfg.Prefetch {
+		// The per-shard pipelines stay alive across pages (the lists do),
+		// on EVERY shard at once — unlike one-shot sharded evaluation,
+		// which releases each shard as its worker finishes it. The gather
+		// width still splits by the worker cap (only that many shards
+		// probe at once), but the readahead depth budget splits by the
+		// full shard count, so a parked pagination never buffers more
+		// speculative ranks than one unsharded pipelined paginator.
+		// Release stops every pipeline.
+		opt = append(opt, WithExecutor(cfg.pipelineExecutor(workers, len(plan))))
+	}
 	shards := make([]pageShard, 0, len(plan))
 	for _, r := range plan {
 		if r.Len() == 0 {
 			continue
 		}
 		counted := subsys.CountAll(subsys.ShardSources(srcs, r))
-		ec := NewExecContext(ctx, counted, WithCostModel(model))
+		ec := NewExecContext(ctx, counted, append([]EvalOption{WithCostModel(model)}, opt...)...)
 		if pool != nil {
 			ec.budget = pool.limit
 			ec.pool = pool
 		}
 		shards = append(shards, pageShard{r: r, ec: ec, lists: counted})
-	}
-	workers := cfg.Parallel
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
 	}
 	return &Paginator{
 		alg: alg, t: t, n: n,
@@ -181,7 +202,13 @@ func (p *Paginator) Release() {
 		return
 	}
 	for i := range p.shards {
-		// Shard evaluations are serial inside: they never abandon.
+		// A pipelined shard can abandon mid-gather on cancellation; its
+		// lists are then left to the GC like the unsharded case (its
+		// pipeline workers exit on their own once their in-flight source
+		// call returns).
+		if p.shards[i].ec.Abandoned() {
+			continue
+		}
 		subsys.ReleaseAll(p.shards[i].lists)
 	}
 }

@@ -29,9 +29,9 @@ type ShardConfig struct {
 	// deterministic mode, where the threshold merge stops later shards
 	// against the exact results of earlier ones and the per-shard cost
 	// tallies are reproducible bit for bit. Each worker evaluates its
-	// shard serially inside (the executor-level overlap of
-	// WithParallelism applies to unsharded evaluation; sharding fans out
-	// across shards instead).
+	// shard serially inside unless Prefetch is set (the executor-level
+	// overlap of WithParallelism applies to unsharded evaluation;
+	// sharding fans out across shards instead).
 	Parallel int
 	// Budget bounds the weighted middleware cost of the whole evaluation
 	// across all shards, through a shared reservation pool: every shard
@@ -43,6 +43,72 @@ type ShardConfig struct {
 	// Model prices sorted and random accesses for budget accounting
 	// (zero value means cost.Unweighted).
 	Model cost.Model
+	// Prefetch pipelines each shard's evaluation: instead of the serial
+	// executor, every shard runs under its own Pipelined executor whose
+	// background prefetch pipelines stream the shard's re-ranked views
+	// (batched Entries spans into the per-list spool, uncounted —
+	// pay-on-delivery holds under sharding, so the Section 5 tallies are
+	// unchanged) and whose random-access gather overlaps across lists
+	// and objects. The gather width and the per-list adaptive depth cap
+	// are budgeted globally: the totals (PrefetchWidth, DefaultPrefetchCap
+	// per list) are divided by the number of shard workers running at
+	// once, so P shards × m lists never multiply the goroutine or buffer
+	// count beyond the unsharded pipelined footprint. Shard fencing
+	// drains that shard's pipelines (Counted.Fence closes them) without
+	// touching the shared budget pool — prefetched-but-undelivered ranks
+	// were never reserved or paid.
+	Prefetch bool
+	// PrefetchDepth pins the per-list prefetch batch depth (> 0) or
+	// selects the adaptive policy (0: start at 1, double on stall,
+	// shrink when the algorithm falls behind). Meaningful only with
+	// Prefetch. A pinned depth is part of the global budget too: like
+	// the adaptive cap it is divided across the shards holding pipeline
+	// buffers at once (floored at 1), so pinning a deep batch on a
+	// many-shard evaluation cannot multiply the buffer footprint.
+	PrefetchDepth int
+	// PrefetchWidth is the total random-access gather budget shared by
+	// the concurrently running shards (0 means the Pipelined default);
+	// each shard worker gets an equal slice, floored at 1.
+	PrefetchWidth int
+}
+
+// pipelineExecutor builds the per-shard pipelined executor under the
+// global resource budget: the total gather width is split across the
+// widthShare shards whose gathers can be in flight at once (the worker
+// cap), and the per-list readahead depth — the adaptive cap AND a
+// pinned PrefetchDepth alike — across the depthShare shards whose
+// pipelines hold buffers at once (the worker cap for one-shot
+// evaluation, where a finished shard releases its pipelines before the
+// next starts; the full shard count for the paginator, whose pipelines
+// stay alive across pages on every shard simultaneously). Everything
+// floors at 1, so the whole sharded evaluation never holds more probes
+// in flight or more speculative ranks buffered than one unsharded
+// pipelined evaluation would.
+func (cfg ShardConfig) pipelineExecutor(widthShare, depthShare int) Executor {
+	if widthShare < 1 {
+		widthShare = 1
+	}
+	if depthShare < 1 {
+		depthShare = 1
+	}
+	width := cfg.PrefetchWidth
+	if width <= 0 {
+		width = defaultGatherWidth
+	}
+	if width = width / widthShare; width < 1 {
+		width = 1
+	}
+	maxDepth := subsys.DefaultPrefetchCap / depthShare
+	if maxDepth < 1 {
+		maxDepth = 1
+	}
+	depth := cfg.PrefetchDepth
+	if depth > 0 {
+		if depth = depth / depthShare; depth < 1 {
+			depth = 1
+		}
+	}
+	return Pipelined{P: width, Depth: depth, MaxDepth: maxDepth}
 }
 
 // ShardReport is the outcome of a sharded evaluation.
@@ -59,13 +125,21 @@ type ShardReport struct {
 	// Shards is the number of shards actually planned (after clamping);
 	// 1 means the evaluation degenerated to the unsharded path.
 	Shards int
+	// Prefetch aggregates the pipeline stats across every shard's lists
+	// when the evaluation ran with cfg.Prefetch and the pipelines
+	// engaged: MaxDepth is the deepest refill any shard used, Stalls and
+	// Batches sum over shards and lists. Nil otherwise.
+	Prefetch *subsys.PipelineStats
 }
 
 // EvaluateSharded finds the top k answers of F_t(srcs…) by partitioned
 // evaluation: it plans cfg.Shards contiguous ranges of the universe,
 // runs alg once per shard over re-ranked shard views (each under its
-// own serial ExecContext, shards fanned out on up to cfg.Parallel
-// workers), and merges the per-shard answers into the global top k.
+// own ExecContext — serial inside by default, or a per-shard Pipelined
+// executor when cfg.Prefetch is set, with the gather width and pipeline
+// depth budgeted globally across the shard workers — shards fanned out
+// on up to cfg.Parallel workers), and merges the per-shard answers into
+// the global top k.
 //
 // Equivalence contract (pinned by TestShardedVsUnsharded): the merged
 // answers carry the same grade sequence as the unsharded evaluation of
@@ -97,10 +171,13 @@ type ShardReport struct {
 // evaluation degenerates to the plain unsharded path, byte for byte.
 //
 // On cancellation or budget exhaustion every shard worker stops
-// promptly (serial execution polls between accesses; the shared budget
-// pool fails all further reservations once any shard trips it), the
-// workers are joined, and the report carries the partial cost with nil
-// results and the first error in shard order.
+// promptly (serial execution polls between accesses; a pipelined shard
+// abandons even a wedged in-flight batch and closes its pipelines; the
+// shared budget pool fails all further reservations once any shard
+// trips it, and each tripped shard's reservation failure also closes
+// that shard's prefetch pipelines), the workers are joined, and the
+// report carries the partial cost with nil results and the first error
+// in shard order.
 func EvaluateSharded(ctx context.Context, alg Algorithm, srcs []subsys.Source, t agg.Func, k int, cfg ShardConfig) (*ShardReport, error) {
 	model := cost.Unweighted
 	if cfg.Model.Valid() {
@@ -138,14 +215,6 @@ func EvaluateSharded(ctx context.Context, alg Algorithm, srcs []subsys.Source, t
 		pool = &budgetPool{limit: cfg.Budget}
 	}
 
-	outs := make([]shardOut, len(plan))
-	runShard := func(i int) {
-		outs[i] = evalShard(ctx, alg, srcs, t, k, plan[i], model, pool, board)
-		if board != nil && outs[i].err == nil {
-			board.publish(outs[i].res)
-		}
-	}
-
 	workers := cfg.Parallel
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -153,6 +222,21 @@ func EvaluateSharded(ctx context.Context, alg Algorithm, srcs []subsys.Source, t
 	if workers > len(plan) {
 		workers = len(plan)
 	}
+	var exec Executor
+	if cfg.Prefetch {
+		// A finished shard releases its pipelines before its worker takes
+		// the next one, so at most `workers` shards hold buffers at once.
+		exec = cfg.pipelineExecutor(workers, workers)
+	}
+
+	outs := make([]shardOut, len(plan))
+	runShard := func(i int) {
+		outs[i] = evalShard(ctx, alg, srcs, t, k, plan[i], model, pool, board, exec)
+		if board != nil && outs[i].err == nil {
+			board.publish(outs[i].res)
+		}
+	}
+
 	if workers <= 1 {
 		// Sequential mode: shards run in index order, so the threshold
 		// scoreboard a shard stops against is a deterministic function of
@@ -176,6 +260,12 @@ func EvaluateSharded(ctx context.Context, alg Algorithm, srcs []subsys.Source, t
 		rep.Cost = rep.Cost.Add(outs[i].total)
 		for j, c := range outs[i].per {
 			rep.PerList[j] = rep.PerList[j].Add(c)
+		}
+		if outs[i].piped {
+			if rep.Prefetch == nil {
+				rep.Prefetch = &subsys.PipelineStats{}
+			}
+			*rep.Prefetch = rep.Prefetch.Add(outs[i].pstats)
 		}
 		if outs[i].err != nil && firstErr == nil {
 			firstErr = outs[i].err
@@ -227,24 +317,31 @@ func runIndexed(workers, n int, f func(int)) {
 
 // shardOut is one shard worker's outcome.
 type shardOut struct {
-	res   []Result // global ids, exact grades
-	per   []cost.Cost
-	total cost.Cost
-	err   error
+	res    []Result // global ids, exact grades
+	per    []cost.Cost
+	total  cost.Cost
+	pstats subsys.PipelineStats // prefetch-pipeline stats summed over lists
+	piped  bool                 // pipelines engaged; pstats is meaningful
+	err    error
 }
 
 // evalShard runs one shard of a partitioned evaluation: re-ranked views
-// over the range, a fresh serial ExecContext (wired to the shared budget
-// pool and the threshold scoreboard when configured), the algorithm at
-// k clamped to the shard size, and local→global id translation of the
-// answers. An empty range evaluates to nothing at zero cost.
-func evalShard(ctx context.Context, alg Algorithm, srcs []subsys.Source, t agg.Func, k int, r subsys.ShardRange, model cost.Model, pool *budgetPool, board *shardBoard) shardOut {
+// over the range, a fresh ExecContext (wired to the shared budget pool,
+// the threshold scoreboard, and the per-shard pipelined executor when
+// configured), the algorithm at k clamped to the shard size, and
+// local→global id translation of the answers. An empty range evaluates
+// to nothing at zero cost.
+func evalShard(ctx context.Context, alg Algorithm, srcs []subsys.Source, t agg.Func, k int, r subsys.ShardRange, model cost.Model, pool *budgetPool, board *shardBoard, exec Executor) shardOut {
 	var out shardOut
 	if r.Len() == 0 {
 		return out
 	}
 	counted := subsys.CountAll(subsys.ShardSources(srcs, r))
-	ec := NewExecContext(ctx, counted, WithCostModel(model))
+	opts := []EvalOption{WithCostModel(model)}
+	if exec != nil {
+		opts = append(opts, WithExecutor(exec))
+	}
+	ec := NewExecContext(ctx, counted, opts...)
 	if pool != nil {
 		ec.budget = pool.limit
 		ec.pool = pool
@@ -260,12 +357,27 @@ func evalShard(ctx context.Context, alg Algorithm, srcs []subsys.Source, t agg.F
 	if pool != nil {
 		pool.finish(ec)
 	}
+	if ec.Abandoned() {
+		// A pipelined shard canceled with accesses in flight: report the
+		// last quiescent tallies and leave the shard state to the GC —
+		// abandoned gather workers may still read the raw sources, so the
+		// pooled memos must not be recycled.
+		out.total = ec.SafeCost()
+		out.err = err
+		return out
+	}
 	out.total = subsys.TotalCost(counted)
 	out.per = make([]cost.Cost, len(counted))
 	for j, c := range counted {
 		out.per[j] = c.Cost()
 	}
 	subsys.ReleaseAll(counted)
+	for _, c := range counted {
+		if s, ok := c.PrefetchStats(); ok {
+			out.pstats = out.pstats.Add(s)
+			out.piped = true
+		}
+	}
 	if err != nil {
 		out.err = err
 		return out
@@ -282,7 +394,10 @@ func evalShard(ctx context.Context, alg Algorithm, srcs []subsys.Source, t agg.F
 // one-shard report. cfg.Parallel keeps its executor-level meaning here.
 func evaluateUnsharded(ctx context.Context, alg Algorithm, srcs []subsys.Source, t agg.Func, k int, cfg ShardConfig, model cost.Model) (*ShardReport, error) {
 	opts := []EvalOption{WithCostModel(model)}
-	if cfg.Parallel > 1 {
+	if cfg.Prefetch {
+		// One "shard": the whole budget in one executor.
+		opts = append(opts, WithExecutor(cfg.pipelineExecutor(1, 1)))
+	} else if cfg.Parallel > 1 {
 		opts = append(opts, WithExecutor(Concurrent{P: cfg.Parallel}))
 	}
 	if cfg.Budget > 0 {
@@ -304,6 +419,14 @@ func evaluateUnsharded(ctx context.Context, alg Algorithm, srcs []subsys.Source,
 		rep.PerList[j] = c.Cost()
 	}
 	subsys.ReleaseAll(counted)
+	for _, c := range counted {
+		if s, ok := c.PrefetchStats(); ok {
+			if rep.Prefetch == nil {
+				rep.Prefetch = &subsys.PipelineStats{}
+			}
+			*rep.Prefetch = rep.Prefetch.Add(s)
+		}
+	}
 	if err != nil {
 		return rep, err
 	}

@@ -55,11 +55,20 @@ func (ta TA) TopK(ec *ExecContext, lists []*subsys.Counted, t agg.Func, k int) (
 		if err := ec.Stage(cursors, 1); err != nil {
 			return nil, err
 		}
-		if err := ec.ReserveRound(cursors); err != nil {
-			return nil, err
-		}
 		exhausted := true
 		for i, cu := range cursors {
+			if cu.Exhausted() {
+				continue
+			}
+			// Reserve each sorted access immediately before paying it,
+			// not round-wide: TA interleaves probe reservations into the
+			// round, and a reservation settles the previous grant — a
+			// round-wide grant would stop covering the later cursors the
+			// moment the first object's probes are reserved, letting the
+			// spend overshoot the budget by up to m−1 accesses.
+			if err := ec.Reserve(1, 0); err != nil {
+				return nil, err
+			}
 			e, ok := cu.Next()
 			if !ok {
 				continue

@@ -19,7 +19,11 @@
 // executor — background per-subsystem prefetchers with adaptive batched
 // readahead, random accesses overlapped across subsystems and objects —
 // for requests whose subsystems are genuinely remote; the report then
-// carries the pipeline stats.
+// carries the pipeline stats. The two compose: WithShards(P) plus
+// WithPrefetch(d) pipelines inside every shard (prefetchers stream the
+// shard's re-ranked views; the gather width and pipeline depth are
+// budgeted globally across the shard workers), which is the mode for
+// sharded queries against slow multi-backend subsystems.
 //
 // Results is the streaming form: it yields answers one at a time in
 // descending grade order (an iter.Seq2), widening the underlying top-r
@@ -298,8 +302,10 @@ type Report struct {
 	Shards int
 	// Prefetch reports what the pipelined executor's background
 	// prefetchers did (deepest adaptive batch, stalls, physical batched
-	// calls), summed over the subsystem lists. Nil unless the request
-	// asked for WithPrefetch and the pipelines engaged.
+	// calls), summed over the subsystem lists — and, under WithShards,
+	// aggregated across shards (MaxDepth is the deepest any shard grew;
+	// Stalls and Batches sum). Nil unless the request asked for
+	// WithPrefetch and the pipelines engaged.
 	Prefetch *subsys.PipelineStats
 	// Plan that produced the results.
 	Plan *Plan
@@ -387,9 +393,13 @@ func WithShards(p int) QueryOption {
 // wider-than-CPU default applies, since a pipelined request is
 // concurrent by nature).
 // Access tallies are bit-identical to the serial executor's; only
-// wall-clock changes. Combined with WithShards the partitioned
-// evaluator's serial per-shard execution takes precedence and prefetch
-// is not used.
+// wall-clock changes. Combined with WithShards every shard runs under
+// its own pipelined executor — background pipelines stream the shard's
+// re-ranked views, still pay-on-delivery — with the gather width and
+// pipeline depth budgeted globally across the shard workers, so P
+// shards never multiply the goroutine or buffer footprint;
+// WithParallelism keeps its shard-worker-cap meaning there, and the
+// report's Prefetch stats aggregate across shards.
 func WithPrefetch(depth int) QueryOption {
 	return func(c *queryConfig) {
 		if depth < 0 {
@@ -420,6 +430,22 @@ func newQueryConfig(opts []QueryOption) queryConfig {
 		opt(&cfg)
 	}
 	return cfg
+}
+
+// shardConfig lowers the request configuration onto the partitioned
+// evaluator. WithPrefetch gives every shard its own pipelined executor
+// (the gather/depth budget is divided across shard workers by core);
+// WithParallelism keeps its shard-worker-cap meaning, so the width
+// budget stays at the executor default under sharding.
+func (c queryConfig) shardConfig() core.ShardConfig {
+	return core.ShardConfig{
+		Shards:        c.shards,
+		Parallel:      c.parallelism,
+		Budget:        c.budget,
+		Model:         c.model,
+		Prefetch:      c.prefetchOn,
+		PrefetchDepth: c.prefetch,
+	}
 }
 
 // evalOptions lowers the request configuration onto the core evaluation
@@ -561,12 +587,7 @@ func (m *Middleware) preparePagination(ctx context.Context, q query.Node, cfg qu
 		return pagination{}, err
 	}
 	if cfg.shards > 1 {
-		sp, err := core.NewShardedPaginator(ctx, alg, lists, plan.Agg, core.ShardConfig{
-			Shards:   cfg.shards,
-			Parallel: cfg.parallelism,
-			Budget:   cfg.budget,
-			Model:    cfg.model,
-		})
+		sp, err := core.NewShardedPaginator(ctx, alg, lists, plan.Agg, cfg.shardConfig())
 		if err != nil {
 			return pagination{}, err
 		}
@@ -703,17 +724,13 @@ func (m *Middleware) execute(ctx context.Context, plan *Plan, cfg queryConfig) (
 }
 
 // executeSharded runs a plan through the partitioned evaluator: the
-// algorithm per universe shard, a threshold-aware merge, and the usual
-// Section 5 tallies summed across shards (total, per atom, and — new
-// with sharding — per shard).
+// algorithm per universe shard (pipelined inside when the request asked
+// for WithPrefetch), a threshold-aware merge, and the usual Section 5
+// tallies summed across shards (total, per atom, and — new with
+// sharding — per shard), plus the aggregated prefetch-pipeline stats.
 func (m *Middleware) executeSharded(ctx context.Context, plan *Plan, cfg queryConfig, lists []subsys.Source) (*Report, error) {
-	sr, err := core.EvaluateSharded(ctx, plan.Algorithm, lists, plan.Agg, m.clampK(cfg.k), core.ShardConfig{
-		Shards:   cfg.shards,
-		Parallel: cfg.parallelism,
-		Budget:   cfg.budget,
-		Model:    cfg.model,
-	})
-	rep := &Report{Cost: sr.Cost, PerShard: sr.PerShard, Shards: sr.Shards, Plan: plan}
+	sr, err := core.EvaluateSharded(ctx, plan.Algorithm, lists, plan.Agg, m.clampK(cfg.k), cfg.shardConfig())
+	rep := &Report{Cost: sr.Cost, PerShard: sr.PerShard, Shards: sr.Shards, Prefetch: sr.Prefetch, Plan: plan}
 	if len(sr.PerList) == len(plan.Atoms) {
 		rep.PerList = sr.PerList
 	}

@@ -216,6 +216,75 @@ func TestPaginateHonorsShards(t *testing.T) {
 	sharded.Release()
 }
 
+// TestQueryWithShardsAndPrefetch: the composed mode — WithShards(P)
+// plus WithPrefetch(d) — pipelines inside every shard while staying a
+// pure transport change: at WithParallelism(1) the answers and the full
+// cost breakdown match the plain sharded request bit for bit, and the
+// report now aggregates the per-shard pipeline stats (the PR 5 fix:
+// Report.Prefetch used to come back nil under WithShards).
+func TestQueryWithShardsAndPrefetch(t *testing.T) {
+	mw := genStore(t, 1600, 3, 82)
+	q := genConj(3)
+	want, err := mw.Query(context.Background(), q, TopN(12), WithShards(4), WithParallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Prefetch != nil {
+		t.Errorf("plain sharded request reports pipeline stats: %+v", *want.Prefetch)
+	}
+	for _, depth := range []int{0, 4} {
+		rep, err := mw.Query(context.Background(), q, TopN(12),
+			WithShards(4), WithParallelism(1), WithPrefetch(depth))
+		if err != nil {
+			t.Fatalf("depth=%d: %v", depth, err)
+		}
+		if rep.Shards != 4 {
+			t.Errorf("depth=%d: Shards = %d, want 4", depth, rep.Shards)
+		}
+		if rep.Cost != want.Cost {
+			t.Errorf("depth=%d: cost %v, want %v", depth, rep.Cost, want.Cost)
+		}
+		for s := range want.PerShard {
+			if rep.PerShard[s] != want.PerShard[s] {
+				t.Errorf("depth=%d: shard %d cost %v, want %v", depth, s, rep.PerShard[s], want.PerShard[s])
+			}
+		}
+		if len(rep.Results) != len(want.Results) {
+			t.Fatalf("depth=%d: %d results, want %d", depth, len(rep.Results), len(want.Results))
+		}
+		for i := range want.Results {
+			if rep.Results[i] != want.Results[i] {
+				t.Errorf("depth=%d: result %d = %v, want %v", depth, i, rep.Results[i], want.Results[i])
+			}
+		}
+		if rep.Prefetch == nil {
+			t.Fatalf("depth=%d: no aggregated pipeline stats on the sharded report", depth)
+		}
+		if rep.Prefetch.Batches == 0 {
+			t.Errorf("depth=%d: aggregated stats report zero batches", depth)
+		}
+		if depth > 0 && rep.Prefetch.MaxDepth > depth {
+			t.Errorf("fixed depth %d exceeded across shards: max %d", depth, rep.Prefetch.MaxDepth)
+		}
+	}
+	// The streaming form composes too: per-shard pipelines across pages.
+	var got []core.Result
+	for r, err := range mw.Results(context.Background(), q, TopN(5), WithShards(4), WithPrefetch(0)) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, r)
+		if len(got) == 15 {
+			break
+		}
+	}
+	for i := range got {
+		if i < len(want.Results) && got[i] != want.Results[i] {
+			t.Errorf("stream result %d = %v, want %v", i, got[i], want.Results[i])
+		}
+	}
+}
+
 // TestQueryWithPrefetchIsCostNeutral: the pipelined executor changes
 // wall-clock only — answers and Section 5 tallies match the serial
 // request bit for bit — and the report carries pipeline stats.

@@ -86,6 +86,20 @@
 // What Fence never touches: delivered prefixes, tallies, memos, or
 // random access.
 //
+// Sharding and the prefetch pipelines compose: a Counted over a
+// ShardView may run StartPrefetch, so the pipeline worker drives the
+// view's lazy re-ranking scan — batched parent Entries spans, filtered
+// and renumbered into the view's prefix — ahead of the shard's
+// evaluation while that evaluation's random accesses read the parent
+// concurrently. The view's scan state is internally synchronized for
+// exactly this pairing (the parent itself still only sees reads), and
+// the spans land in the pipeline's spool uncounted, so the
+// pay-on-delivery invariant holds under sharding too: per-shard Section
+// 5 tallies are bit-identical to an unpipelined shard run, however deep
+// the pipelines speculated. Fencing a shard closes its pipelines the
+// usual way — no further source accesses once in-flight batches land,
+// and a batch that lands after the fence is discarded, never delivered.
+//
 // The package also provides realistic stand-ins for the subsystems the
 // paper names: a relational predicate engine (0/1 grades, the
 // Artist="Beatles" conjunct), a color-histogram similarity engine in the

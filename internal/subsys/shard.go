@@ -1,6 +1,10 @@
 package subsys
 
-import "fuzzydb/internal/gradedset"
+import (
+	"sync"
+
+	"fuzzydb/internal/gradedset"
+)
 
 // ShardRange is one contiguous slice [Lo, Hi) of the dense universe
 // {0,…,N−1}: the unit of partitioned evaluation. Shards are disjoint and
@@ -59,8 +63,13 @@ func PlanShards(n, p int) []ShardRange {
 // A view performs read-only operations on the parent (Entries, Grade),
 // so the P views of one parent may be driven from P shard workers
 // concurrently provided the parent is immutable under reads — true of
-// ListSource and every built-in subsystem. Each view itself belongs to
-// exactly one worker.
+// ListSource and every built-in subsystem. The lazy re-ranking scan is
+// internally synchronized, so a view tolerates concurrent reads itself:
+// a background prefetch pipeline (Counted.StartPrefetch) may extend the
+// view's sorted prefix from its worker goroutine while the shard's
+// evaluation goroutine performs random accesses — the composed
+// WithShards+WithPrefetch mode. Returned Entries spans stay valid
+// across concurrent growth: the prefix only ever appends.
 //
 // The view assumes the parent honors the dense-universe contract
 // (objects are exactly {0,…,N−1}); an out-of-range object would belong
@@ -70,8 +79,10 @@ type ShardView struct {
 	parent    Source
 	r         ShardRange
 	parentLen int
-	entries   []gradedset.Entry // local-id entries in shard rank order
-	scanned   int               // parent ranks examined so far
+
+	mu      sync.Mutex        // guards entries/scanned (lazy re-ranking)
+	entries []gradedset.Entry // local-id entries in shard rank order
+	scanned int               // parent ranks examined so far
 }
 
 // NewShardView builds the shard's re-ranked view of parent.
@@ -97,7 +108,8 @@ func (s *ShardView) Universe() (int, bool) { return s.r.Len(), true }
 
 // fill extends the re-ranked prefix to at least n local entries (or the
 // shard's end), scanning the parent's sorted entries forward in chunks
-// sized to the expected stride between in-range objects.
+// sized to the expected stride between in-range objects. Callers hold
+// s.mu.
 func (s *ShardView) fill(n int) {
 	if n > s.r.Len() {
 		n = s.r.Len()
@@ -127,13 +139,20 @@ func (s *ShardView) fill(n int) {
 
 // Entry implements Source: the shard's entry at the given local rank.
 func (s *ShardView) Entry(rank int) gradedset.Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.fill(rank + 1)
 	return s.entries[rank]
 }
 
 // Entries implements Source: the shard's entries at local ranks
-// [lo, hi). The returned slice must not be mutated.
+// [lo, hi). The returned slice must not be mutated. It remains valid
+// under concurrent calls: growth only appends (within capacity it
+// writes indices past every previously returned span; on reallocation
+// the old backing array is left untouched).
 func (s *ShardView) Entries(lo, hi int) []gradedset.Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.fill(hi)
 	return s.entries[lo:hi]
 }
@@ -147,4 +166,8 @@ func (s *ShardView) Grade(obj int) float64 {
 // Scanned reports how many parent ranks the lazy re-ranking has
 // examined: the scan cost of the view so far (comparisons, not metered
 // accesses). Exposed for tests and instrumentation.
-func (s *ShardView) Scanned() int { return s.scanned }
+func (s *ShardView) Scanned() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.scanned
+}
