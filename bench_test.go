@@ -110,6 +110,67 @@ func BenchmarkE2_A0_GeneralM_Parallel(b *testing.B) {
 	}
 }
 
+// benchFaultyOver runs alg with every list wrapped in the full
+// fault-tolerance stack — a seeded FaultSource at 0% rate under a
+// Resilient retry/breaker policy — so ns/op measures the pure overhead
+// the stack adds on the healthy path. With no faults firing, every
+// access succeeds first try and the Section 5 tallies are untouched:
+// the reported middleware-cost/op is computed THROUGH the stack and
+// must stay bit-identical to the base benchmark's baseline (cmd/benchjson
+// strips the _Faulty suffix and compares against exactly that).
+func benchFaultyOver(b *testing.B, alg core.Algorithm, dbs []*scoredb.Database, f agg.Func, k int) {
+	b.Helper()
+	run := func(db *scoredb.Database) float64 {
+		srcs := make([]subsys.Source, db.M())
+		for i := range srcs {
+			plan := subsys.FaultPlan{Seed: uint64(i) + 1, Rate: 0}
+			srcs[i] = subsys.Resilient(
+				subsys.NewFaultSource(subsys.FromList(db.List(i)), plan),
+				subsys.Policy{MaxRetries: 2},
+			)
+		}
+		_, c, err := core.Evaluate(context.Background(), alg, srcs, f, k)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return float64(c.Sum())
+	}
+	var mean float64
+	for _, db := range dbs {
+		mean += run(db)
+	}
+	mean /= float64(len(dbs))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run(dbs[i%len(dbs)])
+	}
+	b.StopTimer()
+	b.ReportMetric(mean, "middleware-cost/op")
+}
+
+// BenchmarkE1_A0_SqrtN_Faulty — the E1 workload through the resilience
+// stack at 0% fault rate: cost metrics bit-identical to the base E1
+// baseline, ns/op tracks what fault tolerance costs when nothing fails.
+func BenchmarkE1_A0_SqrtN_Faulty(b *testing.B) {
+	for _, n := range []int{4096, 16384, 65536, 262144} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			dbs := genDBs(n, 2, 4, scoredb.Uniform{}, 1)
+			benchFaultyOver(b, core.A0{}, dbs, agg.Min, 10)
+		})
+	}
+}
+
+// BenchmarkE2_A0_GeneralM_Faulty — the E2 workload through the same
+// healthy-path resilience stack.
+func BenchmarkE2_A0_GeneralM_Faulty(b *testing.B) {
+	for _, m := range []int{2, 3, 4, 5} {
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+			dbs := genDBs(32768, m, 4, scoredb.Uniform{}, 2)
+			benchFaultyOver(b, core.A0{}, dbs, agg.Min, 10)
+		})
+	}
+}
+
 // benchSourceLatency is the simulated per-call backend latency of the
 // _Latency benchmark variants: every physical source call — one batched
 // sorted span or one random probe — costs one millisecond, the IO-bound

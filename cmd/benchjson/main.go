@@ -26,12 +26,15 @@
 // sampling of snapshots taken before the metrics were made
 // deterministic. A variant-suffixed benchmark ("..._Parallel/m=5",
 // "..._Sharded/N=65536", "..._Latency/m=5", "..._LatencyConcurrent/…",
-// "..._ShardedLatency/m=5", "..._ShardedLatencyNoPrefetch/…") with no
+// "..._ShardedLatency/m=5", "..._ShardedLatencyNoPrefetch/…",
+// "..._Faulty/m=5") with no
 // counterpart in the old snapshot is compared against its base name
 // ("…/m=5"), which is how the serial executor, the concurrent executor,
-// the sharded evaluator, the latency-wrapped pipelined executor, and
-// the composed sharded-pipelined mode are all pinned to the same
-// historical cost trajectory: a transport may change wall-clock, never
+// the sharded evaluator, the latency-wrapped pipelined executor, the
+// composed sharded-pipelined mode, and the zero-rate fault-tolerance
+// stack are all pinned to the same
+// historical cost trajectory: a transport (or a resilience wrapper on
+// the healthy path) may change wall-clock, never
 // the Section 5 tallies. The
 // sharded benchmarks additionally track the partitioned tallies under
 // sharded-cost/op, a unit the old baselines do not carry and therefore
@@ -85,7 +88,7 @@ func main() {
 	// (anchored: a bare "BenchmarkE1_A0_SqrtN" would also match the
 	// _Latency variants, whose real sleeps need their own -benchtime 1x
 	// invocation).
-	bench := flag.String("bench", "^(BenchmarkE1_A0_SqrtN|BenchmarkE2_A0_GeneralM)(_Parallel|_Sharded)?$", "benchmarks to run (go test -bench regexp)")
+	bench := flag.String("bench", "^(BenchmarkE1_A0_SqrtN|BenchmarkE2_A0_GeneralM)(_Parallel|_Sharded|_Faulty)?$", "benchmarks to run (go test -bench regexp)")
 	benchtime := flag.String("benchtime", "1s", "go test -benchtime value")
 	out := flag.String("o", "", "output file (default stdout)")
 	compare := flag.String("compare", "", "baseline snapshot to gate cost metrics against")
@@ -192,7 +195,7 @@ func compareSnapshots(snap Snapshot, baselinePath string, tol float64) bool {
 			// pins itself to the base benchmark's historical cost
 			// trajectory. Longest suffixes first: _ShardedLatency must be
 			// stripped whole, not matched by _Sharded.
-			for _, suffix := range []string{"_ShardedLatencyNoPrefetch", "_ShardedLatency", "_Parallel", "_Sharded", "_LatencyConcurrent", "_Latency"} {
+			for _, suffix := range []string{"_ShardedLatencyNoPrefetch", "_ShardedLatency", "_Parallel", "_Sharded", "_LatencyConcurrent", "_Latency", "_Faulty"} {
 				refName = strings.Replace(m.Name, suffix, "", 1)
 				if ref, found = baseline[refName]; found {
 					break

@@ -113,6 +113,28 @@
 // sources, the composed mode is ~50x faster than sharded-but-serial
 // evaluation.
 //
+// # Fault tolerance: fallible sources, resilience, degradation
+//
+// Real remote subsystems fail, so source access is fallible end to end.
+// A source that can fail implements the optional subsys.FallibleSource
+// interface (TryEntry/TryEntries/TryGrade alongside the infallible
+// methods); every evaluation entry point then surfaces a terminal
+// failure as a typed *SourceError — which list, at which rank or object,
+// after how many attempts — with a valid partial-cost report, under
+// every executor and shard configuration alike. Between the backend and
+// the evaluation sit two wrappers: NewFaultSource injects seeded
+// deterministic faults for testing (error rate, transient or permanent,
+// fail-after-N, wedged calls, per-phase targeting), and ResilientSource
+// adds retries with exponential backoff and full jitter, per-access
+// timeouts, and a circuit breaker — a retried access is still one
+// metered access, so transient faults behind a resilient wrapper leave
+// results AND Section 5 tallies bit-identical to a fault-free run (the
+// cross-executor equivalence fuzz pins this). At the engine level,
+// WithDegradedLists(d) opts a request in to graceful degradation: a
+// permanently failed list is dropped, the pruned query re-evaluates over
+// the survivors (the answer equals a fresh query over them), and
+// Report.Degraded records what was lost.
+//
 // # Performance: the dense-universe fast path
 //
 // All built-in subsystems grade exactly the objects 0,…,N−1, and the
@@ -301,20 +323,121 @@ func NewStaticSubsystem(attr string, n int) *StaticSubsystem {
 // SourceFromList wraps a graded list as a Source.
 func SourceFromList(l *List) Source { return subsys.FromList(l) }
 
+// LatencyOption configures simulated-latency wrappers (NewLatencySource,
+// WithSubsystemLatency).
+type LatencyOption = subsys.LatencyOption
+
+// WithLatencyJitter makes a simulated-latency wrapper sleep a randomized
+// duration: each delay is scaled by a seeded uniform factor in
+// [1−frac, 1+frac], so concurrent executors see realistically uneven
+// backends while access tallies stay untouched (jitter, like latency,
+// moves wall-clock only).
+func WithLatencyJitter(frac float64, seed uint64) LatencyOption {
+	return subsys.WithLatencyJitter(frac, seed)
+}
+
 // NewLatencySource wraps a source with simulated remote-backend latency:
 // every physical call sleeps perCall plus perItem per delivered entry or
 // grade, so batched sorted access amortizes the per-call price over the
 // span. Access tallies are unchanged — latency moves wall-clock only.
-func NewLatencySource(src Source, perCall, perItem time.Duration) Source {
-	return subsys.NewLatencySource(src, perCall, perItem)
+// Wrapping a fallible source (e.g. a FaultSource) preserves its failure
+// behavior: the latency is paid, then the error surfaces.
+func NewLatencySource(src Source, perCall, perItem time.Duration, opts ...LatencyOption) Source {
+	return subsys.NewLatencySource(src, perCall, perItem, opts...)
 }
 
 // WithSubsystemLatency wraps a subsystem so every source it produces
 // simulates remote-backend latency (see NewLatencySource): the stand-in
 // for benchmarking and demonstrating the latency-hiding executors
 // against slow backends.
-func WithSubsystemLatency(sub Subsystem, perCall, perItem time.Duration) Subsystem {
-	return subsys.WithLatency(sub, perCall, perItem)
+func WithSubsystemLatency(sub Subsystem, perCall, perItem time.Duration, opts ...LatencyOption) Subsystem {
+	return subsys.WithLatency(sub, perCall, perItem, opts...)
+}
+
+// Fault tolerance: fallible sources, fault injection, and resilience.
+type (
+	// SourceError is the typed error every evaluation entry point returns
+	// when a subsystem list fails terminally: which list, at which rank or
+	// object, after how many attempts, wrapping the underlying cause
+	// (errors.As / errors.Unwrap).
+	SourceError = subsys.SourceError
+	// FaultPlan is a seeded deterministic fault-injection plan for
+	// NewFaultSource / WithSubsystemFaults: error rate, transient-vs-
+	// permanent behavior, fail-after-N, wedge duration, and per-phase
+	// targeting.
+	FaultPlan = subsys.FaultPlan
+	// FaultPhase selects which access phases a fault plan targets.
+	FaultPhase = subsys.FaultPhase
+	// FaultError is the error an injected fault surfaces as; Transient()
+	// reports whether retrying can clear it.
+	FaultError = subsys.FaultError
+	// ResiliencePolicy configures the Resilient wrapper: retries with
+	// exponential backoff and full jitter, per-access timeouts, and a
+	// circuit breaker.
+	ResiliencePolicy = subsys.Policy
+	// BreakerPolicy configures the circuit breaker inside a
+	// ResiliencePolicy.
+	BreakerPolicy = subsys.Breaker
+	// ResilienceStats counts what a resilient wrapper did: retries,
+	// timeouts, breaker trips, and fast-fails.
+	ResilienceStats = subsys.ResilienceStats
+	// BreakerOpenError reports an access refused by an open circuit
+	// breaker (not retryable until the cooldown elapses).
+	BreakerOpenError = subsys.BreakerOpenError
+	// RetryError reports an access that kept failing after the policy's
+	// retries; it wraps the final underlying error.
+	RetryError = subsys.RetryError
+	// TimeoutError reports an access abandoned by PerAccessTimeout.
+	TimeoutError = subsys.TimeoutError
+	// DegradedList records one subsystem list a degraded evaluation
+	// dropped (see WithDegradedLists and Report.Degraded).
+	DegradedList = middleware.DegradedList
+)
+
+// Fault phases for FaultPlan.Phase (zero value targets both).
+const (
+	// FaultSortedAccess targets sorted (ranked) access only.
+	FaultSortedAccess = subsys.FaultSortedAccess
+	// FaultRandomAccess targets random (by-object) access only.
+	FaultRandomAccess = subsys.FaultRandomAccess
+	// FaultBoth targets both access phases.
+	FaultBoth = subsys.FaultBoth
+)
+
+// NewFaultSource wraps a source with seeded deterministic fault
+// injection: accesses hitting the plan's fault sites fail with a
+// *FaultError instead of delivering. Fault sites are a pure function of
+// the seed and the access coordinates (rank or object), so the same plan
+// fails at the same places under every executor, shard count, and batch
+// shape — the property the cross-executor equivalence tests rely on.
+func NewFaultSource(src Source, plan FaultPlan) Source {
+	return subsys.NewFaultSource(src, plan)
+}
+
+// WithSubsystemFaults wraps a subsystem so every source it produces
+// injects faults per the plan (each query's source gets a seed derived
+// from the plan seed and the query target, so distinct atoms fail
+// independently but reproducibly).
+func WithSubsystemFaults(sub Subsystem, plan FaultPlan) Subsystem {
+	return subsys.WithFaults(sub, plan)
+}
+
+// ResilientSource wraps a fallible source with the policy's retry,
+// timeout, and circuit-breaker machinery: transient faults are retried
+// invisibly with exponential backoff and full jitter (a retried access
+// is still ONE metered access — resilience changes wall-clock, never the
+// Section 5 tallies), a wedged call is abandoned after PerAccessTimeout,
+// and a tripped breaker fails fast with *BreakerOpenError until its
+// cooldown half-opens it.
+func ResilientSource(src Source, pol ResiliencePolicy) Source {
+	return subsys.Resilient(src, pol)
+}
+
+// WithSubsystemResilience wraps a subsystem so every source it produces
+// is resilient per the policy (each source gets its own breaker and
+// backoff state; see ResilientSource).
+func WithSubsystemResilience(sub Subsystem, pol ResiliencePolicy) Subsystem {
+	return subsys.WithResilience(sub, pol)
 }
 
 // Algorithms (Section 4) and evaluation.
@@ -557,6 +680,16 @@ func WithAccessBudget(limit float64) QueryOption { return middleware.WithAccessB
 // WithCostModel prices sorted and random accesses for the request's
 // budget accounting.
 func WithCostModel(model CostModel) QueryOption { return middleware.WithCostModel(model) }
+
+// WithDegradedLists opts one request in to graceful degradation: when a
+// subsystem list fails permanently mid-query, the engine drops the
+// failed atom and re-evaluates the pruned query over the surviving
+// lists — the answer equals a fresh query over the survivors — up to
+// maxDrop times, recording what was lost in Report.Degraded. Without
+// this option (and always for Results, Paginate, and Filter) a source
+// failure fails fast with a typed *SourceError and a valid partial-cost
+// report.
+func WithDegradedLists(maxDrop int) QueryOption { return middleware.WithDegradedLists(maxDrop) }
 
 // Synthetic workloads (Section 5's probabilistic model).
 type (

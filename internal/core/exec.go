@@ -110,6 +110,7 @@ type ExecContext struct {
 	lists     []*subsys.Counted
 	safe      cost.Cost // tallies at the last quiescent checkpoint
 	abandoned bool
+	fallible  bool // any list exposes the fallible face; gates Err checks
 
 	// stop is the optional threshold stop-check a sharded evaluation
 	// installs: polled once per Stage (i.e. once per sorted round) with
@@ -180,6 +181,12 @@ func NewExecContext(ctx context.Context, lists []*subsys.Counted, opts ...EvalOp
 		opt(ec)
 	}
 	ec.par = ec.exec.Parallel()
+	for _, l := range lists {
+		if l.Fallible() {
+			ec.fallible = true
+			break
+		}
+	}
 	return ec
 }
 
@@ -207,10 +214,37 @@ func (ec *ExecContext) Abandoned() bool { return ec.abandoned }
 // moment no worker was in flight.
 func (ec *ExecContext) SafeCost() cost.Cost { return ec.safe }
 
+// SourceFailure returns the first list failure of the evaluation as a
+// typed *subsys.SourceError, or nil. "First" is by list order — the
+// deterministic choice when several lists failed — which is also the
+// order a serial evaluation surfaces failures in for a single fault
+// site. Once a list fails its streams read as exhausted, so an
+// algorithm's own loops terminate promptly; the executors check this
+// after every stage (and Evaluate as a final net) so the run returns
+// the typed error instead of results computed over a truncated list.
+func (ec *ExecContext) SourceFailure() error {
+	if !ec.fallible {
+		return nil
+	}
+	for _, l := range ec.lists {
+		if err := l.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // err is the per-round cancellation check: a non-blocking poll of the
 // context's done channel (a few nanoseconds when the context cannot be
-// canceled).
+// canceled), plus — on evaluations over fallible sources — a sweep of
+// the lists' sticky failures, so every loop that polls for cancellation
+// also notices a failed source.
 func (ec *ExecContext) err() error {
+	if ec.fallible {
+		if serr := ec.SourceFailure(); serr != nil {
+			return serr
+		}
+	}
 	if ec.done == nil {
 		return nil
 	}
@@ -263,8 +297,20 @@ func (ec *ExecContext) Stage(cursors []*subsys.Cursor, ahead int) error {
 		if errors.As(err, &ab) {
 			ec.abandoned = true
 		}
+		return err
 	}
-	return err
+	if ec.fallible {
+		// Staging itself is readahead and never records a failure (see
+		// subsys.Counted.bufferAhead), but a failure recorded by earlier
+		// consumption can land between the err() check above and here.
+		// Surface it now, and stop all remaining readahead first: a
+		// failing evaluation must not keep touching the sources.
+		if serr := ec.SourceFailure(); serr != nil {
+			ec.stopPrefetch()
+			return serr
+		}
+	}
+	return nil
 }
 
 // ReserveRound gates one round-robin step — at most one sorted access
@@ -321,21 +367,32 @@ func (ec *ExecContext) Gather(lists []*subsys.Counted, objs []int, cols [][]floa
 	if err := ec.err(); err != nil {
 		return err
 	}
-	if ec.budget > 0 {
-		return ec.gatherBudgeted(lists, objs, cols)
-	}
-	if ec.par {
+	var err error
+	switch {
+	case ec.budget > 0:
+		err = ec.gatherBudgeted(lists, objs, cols)
+	case ec.par:
 		ec.snapshot()
-		err := ec.exec.Gather(ec.ctx, lists, objs, cols)
+		err = ec.exec.Gather(ec.ctx, lists, objs, cols)
 		if err != nil {
 			var ab *AbandonedError
 			if errors.As(err, &ab) {
 				ec.abandoned = true
 			}
 		}
-		return err
+	default:
+		err = Serial{}.Gather(ec.ctx, lists, objs, cols)
 	}
-	return Serial{}.Gather(ec.ctx, lists, objs, cols)
+	if err == nil && ec.fallible {
+		// A probe may have hit a terminal source failure (recorded as the
+		// list's sticky error; Grade then returned 0). Surface it before
+		// the zeros can flow into an aggregation.
+		if serr := ec.SourceFailure(); serr != nil {
+			ec.stopPrefetch()
+			return serr
+		}
+	}
+	return err
 }
 
 // appendScores runs the random-access-plus-computation phase shared by

@@ -33,7 +33,13 @@ import (
 //     shard workers must satisfy the same contract;
 //   - under a budget, every executor (and the sharded reservation pool
 //     at Parallel=1) stops at the same typed *BudgetError with the same
-//     spend, never overshooting.
+//     spend, never overshooting;
+//   - transient faults behind a deep-enough Resilient wrapper are
+//     invisible — results and tallies bit-identical to fault-free
+//     everywhere — and a single permanent fault site yields the same
+//     outcome under every executor: clean when serial never demands the
+//     site (readahead past it must swallow), the identical typed
+//     *subsys.SourceError when it does.
 //
 // Run with `go test -fuzz FuzzExecutorEquivalence ./internal/core`; the
 // committed corpus under testdata/fuzz covers the interesting regimes
@@ -209,6 +215,128 @@ func fuzzExecutorEquivalence(t *testing.T, seed uint64) {
 		}
 		if rPiped.Cost.Sum() > int(budget) {
 			t.Errorf("%s: sharded pool overshoot: %v > %v", label, rPiped.Cost.Sum(), budget)
+		}
+	}
+
+	// Fault dimension 1 — transient faults behind a Resilient wrapper
+	// deep enough to absorb them are invisible: results and tallies
+	// bit-identical to the fault-free reference under every executor and
+	// under sharding. A retried access is still one metered access.
+	// Fresh wrappers per evaluation: FaultSource clears transient sites
+	// statefully.
+	if rng.Intn(2) == 0 {
+		transient := 1 + rng.Intn(2)
+		pol := subsys.Policy{MaxRetries: transient + rng.Intn(2)}
+		rate := 0.05 + 0.3*rng.Float64()
+		fseed := seed ^ 0xfa610f
+		faulty := func() []subsys.Source {
+			raw := srcs()
+			out := make([]subsys.Source, len(raw))
+			for i, s := range raw {
+				out[i] = subsys.Resilient(subsys.NewFaultSource(s, subsys.FaultPlan{
+					Seed:      fseed + uint64(i)*0x9e3779b97f4a7c15,
+					Rate:      rate,
+					Transient: transient,
+				}), pol)
+			}
+			return out
+		}
+		for _, x := range append([]Executor{Serial{}}, execs...) {
+			got, gotCost, err := Evaluate(context.Background(), tc.alg, faulty(), tc.f, k, WithExecutor(x))
+			if err != nil {
+				t.Fatalf("%s: transient faults leaked through %s: %v", label, x.Name(), err)
+			}
+			requireIdentical(t, label+"/faulty/"+x.Name(), got, want, gotCost, wantCost)
+		}
+		fPiped, err := EvaluateSharded(context.Background(), tc.alg, faulty(), tc.f, k, pipedCfg)
+		if err != nil {
+			t.Fatalf("%s: transient faults leaked through sharded: %v", label, err)
+		}
+		if fPiped.Cost != sSerial.Cost {
+			t.Errorf("%s: sharded faulty cost %v, fault-free %v", label, fPiped.Cost, sSerial.Cost)
+		}
+		for i := range sSerial.Results {
+			if fPiped.Results[i] != sSerial.Results[i] {
+				t.Errorf("%s: sharded faulty result %d: %v, fault-free %v", label, i, fPiped.Results[i], sSerial.Results[i])
+			}
+		}
+	}
+
+	// Fault dimension 2 — one permanent single-site failure (a random
+	// rank or object on a random list): every unsharded executor must
+	// reach the same outcome as serial. Clean if serial never demanded
+	// the site — readahead past it must stay invisible — and otherwise
+	// the identical typed *subsys.SourceError, with the same partial
+	// tallies when the failure struck the sorted stream (mid-gather
+	// random failures legitimately cut probe-batch payment differently).
+	// Sharded runs demand different parent ranks, so only the two shard
+	// configurations are compared with each other.
+	if rng.Intn(2) == 0 {
+		victim := rng.Intn(m)
+		failRank, failObj := -1, -1
+		if rng.Intn(2) == 0 {
+			failRank = rng.Intn(n)
+		} else {
+			failObj = rng.Intn(n)
+		}
+		fsrcs := func() []subsys.Source {
+			raw := srcs()
+			raw[victim] = &permFail{Source: raw[victim], failRank: failRank, failObj: failObj}
+			return raw
+		}
+		flabel := fmt.Sprintf("%s/perm[list=%d,rank=%d,obj=%d]", label, victim, failRank, failObj)
+		wRes, wCost, wErr := Evaluate(context.Background(), tc.alg, fsrcs(), tc.f, k)
+		var wSE *subsys.SourceError
+		if wErr != nil && !errors.As(wErr, &wSE) {
+			t.Fatalf("%s: serial err = %v, want *subsys.SourceError", flabel, wErr)
+		}
+		for _, x := range execs {
+			gRes, gCost, gErr := Evaluate(context.Background(), tc.alg, fsrcs(), tc.f, k, WithExecutor(x))
+			if (gErr == nil) != (wErr == nil) {
+				t.Fatalf("%s: %s err = %v, serial %v", flabel, x.Name(), gErr, wErr)
+			}
+			if wErr == nil {
+				requireIdentical(t, flabel+"/"+x.Name(), gRes, wRes, gCost, wCost)
+				continue
+			}
+			var gSE *subsys.SourceError
+			if !errors.As(gErr, &gSE) {
+				t.Fatalf("%s: %s err = %v, want *subsys.SourceError", flabel, x.Name(), gErr)
+			}
+			if gSE.List != wSE.List || gSE.Rank != wSE.Rank || gSE.Random != wSE.Random || gSE.Attempts != wSE.Attempts {
+				t.Errorf("%s: %s SourceError %+v, serial %+v", flabel, x.Name(), gSE, wSE)
+			}
+			if gRes != nil {
+				t.Errorf("%s: %s results alongside the error", flabel, x.Name())
+			}
+			if !wSE.Random && gCost != wCost {
+				t.Errorf("%s: %s partial cost %v, serial %v", flabel, x.Name(), gCost, wCost)
+			}
+		}
+		pSerial, errS := EvaluateSharded(context.Background(), tc.alg, fsrcs(), tc.f, k, serialCfg)
+		pPiped, errP := EvaluateSharded(context.Background(), tc.alg, fsrcs(), tc.f, k, pipedCfg)
+		if (errS == nil) != (errP == nil) {
+			t.Fatalf("%s: sharded outcomes diverged: serial-inside %v, piped-inside %v", flabel, errS, errP)
+		}
+		if errS == nil {
+			// The fault site was never demanded by any shard: both runs
+			// must match the fault-free sharded reference bit for bit.
+			if pPiped.Cost != sSerial.Cost || pSerial.Cost != sSerial.Cost {
+				t.Errorf("%s: sharded clean-path cost %v/%v, fault-free %v", flabel, pSerial.Cost, pPiped.Cost, sSerial.Cost)
+			}
+			for i := range sSerial.Results {
+				if pPiped.Results[i] != sSerial.Results[i] || pSerial.Results[i] != sSerial.Results[i] {
+					t.Errorf("%s: sharded clean-path result %d diverged", flabel, i)
+				}
+			}
+		} else {
+			var sSE, pSE *subsys.SourceError
+			if !errors.As(errS, &sSE) || !errors.As(errP, &pSE) {
+				t.Fatalf("%s: sharded errs %v / %v, want *subsys.SourceError", flabel, errS, errP)
+			}
+			if sSE.List != victim || *sSE != *pSE {
+				t.Errorf("%s: sharded SourceError serial-inside %+v, piped-inside %+v (victim %d)", flabel, sSE, pSE, victim)
+			}
 		}
 	}
 }

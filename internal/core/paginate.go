@@ -246,7 +246,15 @@ func (p *Paginator) NextPage(pageSize int) ([]Result, error) {
 // topR widens the underlying evaluation to the top r answers.
 func (p *Paginator) topR(r int) ([]Result, error) {
 	if p.shards == nil {
-		return p.alg.TopK(p.ec, p.lists, p.t, r)
+		res, err := p.alg.TopK(p.ec, p.lists, p.t, r)
+		if err == nil {
+			// Final net for fallible sources, as in Evaluate: no page may
+			// be built over a truncated list.
+			if serr := p.ec.SourceFailure(); serr != nil {
+				return nil, serr
+			}
+		}
+		return res, err
 	}
 
 	outs := make([][]Result, len(p.shards))
@@ -258,6 +266,12 @@ func (p *Paginator) topR(r int) ([]Result, error) {
 			ks = s.r.Len()
 		}
 		res, err := p.alg.TopK(s.ec, s.lists, p.t, ks)
+		if err == nil {
+			// Final net for fallible sources, as in evalShard.
+			if serr := s.ec.SourceFailure(); serr != nil {
+				res, err = nil, serr
+			}
+		}
 		if p.pool != nil {
 			p.pool.finish(s.ec)
 		}

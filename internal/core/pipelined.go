@@ -122,9 +122,14 @@ func (p Pipelined) Stage(ctx context.Context, cursors []*subsys.Cursor, ahead in
 			}
 			return &AbandonedError{Cause: context.Cause(ctx)}
 		}
-		// The pipeline closed for a benign reason (fence, budget stop):
-		// consumption will see the fence or pay a direct read; either
-		// way it is the algorithm's round loop that decides what next.
+		// The pipeline closed without delivering: either a benign reason
+		// (fence, budget stop) — consumption will see the fence or pay a
+		// direct read — or a terminal source failure, which stays
+		// invisible until the algorithm actually demands the missing
+		// rank (staging is readahead; see subsys.Counted.bufferAhead)
+		// and is then recorded as the list's sticky error. Either way
+		// the remaining cursors still get their awaits (their pipelines
+		// are already in flight) and the round loop decides what next.
 	}
 	return nil
 }
@@ -157,12 +162,32 @@ func (p Pipelined) Gather(ctx context.Context, lists []*subsys.Counted, objs []i
 		}
 		return nil
 	}
+	fallible := false
+	for _, l := range lists {
+		if l.Fallible() {
+			fallible = true
+			break
+		}
+	}
 	fetched := make([]float64, len(misses))
+	var ferrs []error
+	if fallible {
+		ferrs = make([]error, len(misses))
+	}
 	err := fanOut(ctx, p.width(), len(misses), func(ctx context.Context, t int) bool {
 		if ctx.Done() != nil && t%ctxCheckEvery == 0 && ctx.Err() != nil {
 			return false
 		}
 		pr := misses[t]
+		if ferrs != nil {
+			// Raw fallible read: a source failure is recorded per probe,
+			// NOT by bailing the fan-out — bailing would fabricate an
+			// abandonment (poisoned lists, GC'd state) out of an orderly,
+			// typed failure. Delivery below turns the first failed probe
+			// in serial order into the list's sticky error.
+			fetched[t], ferrs[t] = lists[pr.j].TrySourceGrade(objs[pr.i])
+			return true
+		}
 		// Raw, unmetered read: payment happens at delivery below.
 		fetched[t] = lists[pr.j].SourceGrade(objs[pr.i])
 		return true
@@ -177,6 +202,17 @@ func (p Pipelined) Gather(ctx context.Context, lists []*subsys.Counted, objs []i
 	// (objs are distinct within a phase, so the miss set was fixed at
 	// phase start — exactly the accesses Serial would have paid).
 	for t, pr := range misses {
+		if ferrs != nil && ferrs[t] != nil {
+			// First failed probe in serial order: record it as the list's
+			// sticky error and stop delivering — the ExecContext's
+			// post-gather check surfaces the typed error, and no grade
+			// past the failure point is paid for.
+			lists[pr.j].FailGrade(objs[pr.i], ferrs[t])
+			for _, l := range lists {
+				l.AbortPrefetch()
+			}
+			return nil
+		}
 		cols[pr.j][pr.i] = lists[pr.j].DeliverGrade(objs[pr.i], fetched[t])
 	}
 	return nil

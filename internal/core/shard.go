@@ -354,6 +354,17 @@ func evalShard(ctx context.Context, alg Algorithm, srcs []subsys.Source, t agg.F
 		ks = r.Len()
 	}
 	res, err := alg.TopK(ec, counted, t, ks)
+	if err == nil {
+		// Final net for fallible sources (see Evaluate): a failed list
+		// reads as exhausted, so the algorithm may return cleanly over
+		// truncated data — surface the typed error instead, before the
+		// shard can publish or merge those results. The budget pool is
+		// still settled below, and the lists released: the failure was
+		// orderly (no accesses in flight), unlike an abandonment.
+		if serr := ec.SourceFailure(); serr != nil {
+			res, err = nil, serr
+		}
+	}
 	if pool != nil {
 		pool.finish(ec)
 	}
@@ -406,6 +417,12 @@ func evaluateUnsharded(ctx context.Context, alg Algorithm, srcs []subsys.Source,
 	counted := subsys.CountAll(srcs)
 	ec := NewExecContext(ctx, counted, opts...)
 	res, err := alg.TopK(ec, counted, t, k)
+	if err == nil {
+		// Final net for fallible sources, as in Evaluate.
+		if serr := ec.SourceFailure(); serr != nil {
+			res, err = nil, serr
+		}
+	}
 	rep := &ShardReport{Shards: 1}
 	if ec.Abandoned() {
 		rep.Cost = ec.SafeCost()

@@ -36,6 +36,26 @@
 // Query; the specialist entry points (Filter, TopKMedian, TopKInternal,
 // Paginate) changed signature to take the request context directly.
 //
+// # Failure: typed errors and graceful degradation
+//
+// A subsystem whose sources implement subsys.FallibleSource can fail
+// mid-query. By default every entry point fails fast: the terminal
+// failure surfaces as a typed *subsys.SourceError (which list, at which
+// rank or object, after how many attempts; errors.As-selectable)
+// together with a valid partial-cost report of everything spent up to
+// the failure. WithDegradedLists(maxDrop) opts a request in to graceful
+// degradation instead: a permanently failed list is dropped, the query
+// is re-planned and re-evaluated over the surviving subsystems — the
+// semantics are pinned: the degraded answer equals a fresh query over
+// the survivors — up to maxDrop times, with Report.Degraded recording
+// each dropped list (atom, attempts, cause, spend sunk into the failed
+// evaluation, included in the report's total cost). Only Query and
+// TopKMedian degrade; the streaming and paginating entry points always
+// fail fast, since their already-yielded answers cannot be revised.
+// Resilience (retries, timeouts, breakers) lives below this layer: wrap
+// subsystems with subsys.WithResilience so transient faults never reach
+// the middleware at all.
+//
 // # Planning
 //
 // Planning follows the paper's results directly:
@@ -300,6 +320,13 @@ type Report struct {
 	// Shards is the number of universe shards the evaluation ran over
 	// (0 for the unsharded path, 1 when WithShards degenerated to it).
 	Shards int
+	// Degraded lists the subsystem lists a degraded evaluation dropped
+	// (WithDegradedLists), in drop order: which atom, how many attempts,
+	// the terminal error, and the cost sunk into the failed attempt. Nil
+	// when the evaluation never degraded. The Results and Cost fields
+	// then describe the pruned query over the survivors, with the failed
+	// attempts' spend folded into Cost.
+	Degraded []DegradedList
 	// Prefetch reports what the pipelined executor's background
 	// prefetchers did (deepest adaptive batch, stalls, physical batched
 	// calls), summed over the subsystem lists — and, under WithShards,
@@ -326,6 +353,7 @@ type queryConfig struct {
 	model       cost.Model
 	prefetch    int  // pipelined readahead depth; meaningful when prefetchOn
 	prefetchOn  bool // WithPrefetch given: use the pipelined executor
+	maxDrop     int  // WithDegradedLists: lists the request may lose
 }
 
 // QueryOption configures one evaluation (see Query and Results).
@@ -492,17 +520,40 @@ func (m *Middleware) clampK(k int) int {
 // budget exhaustion Query returns the error together with a partial-cost
 // report, so callers can account for what an interrupted evaluation
 // spent.
+// With WithDegradedLists(d), a permanent subsystem failure mid-query
+// (typed *subsys.SourceError) does not end the request: up to d failed
+// lists are dropped, the pruned query is re-planned and re-evaluated
+// over the survivors, and the report records what was lost
+// (Report.Degraded) along with the full spend including the failed
+// attempts. Without the option a source failure fails fast: the typed
+// error plus a valid partial-cost report.
 func (m *Middleware) Query(ctx context.Context, q query.Node, opts ...QueryOption) (*Report, error) {
 	cfg := newQueryConfig(opts)
-	plan, err := m.PlanQuery(q)
-	if err != nil {
-		return nil, err
+	var degraded []DegradedList
+	var sunk cost.Cost
+	for {
+		plan, err := m.PlanQuery(q)
+		if err != nil {
+			return attachDegraded(nil, degraded, sunk), err
+		}
+		if cfg.alg != nil {
+			plan.Algorithm = cfg.alg
+			plan.Reason = fmt.Sprintf("algorithm pinned to %s by WithAlgorithm", cfg.alg.Name())
+		}
+		rep, err := m.execute(ctx, plan, cfg)
+		if err != nil {
+			atom, dl, ok := degradeTarget(plan, rep, err, cfg.maxDrop-len(degraded))
+			if ok {
+				if pruned := pruneAtom(q, atom); pruned != nil {
+					degraded = append(degraded, dl)
+					sunk = sunk.Add(dl.Cost)
+					q = pruned
+					continue
+				}
+			}
+		}
+		return attachDegraded(rep, degraded, sunk), err
 	}
-	if cfg.alg != nil {
-		plan.Algorithm = cfg.alg
-		plan.Reason = fmt.Sprintf("algorithm pinned to %s by WithAlgorithm", cfg.alg.Name())
-	}
-	return m.execute(ctx, plan, cfg)
 }
 
 // QueryString parses q from concrete syntax and evaluates it via Query.
@@ -652,13 +703,31 @@ func (m *Middleware) TopKMedian(ctx context.Context, atoms []query.Atomic, k int
 	}
 	cfg := newQueryConfig(opts)
 	cfg.k = k
-	plan := &Plan{
-		Algorithm: core.OrderStat{},
-		Atoms:     atoms,
-		Agg:       agg.Median,
-		Reason:    "median via max-of-subset-mins (Rem 6.1): O(√(Nk)), beats the strict bound",
+	var degraded []DegradedList
+	var sunk cost.Cost
+	for {
+		plan := &Plan{
+			Algorithm: core.OrderStat{},
+			Atoms:     atoms,
+			Agg:       agg.Median,
+			Reason:    "median via max-of-subset-mins (Rem 6.1): O(√(Nk)), beats the strict bound",
+		}
+		rep, err := m.execute(ctx, plan, cfg)
+		if err != nil {
+			// Degradation drops the failed atom from the flat list: the
+			// result is the median of the survivors, as a fresh
+			// TopKMedian call over them would compute.
+			if _, dl, ok := degradeTarget(plan, rep, err, cfg.maxDrop-len(degraded)); ok {
+				var se *subsys.SourceError
+				errors.As(err, &se)
+				degraded = append(degraded, dl)
+				sunk = sunk.Add(dl.Cost)
+				atoms = append(append([]query.Atomic{}, atoms[:se.List]...), atoms[se.List+1:]...)
+				continue
+			}
+		}
+		return attachDegraded(rep, degraded, sunk), err
 	}
-	return m.execute(ctx, plan, cfg)
 }
 
 // Filter evaluates the threshold query "overall grade ≥ theta" for a
@@ -748,6 +817,13 @@ func (m *Middleware) executeSharded(ctx context.Context, plan *Plan, cfg queryCo
 // still touching the lists — gets the last quiescent cost instead, and
 // its state is left for the GC.
 func finishReport(ec *core.ExecContext, counted []*subsys.Counted, plan *Plan, res []core.Result, err error) (*Report, error) {
+	if err == nil {
+		// Final net for fallible sources, as in core.Evaluate: no report
+		// may carry results computed over a truncated list.
+		if serr := ec.SourceFailure(); serr != nil {
+			res, err = nil, serr
+		}
+	}
 	if ec.Abandoned() {
 		return &Report{Cost: ec.SafeCost(), Plan: plan}, err
 	}

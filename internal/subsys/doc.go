@@ -100,6 +100,44 @@
 // usual way — no further source accesses once in-flight batches land,
 // and a batch that lands after the fence is discarded, never delivered.
 //
+// # Error semantics: fallible sources
+//
+// A subsystem whose accesses can fail implements FallibleSource — the
+// Try* variants of the two access modes — and Counted detects the
+// capability at wrap time. Failures then obey three rules.
+//
+// First, failures are sticky and typed. The first failed access pins a
+// *SourceError carrying the list index, the failing rank or object id,
+// the access mode, and the attempt count; every later access to the
+// list reports the same error, and the executors propagate it unchanged
+// to the engine, so callers select on it with errors.As. Partial spans
+// are absorbed before the error is pinned: however a caller batched its
+// sorted requests, the failure lands on the first undelivered rank.
+//
+// Second, failure surfacing is demand-gated, mirroring pay-on-delivery.
+// Readahead — Prefetch, the background pipelines, a concurrent
+// executor's staging — swallows source failures: the partial span is
+// kept, nothing is recorded, and the fault site re-fires if and when
+// the algorithm actually demands the missing rank. Only consumption
+// records a failure, so which faults surface is a property of what the
+// algorithm consumed, invariant across Serial, Concurrent, Pipelined,
+// and sharded execution — the executor-equivalence fuzz pins a
+// permanent fault to the identical *SourceError under every executor,
+// and a fault past the last demanded rank to no error at all.
+//
+// Third, recovery wraps below, not inside: Resilient adds per-site
+// retries with jittered exponential backoff, per-access timeouts
+// (abandoning wedged calls), and a circuit breaker (failing fast with
+// *BreakerOpenError while open) around any Source, fallible or not.
+// However many physical attempts a retried access took, it was ONE
+// logical access and meters once — resilience, like readahead, is a
+// transport detail invisible to the Section 5 tallies; a transient
+// fault plan fully absorbed by retries yields bit-identical results
+// and costs to a fault-free run. FaultSource provides the seeded,
+// deterministic fault injection (site-keyed, so the faulty ranks are
+// identical however accesses are batched or sharded) the tests and the
+// fuzz harness drive all of this with.
+//
 // The package also provides realistic stand-ins for the subsystems the
 // paper names: a relational predicate engine (0/1 grades, the
 // Artist="Beatles" conjunct), a color-histogram similarity engine in the

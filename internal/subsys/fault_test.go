@@ -1,0 +1,229 @@
+package subsys
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"fuzzydb/internal/gradedset"
+)
+
+// descendingList builds an n-entry list with distinct descending grades.
+func descendingList(t *testing.T, n int) *gradedset.List {
+	t.Helper()
+	entries := make([]gradedset.Entry, n)
+	for i := range entries {
+		entries[i] = gradedset.Entry{Object: i, Grade: 1 - float64(i)/float64(n+1)}
+	}
+	return listOf(t, entries)
+}
+
+// faultRanks maps the plan's sorted-access fault sites over [0, n) by
+// probing each rank on a fresh source.
+func faultRanks(t *testing.T, base Source, plan FaultPlan, n int) map[int]bool {
+	t.Helper()
+	sites := make(map[int]bool)
+	for r := 0; r < n; r++ {
+		f := NewFaultSource(base, plan)
+		if _, err := f.TryEntries(r, r+1); err != nil {
+			sites[r] = true
+		}
+	}
+	return sites
+}
+
+func TestFaultSourceSitesAreBatchIndependent(t *testing.T) {
+	const n = 200
+	base := FromList(descendingList(t, n))
+	plan := FaultPlan{Seed: 42, Rate: 0.1}
+	sites := faultRanks(t, base, plan, n)
+	if len(sites) == 0 || len(sites) == n {
+		t.Fatalf("degenerate site set: %d of %d", len(sites), n)
+	}
+
+	// Whatever the span shape, TryEntries fails at exactly the first site
+	// in the span and returns the partial prefix before it.
+	for _, width := range []int{1, 3, 7, n} {
+		f := NewFaultSource(base, plan)
+		for lo := 0; lo < n; lo += width {
+			hi := lo + width
+			if hi > n {
+				hi = n
+			}
+			first := -1
+			for r := lo; r < hi; r++ {
+				if sites[r] {
+					first = r
+					break
+				}
+			}
+			span, err := f.TryEntries(lo, hi)
+			if first < 0 {
+				if err != nil {
+					t.Fatalf("width %d [%d,%d): unexpected error %v", width, lo, hi, err)
+				}
+				if len(span) != hi-lo {
+					t.Fatalf("width %d [%d,%d): %d entries", width, lo, hi, len(span))
+				}
+				continue
+			}
+			if err == nil {
+				t.Fatalf("width %d [%d,%d): expected fault at %d", width, lo, hi, first)
+			}
+			var fe *FaultError
+			if !errors.As(err, &fe) || fe.Key != first || fe.Random {
+				t.Fatalf("width %d [%d,%d): error %v, want sorted fault at %d", width, lo, hi, err, first)
+			}
+			if len(span) != first-lo {
+				t.Fatalf("width %d [%d,%d): partial span %d entries, want %d", width, lo, hi, len(span), first-lo)
+			}
+		}
+	}
+}
+
+func TestFaultSourceTransientClears(t *testing.T) {
+	const n = 50
+	base := FromList(descendingList(t, n))
+	plan := FaultPlan{Seed: 7, Rate: 0.2, Transient: 2}
+	sites := faultRanks(t, base, FaultPlan{Seed: 7, Rate: 0.2}, n)
+	var site int
+	for r := range sites {
+		site = r
+		break
+	}
+
+	f := NewFaultSource(base, plan)
+	for attempt := 1; attempt <= 2; attempt++ {
+		_, err := f.TryEntries(site, site+1)
+		var fe *FaultError
+		if !errors.As(err, &fe) || !fe.Temporary {
+			t.Fatalf("attempt %d: err = %v, want transient fault", attempt, err)
+		}
+	}
+	span, err := f.TryEntries(site, site+1)
+	if err != nil || len(span) != 1 {
+		t.Fatalf("after clearing: span %d, err %v", len(span), err)
+	}
+	if f.Injected() != 2 {
+		t.Errorf("Injected = %d, want 2", f.Injected())
+	}
+}
+
+func TestFaultSourcePlainFaceNeverFails(t *testing.T) {
+	const n = 40
+	base := FromList(descendingList(t, n))
+	f := NewFaultSource(base, FaultPlan{Seed: 1, Rate: 1})
+	if got := f.Entries(0, n); len(got) != n {
+		t.Errorf("Entries delivered %d of %d under rate-1 faults", len(got), n)
+	}
+	if g := f.Grade(3); g != base.Grade(3) {
+		t.Errorf("Grade(3) = %v, want %v", g, base.Grade(3))
+	}
+	if f.Injected() != 0 {
+		t.Errorf("plain access injected %d faults", f.Injected())
+	}
+}
+
+func TestFaultSourcePhaseTargeting(t *testing.T) {
+	const n = 60
+	base := FromList(descendingList(t, n))
+	sorted := NewFaultSource(base, FaultPlan{Seed: 3, Rate: 1, Phase: FaultSortedAccess})
+	if _, err := sorted.TryGrade(5); err != nil {
+		t.Errorf("sorted-only plan failed a random access: %v", err)
+	}
+	if _, err := sorted.TryEntries(0, n); err == nil {
+		t.Error("sorted-only plan at rate 1 never failed sorted access")
+	}
+	random := NewFaultSource(base, FaultPlan{Seed: 3, Rate: 1, Phase: FaultRandomAccess})
+	if _, err := random.TryEntries(0, n); err != nil {
+		t.Errorf("random-only plan failed a sorted access: %v", err)
+	}
+	if _, err := random.TryGrade(5); err == nil {
+		t.Error("random-only plan at rate 1 never failed random access")
+	}
+}
+
+func TestFaultSourceFailAfter(t *testing.T) {
+	const n = 30
+	base := FromList(descendingList(t, n))
+	f := NewFaultSource(base, FaultPlan{FailAfter: 2})
+	if _, err := f.TryEntries(0, 5); err != nil {
+		t.Fatalf("access 1: %v", err)
+	}
+	if _, err := f.TryGrade(7); err != nil {
+		t.Fatalf("access 2: %v", err)
+	}
+	_, err := f.TryGrade(8)
+	var fe *FaultError
+	if !errors.As(err, &fe) || fe.Key != -1 || fe.Temporary {
+		t.Fatalf("access 3: err = %v, want permanent exhaustion fault", err)
+	}
+	if _, err := f.TryEntries(5, 6); err == nil {
+		t.Error("exhaustion should be permanent")
+	}
+}
+
+func TestWithFaultsDerivesPerTargetSeeds(t *testing.T) {
+	const n = 120
+	sub := NewStatic("A", n)
+	for _, target := range []string{"x", "y"} {
+		sub.Set(target, descendingList(t, n))
+	}
+	fsub := WithFaults(sub, FaultPlan{Seed: 9, Rate: 0.15})
+	sitesOf := func(target string) map[int]bool {
+		sites := make(map[int]bool)
+		for r := 0; r < n; r++ {
+			src, err := fsub.Query(target)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := src.(FallibleSource).TryEntries(r, r+1); err != nil {
+				sites[r] = true
+			}
+		}
+		return sites
+	}
+	x, y := sitesOf("x"), sitesOf("y")
+	if len(x) == 0 || len(y) == 0 {
+		t.Fatalf("degenerate site sets: %d, %d", len(x), len(y))
+	}
+	same := len(x) == len(y)
+	if same {
+		for r := range x {
+			if !y[r] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("targets x and y drew identical fault sites; per-target seed derivation broken")
+	}
+	if fsub.Injected() == 0 {
+		t.Error("subsystem-level Injected stayed 0")
+	}
+}
+
+func TestFaultSourceErrorStrings(t *testing.T) {
+	cases := []struct {
+		err  FaultError
+		want string
+	}{
+		{FaultError{Key: 4}, "subsys: injected permanent sorted-access fault at 4"},
+		{FaultError{Random: true, Key: 9, Temporary: true}, "subsys: injected transient random-access fault at 9"},
+		{FaultError{Key: -1}, "subsys: injected fault: source exhausted (fail-after limit)"},
+	}
+	for _, tc := range cases {
+		if got := tc.err.Error(); got != tc.want {
+			t.Errorf("Error() = %q, want %q", got, tc.want)
+		}
+	}
+	se := &SourceError{List: 2, Rank: 17, Err: &FaultError{Key: 17}}
+	if !errors.As(fmt.Errorf("wrap: %w", se), new(*SourceError)) {
+		t.Error("SourceError not reachable through errors.As")
+	}
+	var fe *FaultError
+	if !errors.As(se, &fe) || fe.Key != 17 {
+		t.Error("SourceError does not unwrap to the injected fault")
+	}
+}

@@ -1,6 +1,8 @@
 package subsys
 
 import (
+	"math/rand"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -16,23 +18,82 @@ import (
 // readahead depth matter: with latency dominated by PerCall, doubling
 // the batch halves the per-rank cost.
 //
-// The wrapper is stateless apart from atomic call counters, so it is
-// safe for the concurrent reads a pipelined executor performs (provided
-// the wrapped source is too, as every built-in source is). Access
-// tallies are unaffected: latency changes wall-clock, never the Section
-// 5 cost of the evaluation.
+// The wrapper is stateless apart from atomic call counters (and the
+// mutex-guarded jitter generator, when configured), so it is safe for
+// the concurrent reads a pipelined executor performs (provided the
+// wrapped source is too, as every built-in source is). Access tallies
+// are unaffected: latency changes wall-clock, never the Section 5 cost
+// of the evaluation.
+//
+// LatencySource also implements FallibleSource: failures of a fallible
+// wrapped source pass through (with the latency still paid — a failed
+// round trip is still a round trip), and over an infallible source the
+// Try* methods simply never fail, so latency simulation composes with
+// the resilience stack in either nesting order.
 type LatencySource struct {
 	src     Source
+	fs      FallibleSource // non-nil when src exposes the fallible face
 	perCall time.Duration
 	perItem time.Duration
+	jit     *jitterer
 	calls   atomic.Int64
 	items   atomic.Int64
 }
 
+// LatencyOption configures optional latency-simulation behavior.
+type LatencyOption func(*latencyConfig)
+
+type latencyConfig struct {
+	jitterFrac float64
+	jitterSeed uint64
+}
+
+// WithLatencyJitter makes every simulated sleep vary uniformly within
+// ±frac of its nominal duration (frac clamped to [0, 1]), drawn from a
+// generator seeded with seed — so latency sims stop being perfectly
+// uniform while staying reproducible. frac = 0 disables jitter.
+func WithLatencyJitter(frac float64, seed uint64) LatencyOption {
+	return func(c *latencyConfig) {
+		if frac < 0 {
+			frac = 0
+		}
+		if frac > 1 {
+			frac = 1
+		}
+		c.jitterFrac = frac
+		c.jitterSeed = seed
+	}
+}
+
+// jitterer scales durations by a seeded uniform factor in [1−frac, 1+frac].
+type jitterer struct {
+	frac float64
+	mu   sync.Mutex
+	rng  *rand.Rand
+}
+
+func (j *jitterer) scale(d time.Duration) time.Duration {
+	j.mu.Lock()
+	u := j.rng.Float64()
+	j.mu.Unlock()
+	return time.Duration(float64(d) * (1 - j.frac + 2*j.frac*u))
+}
+
 // NewLatencySource wraps src with perCall latency on every physical call
 // plus perItem latency per delivered entry or grade.
-func NewLatencySource(src Source, perCall, perItem time.Duration) *LatencySource {
-	return &LatencySource{src: src, perCall: perCall, perItem: perItem}
+func NewLatencySource(src Source, perCall, perItem time.Duration, opts ...LatencyOption) *LatencySource {
+	var cfg latencyConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	s := &LatencySource{src: src, perCall: perCall, perItem: perItem}
+	if fs, ok := src.(FallibleSource); ok {
+		s.fs = fs
+	}
+	if cfg.jitterFrac > 0 {
+		s.jit = &jitterer{frac: cfg.jitterFrac, rng: rand.New(rand.NewSource(int64(cfg.jitterSeed)))}
+	}
+	return s
 }
 
 // pay simulates the latency of one physical call delivering n items.
@@ -40,6 +101,9 @@ func (s *LatencySource) pay(n int) {
 	s.calls.Add(1)
 	s.items.Add(int64(n))
 	if d := s.perCall + time.Duration(n)*s.perItem; d > 0 {
+		if s.jit != nil {
+			d = s.jit.scale(d)
+		}
 		time.Sleep(d)
 	}
 }
@@ -75,6 +139,36 @@ func (s *LatencySource) Grade(obj int) float64 {
 	return s.src.Grade(obj)
 }
 
+// TryEntry implements FallibleSource.
+func (s *LatencySource) TryEntry(rank int) (gradedset.Entry, error) {
+	span, err := s.TryEntries(rank, rank+1)
+	if len(span) == 1 {
+		return span[0], err
+	}
+	return gradedset.Entry{}, err
+}
+
+// TryEntries implements FallibleSource: the call's latency covers the
+// entries actually delivered.
+func (s *LatencySource) TryEntries(lo, hi int) ([]gradedset.Entry, error) {
+	if s.fs == nil {
+		s.pay(hi - lo)
+		return s.src.Entries(lo, hi), nil
+	}
+	span, err := s.fs.TryEntries(lo, hi)
+	s.pay(len(span))
+	return span, err
+}
+
+// TryGrade implements FallibleSource.
+func (s *LatencySource) TryGrade(obj int) (float64, error) {
+	s.pay(1)
+	if s.fs == nil {
+		return s.src.Grade(obj), nil
+	}
+	return s.fs.TryGrade(obj)
+}
+
 // Universe forwards the wrapped source's dense-universe hint, so latency
 // simulation does not knock an evaluation off the flat-array fast path.
 func (s *LatencySource) Universe() (int, bool) {
@@ -93,12 +187,14 @@ type LatencySubsystem struct {
 	sub     Subsystem
 	perCall time.Duration
 	perItem time.Duration
+	opts    []LatencyOption
 }
 
 // WithLatency wraps sub so its query results simulate remote-backend
-// latency (see LatencySource).
-func WithLatency(sub Subsystem, perCall, perItem time.Duration) *LatencySubsystem {
-	return &LatencySubsystem{sub: sub, perCall: perCall, perItem: perItem}
+// latency (see LatencySource); options such as WithLatencyJitter apply
+// to every source the subsystem produces.
+func WithLatency(sub Subsystem, perCall, perItem time.Duration, opts ...LatencyOption) *LatencySubsystem {
+	return &LatencySubsystem{sub: sub, perCall: perCall, perItem: perItem, opts: opts}
 }
 
 // Attribute implements Subsystem.
@@ -113,5 +209,5 @@ func (l *LatencySubsystem) Query(target string) (Source, error) {
 	if err != nil {
 		return nil, err
 	}
-	return NewLatencySource(src, l.perCall, l.perItem), nil
+	return NewLatencySource(src, l.perCall, l.perItem, l.opts...), nil
 }

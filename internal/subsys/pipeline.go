@@ -61,6 +61,7 @@ func (s PipelineStats) Add(o PipelineStats) PipelineStats {
 // the two buffered-by-one channels carry wakeups, not data.
 type pipeline struct {
 	src    Source
+	fs     FallibleSource // non-nil when src exposes the fallible face
 	length int
 
 	mu       sync.Mutex
@@ -73,6 +74,7 @@ type pipeline struct {
 	maxDepth int               // adaptive cap
 	waiting  bool              // consumer is blocked in await right now
 	closed   bool
+	err      error // terminal source failure; set once, before closed
 	stats    PipelineStats
 
 	kick    chan struct{} // consumer -> worker: demand grew / close
@@ -83,7 +85,7 @@ type pipeline struct {
 // newPipeline starts the worker for src, resuming after the `buffered`
 // ranks the list already holds. depth <= 0 selects the adaptive policy
 // (start at 1, double on stall); maxDepth <= 0 selects DefaultPrefetchCap.
-func newPipeline(src Source, length, buffered, depth, maxDepth int) *pipeline {
+func newPipeline(src Source, fs FallibleSource, length, buffered, depth, maxDepth int) *pipeline {
 	if maxDepth <= 0 {
 		maxDepth = DefaultPrefetchCap
 	}
@@ -96,6 +98,7 @@ func newPipeline(src Source, length, buffered, depth, maxDepth int) *pipeline {
 	}
 	p := &pipeline{
 		src:      src,
+		fs:       fs,
 		length:   length,
 		need:     buffered,
 		fetched:  buffered,
@@ -147,13 +150,38 @@ func (p *pipeline) run() {
 		p.mu.Unlock()
 
 		// The slow call, outside the lock: one batched sorted access.
-		span := p.src.Entries(lo, hi)
+		var span []gradedset.Entry
+		var ferr error
+		if p.fs != nil {
+			span, ferr = p.fs.TryEntries(lo, hi)
+		} else {
+			span = p.src.Entries(lo, hi)
+		}
 
 		p.mu.Lock()
 		if p.closed {
 			// Closed mid-flight: discard the span; fetched stays put, so
 			// the spool and the watermark remain consistent.
 			p.mu.Unlock()
+			return
+		}
+		if ferr != nil && len(span) < hi-lo {
+			// Terminal source failure inside the batch: absorb the partial
+			// span (the consumer still drains it, pinning the failure to
+			// the first missing rank), record the cause, and shut down.
+			// The consumer wakes via updates, drains, and reads err. An
+			// error alongside a COMPLETE span is not a failure of this
+			// batch — a source that scans beyond the request internally
+			// (a shard view's chunked re-ranking) hit a fault past it —
+			// and is dropped: the site re-fires if a later batch actually
+			// needs the faulty rank.
+			p.spool = append(p.spool, span...)
+			p.fetched = lo + len(span)
+			p.stats.Batches++
+			p.err = ferr
+			p.closed = true
+			p.mu.Unlock()
+			notify(p.updates)
 			return
 		}
 		p.spool = append(p.spool, span...)
@@ -272,6 +300,15 @@ func (p *pipeline) close() {
 // join waits for the worker to exit; call close first. A wedged source
 // call wedges join too — abandoning callers skip it.
 func (p *pipeline) join() { <-p.done }
+
+// failure returns the terminal source error the worker hit, if any. Set
+// at most once, strictly before the pipeline closes, so a consumer that
+// observed the close (await returned false) reads a settled value.
+func (p *pipeline) failure() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err
+}
 
 // snapshot returns the stats so far.
 func (p *pipeline) snapshot() PipelineStats {

@@ -1,0 +1,488 @@
+package subsys
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fuzzydb/internal/gradedset"
+)
+
+// Breaker configures the circuit breaker of a ResilientSource: after
+// FailureThreshold consecutive physical failures the breaker opens and
+// every access fails fast with *BreakerOpenError (no source call) until
+// Cooldown elapses; the breaker then goes half-open, admits up to
+// HalfOpenProbes trial accesses, and closes again on the first success
+// (or re-opens on the first failure).
+type Breaker struct {
+	// FailureThreshold is the consecutive-failure count that trips the
+	// breaker; ≤ 0 disables it.
+	FailureThreshold int
+	// Cooldown is how long the breaker stays open before probing;
+	// ≤ 0 defaults to one second.
+	Cooldown time.Duration
+	// HalfOpenProbes bounds the trial accesses admitted while
+	// half-open; ≤ 0 defaults to 1.
+	HalfOpenProbes int
+}
+
+// Policy configures a ResilientSource.
+type Policy struct {
+	// MaxRetries bounds the retries per fault site (a site is one rank
+	// or one probed object; progress inside a batched span resets the
+	// budget). ≤ 0 means no retries.
+	MaxRetries int
+	// BaseBackoff is the first retry's backoff scale; retry n sleeps a
+	// uniformly random duration in [0, BaseBackoff·2ⁿ⁻¹) — exponential
+	// backoff with full jitter. 0 disables sleeping (test mode).
+	BaseBackoff time.Duration
+	// MaxBackoff caps the backoff scale; ≤ 0 leaves it uncapped (the
+	// retry bound caps growth anyway).
+	MaxBackoff time.Duration
+	// PerAccessTimeout bounds each physical access; an access that
+	// overruns it fails with a transient *TimeoutError (and the
+	// abandoned call finishes on its own goroutine). 0 disables.
+	PerAccessTimeout time.Duration
+	// Breaker configures the circuit breaker.
+	Breaker Breaker
+	// Seed keys the backoff jitter; 0 selects a fixed default.
+	Seed uint64
+}
+
+// BreakerOpenError is returned (wrapped in the usual *SourceError) when
+// an access fails fast because the circuit breaker is open.
+type BreakerOpenError struct {
+	// Until is when the breaker will next admit a probe.
+	Until time.Time
+}
+
+// Error implements error.
+func (e *BreakerOpenError) Error() string { return "subsys: circuit breaker open" }
+
+// TimeoutError is the transient error injected when a physical access
+// overruns the policy's PerAccessTimeout.
+type TimeoutError struct {
+	// After is the timeout that was exceeded.
+	After time.Duration
+}
+
+// Error implements error.
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("subsys: source access timed out after %v", e.After)
+}
+
+// Transient marks the timeout retryable.
+func (e *TimeoutError) Transient() bool { return true }
+
+// RetryError wraps the final cause after a ResilientSource exhausted its
+// retry budget at one fault site, recording the total attempts made
+// there. Counted lifts Attempts into the SourceError it surfaces.
+type RetryError struct {
+	// Attempts is the number of physical attempts made at the site.
+	Attempts int
+	// Err is the last failure.
+	Err error
+}
+
+// Error implements error.
+func (e *RetryError) Error() string {
+	return fmt.Sprintf("subsys: giving up after %d attempt(s): %v", e.Attempts, e.Err)
+}
+
+// Unwrap exposes the last failure to errors.Is/As.
+func (e *RetryError) Unwrap() error { return e.Err }
+
+// transienter is the capability an error implements to declare whether
+// retrying can clear it (FaultError, TimeoutError). Errors without the
+// capability are assumed transient.
+type transienter interface{ Transient() bool }
+
+// retryable reports whether a retry might clear err. Breaker-open
+// failures never retry (the point of the breaker is to stop trying).
+func retryable(err error) bool {
+	var boe *BreakerOpenError
+	if errors.As(err, &boe) {
+		return false
+	}
+	var tr transienter
+	if errors.As(err, &tr) {
+		return tr.Transient()
+	}
+	return true
+}
+
+// ResilienceStats reports what a ResilientSource absorbed.
+type ResilienceStats struct {
+	// Retries counts retried physical accesses.
+	Retries int64
+	// Timeouts counts accesses that overran PerAccessTimeout.
+	Timeouts int64
+	// BreakerTrips counts closed/half-open → open transitions.
+	BreakerTrips int64
+	// FastFails counts accesses rejected by an open breaker.
+	FastFails int64
+}
+
+// ResilientSource wraps a (possibly fallible) Source with retries,
+// exponential backoff with full jitter, a per-access timeout, and a
+// circuit breaker. Transient faults are retried invisibly: the caller
+// sees one successful access, and because Counted meters on delivery a
+// retried access is still ONE metered access — the Section 5 tallies of
+// a run over transient faults are bit-identical to the fault-free run.
+// Terminal failures surface through the FallibleSource face as the last
+// cause wrapped in *RetryError (when retries were spent) or
+// *BreakerOpenError (fail-fast).
+//
+// The plain Source methods forward to the wrapped source untouched,
+// like FaultSource's: the resilience machinery is only on the Try* path,
+// which Counted always prefers.
+//
+// Try* methods are safe for concurrent use when the wrapped source is
+// (the breaker and jitter state are internally synchronized).
+type ResilientSource struct {
+	src Source
+	fs  FallibleSource // nil when src is infallible
+	pol Policy
+	now func() time.Time // test hook
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	state    breakerPhase
+	failures int       // consecutive failures while closed
+	openedAt time.Time // when the breaker last opened
+	probes   int       // trial accesses admitted this half-open period
+
+	retries   atomic.Int64
+	timeouts  atomic.Int64
+	trips     atomic.Int64
+	fastFails atomic.Int64
+}
+
+type breakerPhase uint8
+
+const (
+	breakerClosed breakerPhase = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// Resilient wraps src with the given policy.
+func Resilient(src Source, pol Policy) *ResilientSource {
+	if pol.Breaker.Cooldown <= 0 {
+		pol.Breaker.Cooldown = time.Second
+	}
+	if pol.Breaker.HalfOpenProbes <= 0 {
+		pol.Breaker.HalfOpenProbes = 1
+	}
+	seed := pol.Seed
+	if seed == 0 {
+		seed = 0x5eed5eed5eed5eed
+	}
+	r := &ResilientSource{
+		src: src,
+		pol: pol,
+		now: time.Now,
+		rng: rand.New(rand.NewSource(int64(seed))),
+	}
+	if fs, ok := src.(FallibleSource); ok {
+		r.fs = fs
+	}
+	return r
+}
+
+// Stats returns the counters accumulated so far.
+func (r *ResilientSource) Stats() ResilienceStats {
+	return ResilienceStats{
+		Retries:      r.retries.Load(),
+		Timeouts:     r.timeouts.Load(),
+		BreakerTrips: r.trips.Load(),
+		FastFails:    r.fastFails.Load(),
+	}
+}
+
+// allow consults the breaker before a physical access; a non-nil return
+// is the fail-fast error.
+func (r *ResilientSource) allow() error {
+	if r.pol.Breaker.FailureThreshold <= 0 {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch r.state {
+	case breakerClosed:
+		return nil
+	case breakerOpen:
+		until := r.openedAt.Add(r.pol.Breaker.Cooldown)
+		if r.now().Before(until) {
+			return &BreakerOpenError{Until: until}
+		}
+		r.state = breakerHalfOpen
+		r.probes = 1
+		return nil
+	default: // half-open
+		if r.probes < r.pol.Breaker.HalfOpenProbes {
+			r.probes++
+			return nil
+		}
+		return &BreakerOpenError{Until: r.openedAt.Add(r.pol.Breaker.Cooldown)}
+	}
+}
+
+// onSuccess records a successful physical access with the breaker.
+func (r *ResilientSource) onSuccess() {
+	if r.pol.Breaker.FailureThreshold <= 0 {
+		return
+	}
+	r.mu.Lock()
+	r.failures = 0
+	r.state = breakerClosed
+	r.mu.Unlock()
+}
+
+// onFailure records a failed physical access, tripping the breaker when
+// the consecutive-failure threshold is reached (or on any half-open
+// failure).
+func (r *ResilientSource) onFailure() {
+	if r.pol.Breaker.FailureThreshold <= 0 {
+		return
+	}
+	r.mu.Lock()
+	switch r.state {
+	case breakerHalfOpen:
+		r.state = breakerOpen
+		r.openedAt = r.now()
+		r.trips.Add(1)
+	case breakerClosed:
+		r.failures++
+		if r.failures >= r.pol.Breaker.FailureThreshold {
+			r.state = breakerOpen
+			r.openedAt = r.now()
+			r.failures = 0
+			r.trips.Add(1)
+		}
+	}
+	r.mu.Unlock()
+}
+
+// backoff sleeps before retry number attempt (1-based): exponential
+// growth with full jitter, capped by MaxBackoff.
+func (r *ResilientSource) backoff(attempt int) {
+	base := r.pol.BaseBackoff
+	if base <= 0 {
+		return
+	}
+	if attempt > 24 {
+		attempt = 24 // cap the shift; MaxBackoff usually kicks in first
+	}
+	d := base << uint(attempt-1)
+	if r.pol.MaxBackoff > 0 && d > r.pol.MaxBackoff {
+		d = r.pol.MaxBackoff
+	}
+	r.mu.Lock()
+	f := r.rng.Float64()
+	r.mu.Unlock()
+	time.Sleep(time.Duration(f * float64(d)))
+}
+
+// tryResult carries one physical attempt's outcome across the timeout
+// boundary (results travel on the channel, never through captured
+// variables, so an abandoned attempt cannot race its replacement).
+type tryResult struct {
+	span []gradedset.Entry
+	g    float64
+	err  error
+}
+
+// call runs one physical attempt under the per-access timeout. On
+// timeout the attempt's goroutine finishes (and is discarded) on its
+// own; the buffered channel lets it exit regardless.
+func (r *ResilientSource) call(f func() tryResult) tryResult {
+	if r.pol.PerAccessTimeout <= 0 {
+		return f()
+	}
+	done := make(chan tryResult, 1)
+	go func() { done <- f() }()
+	timer := time.NewTimer(r.pol.PerAccessTimeout)
+	defer timer.Stop()
+	select {
+	case res := <-done:
+		return res
+	case <-timer.C:
+		r.timeouts.Add(1)
+		return tryResult{err: &TimeoutError{After: r.pol.PerAccessTimeout}}
+	}
+}
+
+// entriesOnce is one physical batched sorted access.
+func (r *ResilientSource) entriesOnce(lo, hi int) tryResult {
+	if r.fs != nil {
+		span, err := r.fs.TryEntries(lo, hi)
+		return tryResult{span: span, err: err}
+	}
+	return tryResult{span: r.src.Entries(lo, hi)}
+}
+
+// gradeOnce is one physical random access.
+func (r *ResilientSource) gradeOnce(obj int) tryResult {
+	if r.fs != nil {
+		g, err := r.fs.TryGrade(obj)
+		return tryResult{g: g, err: err}
+	}
+	return tryResult{g: r.src.Grade(obj)}
+}
+
+// Len implements Source.
+func (r *ResilientSource) Len() int { return r.src.Len() }
+
+// Entry implements Source, forwarding without the resilience machinery
+// (see the type comment).
+func (r *ResilientSource) Entry(rank int) gradedset.Entry { return r.src.Entry(rank) }
+
+// Entries implements Source, forwarding without the resilience machinery.
+func (r *ResilientSource) Entries(lo, hi int) []gradedset.Entry { return r.src.Entries(lo, hi) }
+
+// Grade implements Source, forwarding without the resilience machinery.
+func (r *ResilientSource) Grade(obj int) float64 { return r.src.Grade(obj) }
+
+// Universe implements UniverseHinter when the wrapped source does.
+func (r *ResilientSource) Universe() (int, bool) {
+	if h, ok := r.src.(UniverseHinter); ok {
+		return h.Universe()
+	}
+	return 0, false
+}
+
+// TryEntry implements FallibleSource.
+func (r *ResilientSource) TryEntry(rank int) (gradedset.Entry, error) {
+	span, err := r.TryEntries(rank, rank+1)
+	if len(span) == 1 {
+		return span[0], err
+	}
+	return gradedset.Entry{}, err
+}
+
+// TryEntries implements FallibleSource with partial-progress retries:
+// partial spans are accumulated and advance the request, and progress
+// resets the per-site retry budget, so a span crossing many transient
+// fault sites needs only MaxRetries per site, not per span.
+func (r *ResilientSource) TryEntries(lo, hi int) ([]gradedset.Entry, error) {
+	var out []gradedset.Entry
+	pos := lo
+	attempts := 0 // failed attempts at the current site
+	for pos < hi {
+		if berr := r.allow(); berr != nil {
+			r.fastFails.Add(1)
+			return out, berr
+		}
+		p := pos
+		res := r.call(func() tryResult { return r.entriesOnce(p, hi) })
+		if len(res.span) > 0 {
+			out = append(out, res.span...)
+			pos += len(res.span)
+			attempts = 0
+		}
+		if res.err == nil {
+			r.onSuccess()
+			if pos < hi && len(res.span) == 0 {
+				// Defensive: a short span without an error would
+				// otherwise spin; treat it as end of data.
+				return out, nil
+			}
+			continue
+		}
+		r.onFailure()
+		attempts++
+		if !retryable(res.err) || attempts > r.pol.MaxRetries {
+			if attempts > 1 {
+				return out, &RetryError{Attempts: attempts, Err: res.err}
+			}
+			return out, res.err
+		}
+		r.retries.Add(1)
+		r.backoff(attempts)
+	}
+	return out, nil
+}
+
+// TryGrade implements FallibleSource with retries.
+func (r *ResilientSource) TryGrade(obj int) (float64, error) {
+	attempts := 0
+	for {
+		if berr := r.allow(); berr != nil {
+			r.fastFails.Add(1)
+			return 0, berr
+		}
+		res := r.call(func() tryResult { return r.gradeOnce(obj) })
+		if res.err == nil {
+			r.onSuccess()
+			return res.g, nil
+		}
+		r.onFailure()
+		attempts++
+		if !retryable(res.err) || attempts > r.pol.MaxRetries {
+			if attempts > 1 {
+				return 0, &RetryError{Attempts: attempts, Err: res.err}
+			}
+			return 0, res.err
+		}
+		r.retries.Add(1)
+		r.backoff(attempts)
+	}
+}
+
+// ResilientSubsystem wraps a subsystem so every source it produces is
+// wrapped in the resilience layer (see Resilient).
+type ResilientSubsystem struct {
+	sub Subsystem
+	pol Policy
+
+	mu   sync.Mutex
+	srcs []*ResilientSource
+}
+
+// WithResilience wraps sub with the given resilience policy.
+func WithResilience(sub Subsystem, pol Policy) *ResilientSubsystem {
+	return &ResilientSubsystem{sub: sub, pol: pol}
+}
+
+// Attribute implements Subsystem.
+func (w *ResilientSubsystem) Attribute() string { return w.sub.Attribute() }
+
+// Size implements Subsystem.
+func (w *ResilientSubsystem) Size() int { return w.sub.Size() }
+
+// Query implements Subsystem, wrapping the result in a ResilientSource.
+func (w *ResilientSubsystem) Query(target string) (Source, error) {
+	src, err := w.sub.Query(target)
+	if err != nil {
+		return nil, err
+	}
+	pol := w.pol
+	if pol.Seed != 0 {
+		pol.Seed = splitmix64(pol.Seed ^ hashString(w.sub.Attribute()+"\x00"+target))
+	}
+	rs := Resilient(src, pol)
+	w.mu.Lock()
+	w.srcs = append(w.srcs, rs)
+	w.mu.Unlock()
+	return rs, nil
+}
+
+// Stats sums the resilience counters across every source this subsystem
+// has produced.
+func (w *ResilientSubsystem) Stats() ResilienceStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var total ResilienceStats
+	for _, s := range w.srcs {
+		st := s.Stats()
+		total.Retries += st.Retries
+		total.Timeouts += st.Timeouts
+		total.BreakerTrips += st.BreakerTrips
+		total.FastFails += st.FastFails
+	}
+	return total
+}

@@ -1,0 +1,245 @@
+package subsys
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestResilientAbsorbsTransientFaults(t *testing.T) {
+	const n = 150
+	base := FromList(descendingList(t, n))
+	f := NewFaultSource(base, FaultPlan{Seed: 11, Rate: 0.2, Transient: 2})
+	r := Resilient(f, Policy{MaxRetries: 3})
+
+	span, err := r.TryEntries(0, n)
+	if err != nil {
+		t.Fatalf("TryEntries: %v", err)
+	}
+	want := base.Entries(0, n)
+	if len(span) != n {
+		t.Fatalf("%d entries, want %d", len(span), n)
+	}
+	for i := range want {
+		if span[i] != want[i] {
+			t.Fatalf("entry %d: %v, want %v", i, span[i], want[i])
+		}
+	}
+	for obj := 0; obj < n; obj++ {
+		g, err := r.TryGrade(obj)
+		if err != nil {
+			t.Fatalf("TryGrade(%d): %v", obj, err)
+		}
+		if g != base.Grade(obj) {
+			t.Fatalf("TryGrade(%d) = %v, want %v", obj, g, base.Grade(obj))
+		}
+	}
+	if st := r.Stats(); st.Retries == 0 {
+		t.Error("no retries recorded despite transient faults")
+	}
+}
+
+func TestResilientGivesUpOnPermanentFault(t *testing.T) {
+	// A permanent fault is not retryable: the raw error surfaces after
+	// one attempt, without burning the retry budget.
+	const n = 80
+	base := FromList(descendingList(t, n))
+	f := NewFaultSource(base, FaultPlan{Seed: 42, Rate: 0.1})
+	r := Resilient(f, Policy{MaxRetries: 2})
+
+	_, err := r.TryEntries(0, n)
+	var fe *FaultError
+	if !errors.As(err, &fe) || fe.Temporary || fe.Random {
+		t.Fatalf("err = %v, want the permanent sorted-access fault", err)
+	}
+	if errors.As(err, new(*RetryError)) {
+		t.Error("permanent fault came back wrapped in a RetryError")
+	}
+	if st := r.Stats(); st.Retries != 0 {
+		t.Errorf("Retries = %d, want 0 for a permanent fault", st.Retries)
+	}
+}
+
+func TestResilientRetryErrorAfterBudgetExhausted(t *testing.T) {
+	// A transient fault outlasting the retry budget (Transient 5 vs
+	// MaxRetries 2) surfaces as a RetryError counting all attempts at
+	// the stuck site.
+	const n = 80
+	base := FromList(descendingList(t, n))
+	f := NewFaultSource(base, FaultPlan{Seed: 42, Rate: 0.1, Transient: 5})
+	r := Resilient(f, Policy{MaxRetries: 2})
+
+	_, err := r.TryEntries(0, n)
+	var re *RetryError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v, want *RetryError", err)
+	}
+	if re.Attempts != 3 {
+		t.Errorf("Attempts = %d, want 3 (1 try + 2 retries)", re.Attempts)
+	}
+	var fe *FaultError
+	if !errors.As(err, &fe) || !fe.Temporary {
+		t.Errorf("underlying cause = %v, want the transient fault", err)
+	}
+}
+
+func TestResilientPartialProgressResetsAttempts(t *testing.T) {
+	// Rate 0.3 at Transient 1 means many sites fail once; MaxRetries 1
+	// only suffices because progress resets the attempt counter — the
+	// budget is per site, not per span.
+	const n = 300
+	base := FromList(descendingList(t, n))
+	f := NewFaultSource(base, FaultPlan{Seed: 5, Rate: 0.3, Transient: 1})
+	r := Resilient(f, Policy{MaxRetries: 1})
+
+	span, err := r.TryEntries(0, n)
+	if err != nil {
+		t.Fatalf("TryEntries: %v", err)
+	}
+	if len(span) != n {
+		t.Fatalf("%d entries, want %d", len(span), n)
+	}
+	for i, e := range base.Entries(0, n) {
+		if span[i] != e {
+			t.Fatalf("entry %d: %v, want %v", i, span[i], e)
+		}
+	}
+}
+
+func TestResilientBreakerTripsAndRecovers(t *testing.T) {
+	const n = 40
+	base := FromList(descendingList(t, n))
+	f := NewFaultSource(base, FaultPlan{Seed: 1, Rate: 1, Phase: FaultRandomAccess, Transient: 6})
+	r := Resilient(f, Policy{
+		MaxRetries: 0, // every fault is terminal for its access
+		Breaker:    Breaker{FailureThreshold: 3, Cooldown: time.Minute, HalfOpenProbes: 1},
+	})
+	clock := time.Now()
+	r.now = func() time.Time { return clock }
+
+	// Three failed accesses trip the breaker.
+	for i := 0; i < 3; i++ {
+		if _, err := r.TryGrade(i); err == nil {
+			t.Fatalf("access %d unexpectedly succeeded", i)
+		}
+	}
+	if st := r.Stats(); st.BreakerTrips != 1 {
+		t.Fatalf("BreakerTrips = %d, want 1", st.BreakerTrips)
+	}
+
+	// Open breaker fails fast without touching the source.
+	before := f.Injected()
+	_, err := r.TryGrade(10)
+	var boe *BreakerOpenError
+	if !errors.As(err, &boe) {
+		t.Fatalf("err = %v, want *BreakerOpenError", err)
+	}
+	if f.Injected() != before {
+		t.Error("open breaker still reached the source")
+	}
+	if st := r.Stats(); st.FastFails == 0 {
+		t.Error("no fast-fails recorded")
+	}
+
+	// After the cooldown a half-open probe runs; a failure re-opens.
+	clock = clock.Add(2 * time.Minute)
+	if _, err := r.TryGrade(11); err == nil {
+		t.Fatal("half-open probe unexpectedly succeeded")
+	}
+	if st := r.Stats(); st.BreakerTrips != 2 {
+		t.Fatalf("BreakerTrips = %d, want 2 (half-open failure re-opens)", st.BreakerTrips)
+	}
+
+	// Sites 0, 1, 2, 11 burned 4 of the 6 transient attempts on object
+	// faults; drive one site through its remaining budget so the next
+	// probe succeeds and closes the breaker.
+	clock = clock.Add(2 * time.Minute)
+	if _, err := r.TryGrade(0); err == nil {
+		t.Fatal("probe at attempt 2/6 should still fail")
+	}
+	for i := 0; i < 4; i++ {
+		clock = clock.Add(2 * time.Minute)
+		r.TryGrade(0)
+	}
+	clock = clock.Add(2 * time.Minute)
+	if _, err := r.TryGrade(0); err != nil {
+		t.Fatalf("after the site cleared: %v", err)
+	}
+	r.mu.Lock()
+	state := r.state
+	r.mu.Unlock()
+	if state != breakerClosed {
+		t.Errorf("breaker state = %d, want closed", state)
+	}
+}
+
+func TestResilientTimeoutAbandonsWedgedCall(t *testing.T) {
+	const n = 20
+	base := FromList(descendingList(t, n))
+	f := NewFaultSource(base, FaultPlan{Seed: 2, Rate: 1, Transient: 1, Wedge: time.Minute})
+	r := Resilient(f, Policy{MaxRetries: 2, PerAccessTimeout: 2 * time.Millisecond})
+
+	start := time.Now()
+	span, err := r.TryEntries(0, 1)
+	if err != nil {
+		t.Fatalf("TryEntries: %v", err)
+	}
+	if len(span) != 1 {
+		t.Fatalf("%d entries, want 1", len(span))
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("waited out the wedge: %v", elapsed)
+	}
+	if st := r.Stats(); st.Timeouts == 0 {
+		t.Error("no timeouts recorded despite the wedged call")
+	}
+}
+
+func TestResilientMeteringUnchangedByRetries(t *testing.T) {
+	// A retried access is still ONE metered access: the Section 5 cost
+	// of a counted evaluation over a resilient faulty source equals the
+	// fault-free cost.
+	const n = 100
+	base := func() Source { return FromList(descendingList(t, n)) }
+
+	clean := Count(base())
+	for r := 0; r < n; r++ {
+		clean.EntryAt(r)
+	}
+	for obj := 0; obj < n; obj += 3 {
+		clean.Grade(obj)
+	}
+	wantCost := clean.Cost()
+
+	f := NewFaultSource(base(), FaultPlan{Seed: 13, Rate: 0.25, Transient: 2})
+	faulty := Count(Resilient(f, Policy{MaxRetries: 2}))
+	for r := 0; r < n; r++ {
+		if _, ok := faulty.EntryAt(r); !ok {
+			t.Fatalf("EntryAt(%d) failed: %v", r, faulty.Err())
+		}
+	}
+	for obj := 0; obj < n; obj += 3 {
+		faulty.Grade(obj)
+	}
+	if err := faulty.Err(); err != nil {
+		t.Fatalf("sticky error: %v", err)
+	}
+	if got := faulty.Cost(); got != wantCost {
+		t.Errorf("cost %v, want fault-free %v", got, wantCost)
+	}
+	if f.Injected() == 0 {
+		t.Error("no faults injected; test vacuous")
+	}
+}
+
+func TestResilientPlainFaceForwards(t *testing.T) {
+	const n = 30
+	base := FromList(descendingList(t, n))
+	r := Resilient(NewFaultSource(base, FaultPlan{Seed: 4, Rate: 1}), Policy{MaxRetries: 1})
+	if got := r.Entries(0, n); len(got) != n {
+		t.Errorf("plain Entries delivered %d of %d", len(got), n)
+	}
+	if g := r.Grade(2); g != base.Grade(2) {
+		t.Errorf("plain Grade = %v, want %v", g, base.Grade(2))
+	}
+}

@@ -77,6 +77,7 @@ func PlanShards(n, p int) []ShardRange {
 // sources with Validated before sharding them.
 type ShardView struct {
 	parent    Source
+	fparent   FallibleSource // non-nil when parent exposes the fallible face
 	r         ShardRange
 	parentLen int
 
@@ -87,14 +88,27 @@ type ShardView struct {
 
 // NewShardView builds the shard's re-ranked view of parent.
 func NewShardView(parent Source, r ShardRange) *ShardView {
-	return &ShardView{parent: parent, r: r, parentLen: parent.Len()}
+	v := &ShardView{parent: parent, r: r, parentLen: parent.Len()}
+	if fp, ok := parent.(FallibleSource); ok {
+		v.fparent = fp
+	}
+	return v
 }
 
 // ShardSources builds one view per parent source for the given range.
+// A view over a fallible parent exposes the fallible face itself, so a
+// per-shard Counted detects and routes around failures the same way an
+// unsharded one does; fault sites stay keyed on the parent's global
+// ranks and object ids.
 func ShardSources(parents []Source, r ShardRange) []Source {
 	out := make([]Source, len(parents))
 	for i, p := range parents {
-		out[i] = NewShardView(p, r)
+		v := NewShardView(p, r)
+		if v.fparent != nil {
+			out[i] = fallibleShardView{v}
+		} else {
+			out[i] = v
+		}
 	}
 	return out
 }
@@ -161,6 +175,74 @@ func (s *ShardView) Entries(lo, hi int) []gradedset.Entry {
 // parent's global id.
 func (s *ShardView) Grade(obj int) float64 {
 	return s.parent.Grade(obj + s.r.Lo)
+}
+
+// tryFill is the fallible twin of fill: it scans through the fallible
+// parent, absorbing whatever partial spans arrive before a terminal
+// failure, so the view's prefix ends exactly at the re-ranked entries
+// the parent managed to deliver. Callers hold s.mu.
+func (s *ShardView) tryFill(n int) error {
+	if n > s.r.Len() {
+		n = s.r.Len()
+	}
+	for len(s.entries) < n && s.scanned < s.parentLen {
+		deficit := n - len(s.entries)
+		stride := (s.parentLen + s.r.Len() - 1) / s.r.Len()
+		chunk := deficit * stride
+		if chunk < 64 {
+			chunk = 64
+		}
+		hi := s.scanned + chunk
+		if hi > s.parentLen {
+			hi = s.parentLen
+		}
+		span, err := s.fparent.TryEntries(s.scanned, hi)
+		for _, e := range span {
+			if e.Object >= s.r.Lo && e.Object < s.r.Hi {
+				s.entries = append(s.entries, gradedset.Entry{Object: e.Object - s.r.Lo, Grade: e.Grade})
+			}
+		}
+		s.scanned += len(span)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fallibleShardView is the fallible face of a ShardView over a fallible
+// parent: ShardSources returns it so the per-shard Counted's capability
+// check sees exactly what the parent offers.
+type fallibleShardView struct{ *ShardView }
+
+// TryEntry implements FallibleSource.
+func (s fallibleShardView) TryEntry(rank int) (gradedset.Entry, error) {
+	span, err := s.TryEntries(rank, rank+1)
+	if len(span) == 1 {
+		return span[0], err
+	}
+	return gradedset.Entry{}, err
+}
+
+// TryEntries implements FallibleSource: on a terminal parent failure it
+// returns the local ranks obtained before the failure plus the error.
+func (s fallibleShardView) TryEntries(lo, hi int) ([]gradedset.Entry, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	err := s.tryFill(hi)
+	if n := len(s.entries); hi > n {
+		hi = n
+		if lo > hi {
+			lo = hi
+		}
+	}
+	return s.entries[lo:hi], err
+}
+
+// TryGrade implements FallibleSource, translated to the parent's global
+// id (so random fault sites are shard-independent).
+func (s fallibleShardView) TryGrade(obj int) (float64, error) {
+	return s.fparent.TryGrade(obj + s.r.Lo)
 }
 
 // Scanned reports how many parent ranks the lazy re-ranking has

@@ -93,6 +93,9 @@ func (s ListSource) Universe() (int, bool) { return s.list.DenseUniverse() }
 // order, so re-reads never touch the source again.
 type Counted struct {
 	src     Source
+	fs      FallibleSource    // non-nil when src exposes the fallible face
+	idx     int               // list index within the evaluation (SourceError.List)
+	serr    *SourceError      // sticky first failure; the stream then reads as exhausted
 	length  int               // src.Len(), cached off the interface
 	fetched int               // paid high-water mark: entries delivered by sorted access
 	random  int               // R for this list
@@ -109,6 +112,9 @@ type Counted struct {
 // the memo is array-backed; otherwise a map is used.
 func Count(src Source) *Counted {
 	c := &Counted{src: src, length: src.Len()}
+	if f, ok := src.(FallibleSource); ok {
+		c.fs = f
+	}
 	if h, ok := src.(UniverseHinter); ok {
 		if n, dense := h.Universe(); dense {
 			c.dc = acquireDenseCache(n)
@@ -119,11 +125,13 @@ func Count(src Source) *Counted {
 	return c
 }
 
-// CountAll wraps each source of a list.
+// CountAll wraps each source of a list, recording each list's index so
+// a failure can name the list it happened on (SourceError.List).
 func CountAll(srcs []Source) []*Counted {
 	out := make([]*Counted, len(srcs))
 	for i, s := range srcs {
 		out[i] = Count(s)
+		out[i].idx = i
 	}
 	return out
 }
@@ -216,17 +224,35 @@ func (c *Counted) record(obj int, g float64) {
 	c.known[obj] = g
 }
 
-// ensureBuffered extends the buffered prefix to at least n entries:
-// absorbing from the background pipeline when one is attached (waiting
-// for it if necessary), and reading the missing ranks from the source in
-// one batched call otherwise (or when the pipeline was closed early). It
-// does not deliver anything: the paid high-water mark and the grade memo
-// are untouched.
-func (c *Counted) ensureBuffered(n int) {
+// ensureBuffered extends the buffered prefix to at least n entries on
+// behalf of a consumer about to deliver them: absorbing from the
+// background pipeline when one is attached (waiting for it if
+// necessary), and reading the missing ranks from the source in one
+// batched call otherwise (or when the pipeline was closed early). It
+// does not deliver anything: the paid high-water mark and the grade
+// memo are untouched. A source failure that leaves the demand unmet is
+// recorded as the list's sticky error.
+func (c *Counted) ensureBuffered(n int) { c.buffer(n, true) }
+
+// bufferAhead is ensureBuffered's speculative twin, used by readahead
+// (Prefetch, executor staging): a source failure is swallowed — the
+// partial span is kept and the fault site is left to re-fire if and
+// when a consumer actually demands the rank. Recording it here would
+// make failure surfacing depend on how far an executor happens to read
+// ahead, breaking cross-executor equivalence; swallowing mirrors the
+// metering rule that readahead is invisible until delivery.
+func (c *Counted) bufferAhead(n int) { c.buffer(n, false) }
+
+func (c *Counted) buffer(n int, demand bool) {
 	if n > c.length {
 		n = c.length
 	}
 	if n <= len(c.prefix) {
+		return
+	}
+	if c.serr != nil {
+		// Failed list: the sorted stream reads as exhausted at the
+		// already-buffered prefix; no further source accesses.
 		return
 	}
 	if c.pipe != nil {
@@ -238,12 +264,69 @@ func (c *Counted) ensureBuffered(n int) {
 		if n <= len(c.prefix) {
 			return
 		}
+		if err := c.pipe.failure(); err != nil {
+			// The pipeline worker hit a terminal source failure. Its
+			// partial span has been drained, so the failure pins to the
+			// first rank the prefix is missing — but only a consumer's
+			// unmet demand records it; a readahead shortfall stays
+			// invisible.
+			if demand {
+				c.failSorted(len(c.prefix), err)
+			}
+			return
+		}
 		// Pipeline closed early (fence, abort): fall through to a direct
 		// read for whatever the consumer still insists on delivering.
+	}
+	if c.fs != nil {
+		span, err := c.fs.TryEntries(len(c.prefix), n)
+		c.prefix = append(c.prefix, span...)
+		if err != nil && demand && len(c.prefix) < n {
+			// Record the failure only when it left the demand unmet: an
+			// error alongside a complete span means a source that reads
+			// beyond the request internally (a shard view's chunked
+			// re-ranking) hit a fault past the demanded ranks, and the
+			// site must stay invisible — it re-fires if a later demand
+			// actually needs it.
+			c.failSorted(len(c.prefix), err)
+		}
+		return
 	}
 	span := c.src.Entries(len(c.prefix), n)
 	c.prefix = append(c.prefix, span...)
 }
+
+// failSorted records the sticky first failure of this list's sorted
+// stream at the given rank (the first undelivered one).
+func (c *Counted) failSorted(rank int, err error) {
+	if c.serr == nil {
+		c.serr = newSourceError(c.idx, rank, false, err)
+	}
+}
+
+// failRandom records the sticky first failure of this list's random
+// access at the given object.
+func (c *Counted) failRandom(obj int, err error) {
+	if c.serr == nil {
+		c.serr = newSourceError(c.idx, obj, true, err)
+	}
+}
+
+// Err returns the list's sticky failure as a *SourceError, or nil. Once
+// set, the list's sorted stream reads as exhausted and random access
+// returns 0 without touching the source; executors check Err after each
+// stage and surface it as the evaluation's typed error (the exhausted
+// reads never leak into results).
+func (c *Counted) Err() error {
+	if c.serr == nil {
+		return nil
+	}
+	return c.serr
+}
+
+// Fallible reports whether the underlying source exposes the fallible
+// face (and can therefore fail mid-query).
+func (c *Counted) Fallible() bool { return c.fs != nil }
 
 // StartPrefetch attaches a background prefetch pipeline to the list: a
 // worker goroutine keeps the uncounted readahead buffer ahead of
@@ -259,10 +342,10 @@ func (c *Counted) ensureBuffered(n int) {
 // released lists. Stop with StopPrefetch/AbortPrefetch, or let Release
 // do it.
 func (c *Counted) StartPrefetch(depth, maxDepth int) {
-	if c.pipe != nil || c.fenced || c.src == nil {
+	if c.pipe != nil || c.fenced || c.src == nil || c.serr != nil {
 		return
 	}
-	c.pipe = newPipeline(c.src, c.length, len(c.prefix), depth, maxDepth)
+	c.pipe = newPipeline(c.src, c.fs, c.length, len(c.prefix), depth, maxDepth)
 	c.piped = true
 }
 
@@ -301,6 +384,11 @@ func (c *Counted) PrefetchStats() (PipelineStats, bool) {
 // and the sorted-access tally advances. Callers must have buffered
 // through hi first.
 func (c *Counted) deliver(hi int) {
+	if hi > len(c.prefix) {
+		// A failed list's prefix can run short of the request; deliver
+		// (and pay for) only what was actually obtained.
+		hi = len(c.prefix)
+	}
 	if hi <= c.fetched {
 		return
 	}
@@ -321,7 +409,7 @@ func (c *Counted) Prefetch(n int) {
 	if n > c.length {
 		n = c.length
 	}
-	c.ensureBuffered(n)
+	c.bufferAhead(n)
 }
 
 // Buffered returns how many ranks are buffered (paid or prefetched).
@@ -339,6 +427,10 @@ func (c *Counted) EntryAt(rank int) (e gradedset.Entry, ok bool) {
 	}
 	c.ensureBuffered(rank + 1)
 	c.deliver(rank + 1)
+	if rank >= len(c.prefix) {
+		// Failed list: the rank was never obtained.
+		return gradedset.Entry{}, false
+	}
 	return c.prefix[rank], true
 }
 
@@ -348,6 +440,14 @@ func (c *Counted) EntryAt(rank int) (e gradedset.Entry, ok bool) {
 func (c *Counted) entriesTo(lo, hi int) []gradedset.Entry {
 	c.ensureBuffered(hi)
 	c.deliver(hi)
+	if n := len(c.prefix); hi > n {
+		// Failed list: return the (possibly empty) span that was
+		// actually obtained.
+		hi = n
+		if lo > hi {
+			lo = hi
+		}
+	}
 	return c.prefix[lo:hi]
 }
 
@@ -368,6 +468,22 @@ func (c *Counted) Grade(obj int) float64 {
 	} else if g, ok := c.known[obj]; ok {
 		return g
 	}
+	if c.serr != nil {
+		// Failed list: unknown grades read as 0 without touching the
+		// source; the executor's post-stage Err check turns the run
+		// into the typed error before the 0 can reach a result.
+		return 0
+	}
+	if c.fs != nil {
+		g, err := c.fs.TryGrade(obj)
+		if err != nil {
+			c.failRandom(obj, err)
+			return 0
+		}
+		c.random++
+		c.record(obj, g)
+		return g
+	}
 	g := c.src.Grade(obj)
 	c.random++
 	c.record(obj, g)
@@ -380,6 +496,25 @@ func (c *Counted) Grade(obj int) float64 {
 // DeliverGrade; unlike every other method it may be called from several
 // goroutines at once (the source must tolerate concurrent reads).
 func (c *Counted) SourceGrade(obj int) float64 { return c.src.Grade(obj) }
+
+// TrySourceGrade is the fallible twin of SourceGrade: raw concurrent
+// transport that can report a failure instead of a grade. Like
+// SourceGrade it never meters, memoizes, or records — a failure
+// observed here is handed back to the evaluation goroutine, which
+// records it at delivery time via FailGrade.
+func (c *Counted) TrySourceGrade(obj int) (float64, error) {
+	if c.fs != nil {
+		return c.fs.TryGrade(obj)
+	}
+	return c.src.Grade(obj), nil
+}
+
+// FailGrade records a random-access failure observed out of band (see
+// TrySourceGrade) as the list's sticky error. Like DeliverGrade it must
+// be called from the evaluation goroutine, in serial probe order, so the
+// failure that sticks is the one a serial evaluation would have hit
+// first.
+func (c *Counted) FailGrade(obj int, err error) { c.failRandom(obj, err) }
 
 // DeliverGrade pays for one random access whose grade was fetched out of
 // band (see SourceGrade): if obj is already known the memoized grade is
@@ -483,7 +618,7 @@ func (cu *Cursor) Next() (e gradedset.Entry, ok bool) {
 // sorted access on the underlying list. Callers must genuinely want all
 // max entries: every entry returned is paid for.
 func (cu *Cursor) NextBatch(max int) []gradedset.Entry {
-	if max <= 0 || cu.pos >= cu.list.Len() || cu.list.fenced {
+	if max <= 0 || cu.pos >= cu.list.Len() || cu.list.fenced || cu.list.serr != nil {
 		return nil
 	}
 	hi := cu.pos + max
@@ -491,7 +626,9 @@ func (cu *Cursor) NextBatch(max int) []gradedset.Entry {
 		hi = n
 	}
 	span := cu.list.entriesTo(cu.pos, hi)
-	cu.pos = hi
+	// Advance by what was actually delivered: a failed list returns a
+	// short span, and the cursor must not skip past ranks never seen.
+	cu.pos += len(span)
 	if len(span) > 0 {
 		cu.last = span[len(span)-1].Grade
 	}
@@ -547,13 +684,18 @@ func (cu *Cursor) AwaitAhead(n int, stop <-chan struct{}) bool {
 		return true
 	}
 	if c.pipe == nil {
-		c.ensureBuffered(want)
+		c.bufferAhead(want)
 		return want <= len(c.prefix)
 	}
 	for want > len(c.prefix) {
 		ok := c.pipe.await(want, stop)
 		c.prefix = c.pipe.drainInto(c.prefix)
 		if !ok {
+			// The pipeline closed — benignly (fence, abort) or on a
+			// terminal source failure. Either way staging is readahead:
+			// the shortfall is reported but nothing is recorded; the
+			// failure becomes the list's sticky error only when a
+			// consumer demands the missing rank (see bufferAhead).
 			break
 		}
 	}
@@ -567,6 +709,9 @@ func (cu *Cursor) AwaitAhead(n int, stop <-chan struct{}) bool {
 // adaptive scheduler does every round) costs no source access.
 func (cu *Cursor) LastGrade() float64 { return cu.last }
 
-// Exhausted reports whether the cursor has consumed the whole list (or
-// the list was fenced: a closed stream has nothing further to consume).
-func (cu *Cursor) Exhausted() bool { return cu.list.fenced || cu.pos >= cu.list.Len() }
+// Exhausted reports whether the cursor has consumed the whole list, the
+// list was fenced, or the list's source failed — in every case a closed
+// stream with nothing further to consume.
+func (cu *Cursor) Exhausted() bool {
+	return cu.list.fenced || cu.list.serr != nil || cu.pos >= cu.list.Len()
+}
