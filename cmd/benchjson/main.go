@@ -27,12 +27,12 @@
 // deterministic. A variant-suffixed benchmark ("..._Parallel/m=5",
 // "..._Sharded/N=65536", "..._Latency/m=5", "..._LatencyConcurrent/…",
 // "..._ShardedLatency/m=5", "..._ShardedLatencyNoPrefetch/…",
-// "..._Faulty/m=5") with no
+// "..._Faulty/m=5", "..._Wire/m=5", "..._WireNoPrefetch/…") with no
 // counterpart in the old snapshot is compared against its base name
 // ("…/m=5"), which is how the serial executor, the concurrent executor,
 // the sharded evaluator, the latency-wrapped pipelined executor, the
-// composed sharded-pipelined mode, and the zero-rate fault-tolerance
-// stack are all pinned to the same
+// composed sharded-pipelined mode, the zero-rate fault-tolerance
+// stack, and the HTTP wire transport are all pinned to the same
 // historical cost trajectory: a transport (or a resilience wrapper on
 // the healthy path) may change wall-clock, never
 // the Section 5 tallies. The
@@ -195,7 +195,7 @@ func compareSnapshots(snap Snapshot, baselinePath string, tol float64) bool {
 			// pins itself to the base benchmark's historical cost
 			// trajectory. Longest suffixes first: _ShardedLatency must be
 			// stripped whole, not matched by _Sharded.
-			for _, suffix := range []string{"_ShardedLatencyNoPrefetch", "_ShardedLatency", "_Parallel", "_Sharded", "_LatencyConcurrent", "_Latency", "_Faulty"} {
+			for _, suffix := range []string{"_ShardedLatencyNoPrefetch", "_ShardedLatency", "_Parallel", "_Sharded", "_LatencyConcurrent", "_Latency", "_Faulty", "_WireNoPrefetch", "_Wire"} {
 				refName = strings.Replace(m.Name, suffix, "", 1)
 				if ref, found = baseline[refName]; found {
 					break

@@ -1,0 +1,129 @@
+// Command fuzzyserve deploys the engine as a network service: it serves
+// a scoring database's sorted lists as the wire protocol's paged source
+// RPCs, and the full query engine over them.
+//
+// Serve a generated database (lists exposed as A1…Am, target "*"):
+//
+//	fuzzygen -n 100000 -m 3 -o db.json
+//	fuzzyserve -db db.json -addr :8080
+//
+// or generate one in memory for quick experiments:
+//
+//	fuzzyserve -n 100000 -m 3 -seed 7 -addr :8080
+//
+// Endpoints (see the internal/wire package documentation for the full
+// protocol spec):
+//
+//	GET  /v1/meta     server self-description
+//	POST /v1/entries  sorted access (paged)
+//	POST /v1/grade    random access
+//	POST /v1/query    one engine evaluation, full cost report
+//	GET  /v1/results  streaming NDJSON answer cursor
+//
+// Remote engines dial the source endpoints (wire.Dial) and evaluate
+// Fagin's algorithms locally with bit-identical Section 5 costs; thin
+// clients (fuzzyquery -connect) post whole queries instead and let this
+// process evaluate.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"fuzzydb"
+
+	"fuzzydb/internal/scoredb"
+	"fuzzydb/internal/subsys"
+	"fuzzydb/internal/wire"
+)
+
+func main() {
+	var (
+		addr   = flag.String("addr", ":8080", "listen address")
+		dbFile = flag.String("db", "", "scoring database JSON (from fuzzygen); default: generate with -n/-m/-seed")
+		n      = flag.Int("n", 10000, "objects to generate when no -db is given")
+		m      = flag.Int("m", 2, "lists to generate when no -db is given")
+		seed   = flag.Uint64("seed", 1, "generation seed when no -db is given")
+		page   = flag.Int("page", wire.DefaultPage, "entries per /v1/entries response")
+	)
+	flag.Parse()
+
+	db, err := loadDB(*dbFile, *n, *m, *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fuzzyserve: %v\n", err)
+		os.Exit(1)
+	}
+
+	mux, err := buildMux(db, *page)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fuzzyserve: %v\n", err)
+		os.Exit(1)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: mux}
+	done := make(chan error, 1)
+	go func() { done <- srv.ListenAndServe() }()
+	log.Printf("fuzzyserve: serving %d lists over %d objects on %s", db.M(), db.N(), *addr)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-done:
+		log.Fatalf("fuzzyserve: %v", err)
+	case sig := <-stop:
+		log.Printf("fuzzyserve: %v, draining", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Fatalf("fuzzyserve: shutdown: %v", err)
+		}
+	}
+}
+
+// loadDB reads the scoring database, or generates one.
+func loadDB(dbFile string, n, m int, seed uint64) (*scoredb.Database, error) {
+	if dbFile == "" {
+		return scoredb.Generator{N: n, M: m, Law: scoredb.Uniform{}, Seed: seed}.Generate()
+	}
+	f, err := os.Open(dbFile)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return scoredb.ReadJSON(f)
+}
+
+// buildMux mounts the source server (lists A1…Am) and the query server
+// (an engine over the same lists, target "*") on one mux.
+func buildMux(db *scoredb.Database, page int) (*http.ServeMux, error) {
+	lists := make(map[string]subsys.Source, db.M())
+	subs := make([]fuzzydb.Subsystem, db.M())
+	for i := 0; i < db.M(); i++ {
+		name := fmt.Sprintf("A%d", i+1)
+		lists[name] = subsys.FromList(db.List(i))
+		s := fuzzydb.NewStaticSubsystem(name, db.N())
+		s.Set("*", db.List(i))
+		subs[i] = s
+	}
+	ss, err := wire.NewSourceServer(lists, wire.WithPage(page), wire.WithEngine())
+	if err != nil {
+		return nil, err
+	}
+	eng, err := fuzzydb.NewEngine(subs)
+	if err != nil {
+		return nil, err
+	}
+	qs := wire.NewQueryServer(eng)
+
+	mux := http.NewServeMux()
+	ss.Register(mux)
+	qs.Register(mux)
+	return mux, nil
+}

@@ -1,9 +1,16 @@
 package fuzzydb_test
 
 import (
+	"context"
 	"fmt"
+	"net/http/httptest"
 
 	"fuzzydb"
+
+	"fuzzydb/internal/middleware"
+	"fuzzydb/internal/scoredb"
+	"fuzzydb/internal/subsys"
+	"fuzzydb/internal/wire"
 )
 
 // The paper's running example: combine a crisp relational predicate with
@@ -79,4 +86,46 @@ func ExampleParseQuery() {
 	fmt.Println(q)
 	// Output:
 	// Color = "red" AND (Shape = "round" OR (NOT Mono = "yes"))
+}
+
+// Serving sorted lists over HTTP and querying them across the wire:
+// the engine evaluates against remote sources with the exact Section 5
+// access cost an in-process run reports (the transport moves bytes,
+// never costs). See examples/wireserve for the standalone program and
+// cmd/fuzzyserve for the deployable server.
+func Example_wireServe() {
+	db := scoredb.Generator{N: 1000, M: 2, Law: scoredb.Uniform{}, Seed: 42}.MustGenerate()
+	server, err := wire.NewSourceServer(map[string]subsys.Source{
+		"A1": subsys.FromList(db.List(0)),
+		"A2": subsys.FromList(db.List(1)),
+	})
+	if err != nil {
+		panic(err)
+	}
+	ts := httptest.NewServer(server)
+	defer ts.Close()
+
+	client, err := wire.Dial(ts.URL)
+	if err != nil {
+		panic(err)
+	}
+	defer client.Close()
+	eng, err := middleware.New(client.Subsystems())
+	if err != nil {
+		panic(err)
+	}
+	rep, err := eng.QueryString(context.Background(), `A1 = "*" AND A2 = "*"`,
+		middleware.TopN(3), middleware.WithPrefetch(0))
+	if err != nil {
+		panic(err)
+	}
+	for i, r := range rep.Results {
+		fmt.Printf("%d. object %d grade %.4f\n", i+1, r.Object, r.Grade)
+	}
+	fmt.Printf("cost over the wire: %v\n", rep.Cost)
+	// Output:
+	// 1. object 212 grade 0.9482
+	// 2. object 266 grade 0.9439
+	// 3. object 415 grade 0.9250
+	// cost over the wire: S=134 R=62 total=196
 }

@@ -1,0 +1,71 @@
+// Wireserve: deploy sorted lists behind the HTTP wire protocol, then
+// run Fagin's Algorithm against them from another process — here the
+// same process, over a real loopback socket — with the exact Section 5
+// access cost an in-process evaluation would report. The wire moves
+// bytes; the middleware still meters every sorted and random access on
+// the client side, so transparency is bit-exact.
+//
+//	go run ./examples/wireserve
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+
+	"fuzzydb/internal/middleware"
+	"fuzzydb/internal/scoredb"
+	"fuzzydb/internal/subsys"
+	"fuzzydb/internal/wire"
+)
+
+func main() {
+	// Two graded lists over a thousand objects, as a remote backend
+	// would hold them: say a text index (A1) and an image index (A2).
+	db := scoredb.Generator{N: 1000, M: 2, Law: scoredb.Uniform{}, Seed: 42}.MustGenerate()
+
+	// Server half: expose the lists as paged source RPCs.
+	server, err := wire.NewSourceServer(map[string]subsys.Source{
+		"A1": subsys.FromList(db.List(0)),
+		"A2": subsys.FromList(db.List(1)),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() {
+		if err := http.Serve(ln, server); err != nil {
+			log.Print(err)
+		}
+	}()
+
+	// Client half: dial, and hand the remote lists to a local engine as
+	// ordinary subsystems. Every sorted access becomes a paged fetch,
+	// every random access a grade probe — retried, metered, and
+	// prefetched exactly like local ones.
+	client, err := wire.Dial("http://" + ln.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+	eng, err := middleware.New(client.Subsystems())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rep, err := eng.QueryString(context.Background(), `A1 = "*" AND A2 = "*"`,
+		middleware.TopN(3), middleware.WithPrefetch(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("top %d over the wire (plan %s):\n", len(rep.Results), rep.Plan.Algorithm.Name())
+	for i, r := range rep.Results {
+		fmt.Printf("%d. object %d grade %.4f\n", i+1, r.Object, r.Grade)
+	}
+	fmt.Printf("middleware cost: %v — identical to an in-process run\n", rep.Cost)
+}

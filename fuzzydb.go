@@ -147,6 +147,31 @@
 // map fallback; one over a dense universe can opt into the fast path by
 // also implementing subsys.UniverseHinter.
 //
+// # Deployment: the wire protocol and cmd/fuzzyserve
+//
+// The engine deploys as a network service. cmd/fuzzyserve serves a
+// scoring database over a JSON/HTTP protocol (internal/wire) in two
+// layers: the raw sorted lists as paged source RPCs (GET /v1/meta,
+// POST /v1/entries, POST /v1/grade), and the full engine on the same
+// mux (POST /v1/query for one-shot evaluation with the complete cost
+// report, GET /v1/results for an NDJSON answer cursor that streams the
+// continuation iterator and cancels the server-side evaluation when
+// the client disconnects). Two client shapes consume it. A thin client
+// posts whole queries — cmd/fuzzyquery -connect does this, printing
+// the same report a local run prints. A full engine dials the source
+// RPCs instead (wire.Dial): each remote list arrives as an ordinary
+// Source that also implements subsys.FallibleSource (HTTP and
+// transport failures flow through the typed-error, retry/breaker, and
+// degradation machinery above — never a panic), binds per-request
+// contexts to its network calls, and coalesces sorted spans into paged
+// fetches over a pooled transport. Transparency is the contract, and
+// it is pinned by loopback integration tests: results and Section 5
+// tallies over wire-backed sources are bit-identical to in-process
+// evaluation under every executor and shard configuration — the wire
+// adds only latency, which is exactly what WithPrefetch hides (the
+// _Wire benchmarks measure that win against a real network stack).
+// See examples/wireserve for the minimal server-plus-client program.
+//
 // Lower-level building blocks — the algorithms, aggregation functions,
 // graded sets, synthetic workload generators, and the experiment harness
 // reproducing the paper's analysis — are exported as aliases so library

@@ -187,6 +187,12 @@ func NewExecContext(ctx context.Context, lists []*subsys.Counted, opts ...EvalOp
 			break
 		}
 	}
+	// Context-aware sources (remote transports) run their physical
+	// accesses under the request context; shard views and resilience
+	// wrappers forward the binding to what they wrap.
+	for _, l := range lists {
+		l.BindContext(ctx)
+	}
 	return ec
 }
 

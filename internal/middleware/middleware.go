@@ -606,6 +606,18 @@ func (m *Middleware) Results(ctx context.Context, q query.Node, opts ...QueryOpt
 	}
 }
 
+// ResultsString parses q from concrete syntax and streams answers via
+// Results. A parse failure yields one (zero Result, err) pair.
+func (m *Middleware) ResultsString(ctx context.Context, q string, opts ...QueryOption) iter.Seq2[core.Result, error] {
+	n, err := query.Parse(q)
+	if err != nil {
+		return func(yield func(core.Result, error) bool) {
+			yield(core.Result{}, err)
+		}
+	}
+	return m.Results(ctx, n, opts...)
+}
+
 // pagination bundles a prepared paginator with the page size the request
 // asked for.
 type pagination struct {

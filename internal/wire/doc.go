@@ -1,0 +1,92 @@
+// Package wire makes the engine deployable: it exposes subsys.Sources
+// and the middleware query engine over a JSON/HTTP protocol, and
+// implements the client half as a subsys.Source so a local engine can
+// evaluate Fagin's algorithms against remote subsystems without any
+// change to the executors or the Section 5 cost accounting.
+//
+// The design target is transparency: a query evaluated over wire-backed
+// sources must return bit-identical results AND bit-identical Section 5
+// tallies (sorted/random access counts) to the same query over the
+// in-process sources, because metering happens in subsys.Counted on the
+// client side of the wire — the transport moves bytes, never costs.
+// What the wire adds is latency, which is exactly what the pipelined
+// executor and prefetch pipelines exist to hide; the Wire benchmarks
+// pin that hiding against a real network stack (loopback).
+//
+// # Endpoints
+//
+// A SourceServer serves raw sorted lists; a QueryServer serves a full
+// engine. cmd/fuzzyserve mounts both on one mux.
+//
+//	GET  /v1/meta     → Meta{n, dense, lists, page, engine}
+//	POST /v1/entries  EntriesRequest{list, lo, hi} → EntriesResponse{objects, grades, err?}
+//	POST /v1/grade    GradeRequest{list, object}   → GradeResponse{grade, err?}
+//	POST /v1/query    QueryRequest                 → QueryResponse
+//	GET  /v1/results  ?q=…&k=…&…                  → NDJSON stream of Result rows
+//
+// /v1/entries is sorted access: the entries at ranks [lo, hi) of one
+// list, paged — the server delivers at most Meta.Page entries per
+// response and the client continues from rank lo+len(objects). /v1/grade
+// is random access. /v1/query evaluates one request end to end and
+// returns the full report (results, Section 5 tallies, per-list and
+// per-shard breakdowns, plan, prefetch stats, degraded lists).
+//
+// # Error envelope
+//
+// All failures use one JSON shape, Fault:
+//
+//	{"error": "message", "transient": true, "cost": {"sorted": s, "random": r}}
+//
+// It appears in two positions with two meanings. In-band (the err field
+// of a 200 entries/grade response): the backing source itself failed;
+// the delivered span is the longest prefix obtained before the failure,
+// preserving the subsys.FallibleSource partial-span contract across the
+// wire. As the body of a non-2xx response: the protocol call failed —
+// 400 malformed request or plan error, 404 unknown list, 422 budget
+// exhausted (cost carries the partial spend), 502 source failure during
+// a query, 504 evaluation cancelled or timed out. The transient flag
+// feeds the client-side retry decision (subsys.Resilient): 5xx and 429
+// default transient, other 4xx permanent.
+//
+// # Streaming cursor
+//
+// GET /v1/results streams answers as NDJSON (Content-Type
+// application/x-ndjson): one {"object": o, "grade": g} row per line, in
+// descending grade order, flushed per row. It is a cursor over the
+// engine's continuation iterator (middleware.Results): k sets the page
+// size — the "next k best" computed at a time — not a stop bound; the
+// stream continues until the universe (or the budget) is exhausted or
+// the client disconnects, which is how a consumer says "enough". A mid-stream engine failure
+// terminates the stream with one Fault row (distinguished by its error
+// field). The evaluation runs under the HTTP request context, so a
+// client disconnect cancels the server-side evaluation at its next
+// poll: pagination state releases, budget reservations settle, and no
+// goroutines leak — the wedged-server and disconnect tests pin this
+// under the race detector.
+//
+// # Client
+//
+// Dial fetches /v1/meta and returns a Client over one pooled
+// http.Transport with MaxIdleConnsPerHost sized for the pipelined
+// executor's wide gather fan-out (default 128), so steady-state
+// accesses ride warm keep-alive connections. Client.Source yields a
+// RemoteSource implementing:
+//
+//   - subsys.Source — plain access (panics on transport failure; the
+//     engine never uses this face when a fallible one exists);
+//   - subsys.FallibleSource — transport errors, server faults, and
+//     in-band source faults surface as typed *TransportError values
+//     carrying a Transient() classification, so subsys.Resilient can
+//     retry, break, and degrade exactly as it does for local faults;
+//   - subsys.UniverseHinter — forwards the server's dense-universe
+//     claim so downstream set algebra keeps the flat-array fast path;
+//   - subsys.ContextSource — the engine binds each evaluation's context
+//     (core.NewExecContext), and every HTTP access runs under it, so
+//     cancelling a query cancels its in-flight network reads.
+//
+// TryEntries(lo, hi) coalesces one logical span into sequential paged
+// fetches and, on failure, returns the partial span alongside the
+// error. Client.Query and Client.Results evaluate remotely instead,
+// for deployments where the data and the engine live together and only
+// answers cross the wire (cmd/fuzzyquery -connect).
+package wire

@@ -1,0 +1,172 @@
+package wire
+
+import (
+	"fuzzydb/internal/cost"
+	"fuzzydb/internal/gradedset"
+)
+
+// Meta is the server's self-description, served at GET /v1/meta. Every
+// list shares one object universe of N objects; Dense reports whether
+// that universe is exactly {0,…,N−1} for every list, so clients can
+// forward the flat-array fast path (subsys.UniverseHinter).
+type Meta struct {
+	// N is the universe size shared by every list.
+	N int `json:"n"`
+	// Dense reports a dense {0,…,N−1} universe on every list.
+	Dense bool `json:"dense"`
+	// Lists names the sorted lists the server exposes, in sorted order.
+	Lists []string `json:"lists"`
+	// Page is the server's per-response cap on Entries spans: a request
+	// for more ranks than Page returns the first Page of them, and the
+	// client continues from where the span ended.
+	Page int `json:"page"`
+	// Engine reports whether the server also mounts the query endpoints
+	// (POST /v1/query, GET /v1/results).
+	Engine bool `json:"engine,omitempty"`
+}
+
+// Fault is the error envelope used everywhere on the wire: inside a 200
+// entries/grade response when the backing source itself failed
+// (application-level fault alongside a possibly partial span), and as
+// the whole body of a non-2xx response (protocol-level failure).
+type Fault struct {
+	// Message describes the failure.
+	Message string `json:"error"`
+	// Transient reports whether retrying the same request may succeed;
+	// clients feed it to the resilience layer's retry decision.
+	Transient bool `json:"transient"`
+	// Cost, when present on a query error, is the partial Section 5
+	// spend of the evaluation that failed (budget stops, cancellation).
+	Cost *Cost `json:"cost,omitempty"`
+}
+
+// EntriesRequest asks for sorted access: the entries at ranks [Lo, Hi)
+// of the named list. POST /v1/entries.
+type EntriesRequest struct {
+	List string `json:"list"`
+	Lo   int    `json:"lo"`
+	Hi   int    `json:"hi"`
+}
+
+// EntriesResponse carries the delivered span as parallel arrays
+// (Objects[i] graded Grades[i] at rank Lo+i). The span may be shorter
+// than requested — because the server pages long spans (continue from
+// Lo+len) or because the backing source failed mid-span (Err is then
+// set and the span is the longest prefix obtained, honoring the
+// subsys.FallibleSource partial-span contract).
+type EntriesResponse struct {
+	Objects []int     `json:"objects"`
+	Grades  []float64 `json:"grades"`
+	Err     *Fault    `json:"err,omitempty"`
+}
+
+// entries converts the parallel arrays to graded entries.
+func (r *EntriesResponse) entries() []gradedset.Entry {
+	n := len(r.Objects)
+	if len(r.Grades) < n {
+		n = len(r.Grades)
+	}
+	out := make([]gradedset.Entry, n)
+	for i := 0; i < n; i++ {
+		out[i] = gradedset.Entry{Object: r.Objects[i], Grade: r.Grades[i]}
+	}
+	return out
+}
+
+// GradeRequest asks for random access: the grade of Object in the named
+// list. POST /v1/grade.
+type GradeRequest struct {
+	List   string `json:"list"`
+	Object int    `json:"object"`
+}
+
+// GradeResponse carries the grade, or the backing source's failure.
+type GradeResponse struct {
+	Grade float64 `json:"grade"`
+	Err   *Fault  `json:"err,omitempty"`
+}
+
+// QueryRequest is one engine evaluation: POST /v1/query, and (flattened
+// into URL parameters) GET /v1/results. Zero values mean the engine
+// defaults; Prefetch is a pointer because depth 0 (adaptive) is
+// meaningful and distinct from "no prefetch".
+type QueryRequest struct {
+	// Query in the engine's concrete syntax, e.g. `A1 = "*" AND A2 = "*"`.
+	Query string `json:"query"`
+	// K is the number of answers (TopN); 0 means the engine default.
+	K int `json:"k,omitempty"`
+	// Parallelism overlaps subsystem accesses (WithParallelism).
+	Parallelism int `json:"parallelism,omitempty"`
+	// Shards partitions the universe (WithShards); 0/1 means unsharded.
+	Shards int `json:"shards,omitempty"`
+	// Budget caps the weighted access cost (WithAccessBudget); 0 = none.
+	Budget float64 `json:"budget,omitempty"`
+	// Prefetch selects the pipelined executor with this readahead depth
+	// (0 = adaptive); nil = off.
+	Prefetch *int `json:"prefetch,omitempty"`
+	// Degrade allows dropping up to this many permanently failed lists
+	// (WithDegradedLists); 0 = fail fast.
+	Degrade int `json:"degrade,omitempty"`
+}
+
+// Result is one answer row: the JSON form of core.Result, and the
+// NDJSON row format of the GET /v1/results stream.
+type Result struct {
+	Object int     `json:"object"`
+	Grade  float64 `json:"grade"`
+}
+
+// Cost is the JSON form of the Section 5 tallies.
+type Cost struct {
+	Sorted int `json:"sorted"`
+	Random int `json:"random"`
+}
+
+func costOf(c cost.Cost) Cost { return Cost{Sorted: c.Sorted, Random: c.Random} }
+func costsOf(cs []cost.Cost) []Cost {
+	if cs == nil {
+		return nil
+	}
+	out := make([]Cost, len(cs))
+	for i, c := range cs {
+		out[i] = costOf(c)
+	}
+	return out
+}
+
+// PrefetchStats is the JSON form of subsys.PipelineStats.
+type PrefetchStats struct {
+	MaxDepth int `json:"max_depth"`
+	Stalls   int `json:"stalls"`
+	Batches  int `json:"batches"`
+}
+
+// DegradedList records one list a degraded evaluation dropped.
+type DegradedList struct {
+	Attr     string `json:"attr"`
+	Target   string `json:"target"`
+	Attempts int    `json:"attempts"`
+	Error    string `json:"error"`
+	Cost     Cost   `json:"cost"`
+}
+
+// QueryResponse is the outcome of POST /v1/query: the middleware Report
+// in wire form.
+type QueryResponse struct {
+	Results []Result `json:"results"`
+	Cost    Cost     `json:"cost"`
+	// PerList breaks the cost down by atom, in plan order.
+	PerList []Cost `json:"per_list,omitempty"`
+	// PerShard breaks the cost down by universe shard (sharded requests).
+	PerShard []Cost `json:"per_shard,omitempty"`
+	Shards   int    `json:"shards,omitempty"`
+	// Algorithm and Reason describe the plan that produced the results.
+	Algorithm string `json:"algorithm"`
+	Reason    string `json:"reason"`
+	// Prefetch reports the pipeline stats when the request pipelined.
+	Prefetch *PrefetchStats `json:"prefetch,omitempty"`
+	// Degraded lists what a degraded evaluation dropped, in drop order.
+	Degraded []DegradedList `json:"degraded,omitempty"`
+	// ElapsedNS is the server-side evaluation wall-clock in nanoseconds.
+	ElapsedNS int64 `json:"elapsed_ns"`
+}

@@ -1,0 +1,241 @@
+package wire
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"fuzzydb/internal/core"
+	"fuzzydb/internal/middleware"
+	"fuzzydb/internal/subsys"
+)
+
+// QueryServer exposes a middleware engine over the wire: one-shot
+// evaluation at POST /v1/query and the streaming Results iterator at
+// GET /v1/results as an NDJSON cursor. Both evaluate under the request
+// context, so a client disconnect (or request cancellation) propagates
+// into the engine — in-flight evaluation stops at its next cancellation
+// poll, budget reservations settle, and pooled state is released.
+type QueryServer struct {
+	eng    *middleware.Middleware
+	active atomic.Int64
+	mux    *http.ServeMux
+}
+
+// NewQueryServer builds a query server over the engine.
+func NewQueryServer(eng *middleware.Middleware) *QueryServer {
+	s := &QueryServer{eng: eng}
+	s.mux = http.NewServeMux()
+	s.Register(s.mux)
+	return s
+}
+
+// Register mounts the query endpoints on mux, so callers can combine
+// them with a SourceServer's (cmd/fuzzyserve does).
+func (s *QueryServer) Register(mux *http.ServeMux) {
+	mux.HandleFunc("POST /v1/query", s.handleQuery)
+	mux.HandleFunc("GET /v1/results", s.handleResults)
+}
+
+// ServeHTTP implements http.Handler over the server's own mux.
+func (s *QueryServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Active reports how many query evaluations (one-shot or streaming) are
+// in flight right now. Exposed so tests can pin that client disconnects
+// drain the server promptly.
+func (s *QueryServer) Active() int64 { return s.active.Load() }
+
+// options lowers the wire request onto the engine's request options.
+func (q QueryRequest) options() []middleware.QueryOption {
+	var opts []middleware.QueryOption
+	if q.K > 0 {
+		opts = append(opts, middleware.TopN(q.K))
+	}
+	if q.Parallelism > 1 {
+		opts = append(opts, middleware.WithParallelism(q.Parallelism))
+	}
+	if q.Shards > 1 {
+		opts = append(opts, middleware.WithShards(q.Shards))
+	}
+	if q.Budget > 0 {
+		opts = append(opts, middleware.WithAccessBudget(q.Budget))
+	}
+	if q.Prefetch != nil {
+		opts = append(opts, middleware.WithPrefetch(*q.Prefetch))
+	}
+	if q.Degrade > 0 {
+		opts = append(opts, middleware.WithDegradedLists(q.Degrade))
+	}
+	return opts
+}
+
+func (s *QueryServer) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if !decodeRequest(w, r, &req) {
+		return
+	}
+	if req.Query == "" {
+		writeFault(w, http.StatusBadRequest, &Fault{Message: "empty query"})
+		return
+	}
+	s.active.Add(1)
+	defer s.active.Add(-1)
+	start := time.Now()
+	rep, err := s.eng.QueryString(r.Context(), req.Query, req.options()...)
+	if err != nil {
+		status, f := queryFault(err)
+		if rep != nil {
+			c := costOf(rep.Cost)
+			f.Cost = &c
+		}
+		writeFault(w, status, f)
+		return
+	}
+	writeJSON(w, http.StatusOK, responseOf(rep, time.Since(start)))
+}
+
+// responseOf lowers a middleware report onto the wire form.
+func responseOf(rep *middleware.Report, elapsed time.Duration) QueryResponse {
+	resp := QueryResponse{
+		Results:   make([]Result, 0, len(rep.Results)),
+		Cost:      costOf(rep.Cost),
+		PerList:   costsOf(rep.PerList),
+		PerShard:  costsOf(rep.PerShard),
+		Shards:    rep.Shards,
+		ElapsedNS: elapsed.Nanoseconds(),
+	}
+	for _, r := range rep.Results {
+		resp.Results = append(resp.Results, Result{Object: r.Object, Grade: r.Grade})
+	}
+	if rep.Plan != nil {
+		if rep.Plan.Algorithm != nil {
+			resp.Algorithm = rep.Plan.Algorithm.Name()
+		}
+		resp.Reason = rep.Plan.Reason
+	}
+	if rep.Prefetch != nil {
+		resp.Prefetch = &PrefetchStats{
+			MaxDepth: rep.Prefetch.MaxDepth,
+			Stalls:   rep.Prefetch.Stalls,
+			Batches:  rep.Prefetch.Batches,
+		}
+	}
+	for _, d := range rep.Degraded {
+		dl := DegradedList{Attr: d.Attr, Target: d.Target, Attempts: d.Attempts, Cost: costOf(d.Cost)}
+		if d.Err != nil {
+			dl.Error = d.Err.Error()
+		}
+		resp.Degraded = append(resp.Degraded, dl)
+	}
+	return resp
+}
+
+// queryFault classifies an engine error onto a status code and wire
+// envelope. Source failures and timeouts are transient (a retry may hit
+// a recovered backend); planning and budget errors are not.
+func queryFault(err error) (int, *Fault) {
+	f := &Fault{Message: err.Error()}
+	var se *subsys.SourceError
+	switch {
+	case errors.Is(err, core.ErrBudgetExceeded):
+		return http.StatusUnprocessableEntity, f
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		f.Transient = true
+		return http.StatusGatewayTimeout, f
+	case errors.As(err, &se):
+		f.Transient = true
+		var tr interface{ Transient() bool }
+		if errors.As(err, &tr) {
+			f.Transient = tr.Transient()
+		}
+		return http.StatusBadGateway, f
+	default:
+		return http.StatusBadRequest, f
+	}
+}
+
+// resultsRequest parses the GET /v1/results URL parameters (the
+// QueryRequest fields flattened: q, k, parallelism, shards, budget,
+// prefetch, degrade).
+func resultsRequest(r *http.Request) (QueryRequest, error) {
+	q := r.URL.Query()
+	req := QueryRequest{Query: q.Get("q")}
+	if req.Query == "" {
+		return req, errors.New("missing q parameter")
+	}
+	intParam := func(name string, into *int) error {
+		if v := q.Get(name); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return fmt.Errorf("bad %s: %v", name, err)
+			}
+			*into = n
+		}
+		return nil
+	}
+	for name, into := range map[string]*int{
+		"k": &req.K, "parallelism": &req.Parallelism,
+		"shards": &req.Shards, "degrade": &req.Degrade,
+	} {
+		if err := intParam(name, into); err != nil {
+			return req, err
+		}
+	}
+	if v := q.Get("budget"); v != "" {
+		b, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return req, fmt.Errorf("bad budget: %v", err)
+		}
+		req.Budget = b
+	}
+	if v := q.Get("prefetch"); v != "" {
+		d, err := strconv.Atoi(v)
+		if err != nil {
+			return req, fmt.Errorf("bad prefetch: %v", err)
+		}
+		req.Prefetch = &d
+	}
+	return req, nil
+}
+
+// handleResults streams the engine's Results iterator as NDJSON: one
+// Result row per line, in descending grade order, flushed per row so a
+// slow consumer sees answers as they are computed. A mid-stream engine
+// error terminates the stream with one Fault row. The evaluation runs
+// under the request context: when the client disconnects, the iterator
+// is cancelled at its next poll and the underlying paginator releases.
+func (s *QueryServer) handleResults(w http.ResponseWriter, r *http.Request) {
+	req, err := resultsRequest(r)
+	if err != nil {
+		writeFault(w, http.StatusBadRequest, &Fault{Message: err.Error()})
+		return
+	}
+	s.active.Add(1)
+	defer s.active.Add(-1)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for res, err := range s.eng.ResultsString(r.Context(), req.Query, req.options()...) {
+		if err != nil {
+			_, f := queryFault(err)
+			_ = enc.Encode(f)
+			return
+		}
+		if encErr := enc.Encode(Result{Object: res.Object, Grade: res.Grade}); encErr != nil {
+			// The client went away; the deferred iterator teardown
+			// releases the paginator.
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}

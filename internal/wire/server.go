@@ -1,0 +1,218 @@
+package wire
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+
+	"fuzzydb/internal/subsys"
+)
+
+// DefaultPage is the server-side cap on the entries delivered per
+// /v1/entries response. Long spans are paged: the client continues from
+// where the previous span ended, so one logical Entries(lo, hi) still
+// costs O(span/Page) round trips rather than unbounded payloads.
+const DefaultPage = 4096
+
+// SourceServer exposes a set of named subsys.Sources as the wire
+// protocol's paged RPCs (see the package documentation for the
+// endpoint spec). All lists must share one universe size. Handlers call
+// the sources concurrently as requests arrive, so the sources must
+// tolerate concurrent reads — true of every built-in source.
+//
+// Sources exposing the fallible face (subsys.FallibleSource) are served
+// through it: a mid-span failure is reported in-band as a Fault
+// envelope alongside the partial span, so the client can reconstruct
+// the exact partial-span semantics locally.
+type SourceServer struct {
+	lists  map[string]serverList
+	meta   Meta
+	page   int
+	engine bool
+	mux    *http.ServeMux
+}
+
+// serverList is one served list with its capability probes resolved.
+type serverList struct {
+	src subsys.Source
+	fs  subsys.FallibleSource // non-nil when src exposes the fallible face
+}
+
+// ServerOption configures a SourceServer.
+type ServerOption func(*SourceServer)
+
+// WithPage caps the entries per /v1/entries response (default
+// DefaultPage). Non-positive values are ignored.
+func WithPage(n int) ServerOption {
+	return func(s *SourceServer) {
+		if n > 0 {
+			s.page = n
+		}
+	}
+}
+
+// WithEngine advertises in /v1/meta that the mux this server registers
+// on also mounts the query endpoints (cmd/fuzzyserve combines a
+// SourceServer with a QueryServer on one mux).
+func WithEngine() ServerOption {
+	return func(s *SourceServer) { s.engine = true }
+}
+
+// NewSourceServer builds a server over the named lists. All lists must
+// be non-empty as a set and share one universe size.
+func NewSourceServer(lists map[string]subsys.Source, opts ...ServerOption) (*SourceServer, error) {
+	if len(lists) == 0 {
+		return nil, errors.New("wire: no lists to serve")
+	}
+	s := &SourceServer{lists: make(map[string]serverList, len(lists)), page: DefaultPage}
+	for _, opt := range opts {
+		opt(s)
+	}
+	names := make([]string, 0, len(lists))
+	n, dense := -1, true
+	for name, src := range lists {
+		names = append(names, name)
+		if n < 0 {
+			n = src.Len()
+		} else if src.Len() != n {
+			return nil, fmt.Errorf("wire: list %q has %d objects, want %d", name, src.Len(), n)
+		}
+		if h, ok := src.(subsys.UniverseHinter); ok {
+			if un, d := h.Universe(); !d || un != src.Len() {
+				dense = false
+			}
+		} else {
+			dense = false
+		}
+		sl := serverList{src: src}
+		if fs, ok := src.(subsys.FallibleSource); ok {
+			sl.fs = fs
+		}
+		s.lists[name] = sl
+	}
+	sort.Strings(names)
+	s.meta = Meta{N: n, Dense: dense, Lists: names, Page: s.page, Engine: s.engine}
+	s.mux = http.NewServeMux()
+	s.Register(s.mux)
+	return s, nil
+}
+
+// Meta returns the served self-description.
+func (s *SourceServer) Meta() Meta { return s.meta }
+
+// Register mounts the source endpoints on mux, so callers can combine
+// them with a QueryServer (cmd/fuzzyserve does) or their own routes.
+func (s *SourceServer) Register(mux *http.ServeMux) {
+	mux.HandleFunc("GET /v1/meta", s.handleMeta)
+	mux.HandleFunc("POST /v1/entries", s.handleEntries)
+	mux.HandleFunc("POST /v1/grade", s.handleGrade)
+}
+
+// ServeHTTP implements http.Handler over the server's own mux.
+func (s *SourceServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *SourceServer) handleMeta(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.meta)
+}
+
+func (s *SourceServer) handleEntries(w http.ResponseWriter, r *http.Request) {
+	var req EntriesRequest
+	if !decodeRequest(w, r, &req) {
+		return
+	}
+	sl, ok := s.lists[req.List]
+	if !ok {
+		writeFault(w, http.StatusNotFound, &Fault{Message: fmt.Sprintf("unknown list %q", req.List)})
+		return
+	}
+	n := sl.src.Len()
+	if req.Lo < 0 || req.Lo > req.Hi || req.Hi > n {
+		writeFault(w, http.StatusBadRequest, &Fault{Message: fmt.Sprintf("bad span [%d, %d) over %d ranks", req.Lo, req.Hi, n)})
+		return
+	}
+	hi := req.Hi
+	if hi > req.Lo+s.page {
+		hi = req.Lo + s.page
+	}
+	resp := EntriesResponse{Objects: []int{}, Grades: []float64{}}
+	if sl.fs != nil {
+		span, err := sl.fs.TryEntries(req.Lo, hi)
+		for _, e := range span {
+			resp.Objects = append(resp.Objects, e.Object)
+			resp.Grades = append(resp.Grades, e.Grade)
+		}
+		if err != nil {
+			resp.Err = faultOf(err)
+		}
+	} else {
+		for _, e := range sl.src.Entries(req.Lo, hi) {
+			resp.Objects = append(resp.Objects, e.Object)
+			resp.Grades = append(resp.Grades, e.Grade)
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *SourceServer) handleGrade(w http.ResponseWriter, r *http.Request) {
+	var req GradeRequest
+	if !decodeRequest(w, r, &req) {
+		return
+	}
+	sl, ok := s.lists[req.List]
+	if !ok {
+		writeFault(w, http.StatusNotFound, &Fault{Message: fmt.Sprintf("unknown list %q", req.List)})
+		return
+	}
+	var resp GradeResponse
+	if sl.fs != nil {
+		g, err := sl.fs.TryGrade(req.Object)
+		resp.Grade = g
+		if err != nil {
+			resp.Grade = 0
+			resp.Err = faultOf(err)
+		}
+	} else {
+		resp.Grade = sl.src.Grade(req.Object)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// faultOf flattens a source error into the wire envelope, preserving
+// the transience classification (the subsys.Resilient retry decision on
+// the far side of the wire depends on it). Errors without the
+// capability are transient by convention, matching subsys.retryable.
+func faultOf(err error) *Fault {
+	f := &Fault{Message: err.Error(), Transient: true}
+	var tr interface{ Transient() bool }
+	if errors.As(err, &tr) {
+		f.Transient = tr.Transient()
+	}
+	return f
+}
+
+// decodeRequest parses the JSON request body, answering 400 (permanent)
+// on malformed input. It reports whether the handler should proceed.
+func decodeRequest(w http.ResponseWriter, r *http.Request, into any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err := dec.Decode(into); err != nil {
+		writeFault(w, http.StatusBadRequest, &Fault{Message: fmt.Sprintf("bad request: %v", err)})
+		return false
+	}
+	return true
+}
+
+// writeJSON encodes v as the response body with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeFault writes the non-2xx protocol error envelope.
+func writeFault(w http.ResponseWriter, status int, f *Fault) {
+	writeJSON(w, status, f)
+}
