@@ -27,15 +27,16 @@
 // deterministic. A variant-suffixed benchmark ("..._Parallel/m=5",
 // "..._Sharded/N=65536", "..._Latency/m=5", "..._LatencyConcurrent/…",
 // "..._ShardedLatency/m=5", "..._ShardedLatencyNoPrefetch/…",
-// "..._Faulty/m=5", "..._Wire/m=5", "..._WireNoPrefetch/…") with no
+// "..._Faulty/m=5", "..._Wire/m=5", "..._WireNoPrefetch/…",
+// "..._CachedRepeat/m=5", "..._CachedWriteMix/…") with no
 // counterpart in the old snapshot is compared against its base name
 // ("…/m=5"), which is how the serial executor, the concurrent executor,
 // the sharded evaluator, the latency-wrapped pipelined executor, the
 // composed sharded-pipelined mode, the zero-rate fault-tolerance
-// stack, and the HTTP wire transport are all pinned to the same
-// historical cost trajectory: a transport (or a resilience wrapper on
-// the healthy path) may change wall-clock, never
-// the Section 5 tallies. The
+// stack, the HTTP wire transport, and the result cache are all pinned
+// to the same historical cost trajectory: a transport (or a resilience
+// wrapper on the healthy path, or a cache serving the original tallies)
+// may change wall-clock, never the Section 5 tallies. The
 // sharded benchmarks additionally track the partitioned tallies under
 // sharded-cost/op, a unit the old baselines do not carry and therefore
 // gate only once it has its own snapshot entry.
@@ -88,7 +89,7 @@ func main() {
 	// (anchored: a bare "BenchmarkE1_A0_SqrtN" would also match the
 	// _Latency variants, whose real sleeps need their own -benchtime 1x
 	// invocation).
-	bench := flag.String("bench", "^(BenchmarkE1_A0_SqrtN|BenchmarkE2_A0_GeneralM)(_Parallel|_Sharded|_Faulty)?$", "benchmarks to run (go test -bench regexp)")
+	bench := flag.String("bench", "^(BenchmarkE1_A0_SqrtN|BenchmarkE2_A0_GeneralM)(_Parallel|_Sharded|_Faulty|_CachedRepeat|_CachedWriteMix)?$", "benchmarks to run (go test -bench regexp)")
 	benchtime := flag.String("benchtime", "1s", "go test -benchtime value")
 	out := flag.String("o", "", "output file (default stdout)")
 	compare := flag.String("compare", "", "baseline snapshot to gate cost metrics against")
@@ -190,12 +191,13 @@ func compareSnapshots(snap Snapshot, baselinePath string, tol float64) bool {
 		refName := m.Name
 		if !found {
 			// A variant-suffixed benchmark (_Parallel executor, _Sharded
-			// evaluator, _Latency/_LatencyConcurrent transports, and the
-			// composed _ShardedLatency/_ShardedLatencyNoPrefetch modes)
+			// evaluator, _Latency/_LatencyConcurrent transports, the
+			// composed _ShardedLatency/_ShardedLatencyNoPrefetch modes,
+			// and the _CachedRepeat/_CachedWriteMix result-cache mixes)
 			// pins itself to the base benchmark's historical cost
 			// trajectory. Longest suffixes first: _ShardedLatency must be
 			// stripped whole, not matched by _Sharded.
-			for _, suffix := range []string{"_ShardedLatencyNoPrefetch", "_ShardedLatency", "_Parallel", "_Sharded", "_LatencyConcurrent", "_Latency", "_Faulty", "_WireNoPrefetch", "_Wire"} {
+			for _, suffix := range []string{"_ShardedLatencyNoPrefetch", "_ShardedLatency", "_CachedWriteMix", "_CachedRepeat", "_Parallel", "_Sharded", "_LatencyConcurrent", "_Latency", "_Faulty", "_WireNoPrefetch", "_Wire"} {
 				refName = strings.Replace(m.Name, suffix, "", 1)
 				if ref, found = baseline[refName]; found {
 					break

@@ -52,6 +52,7 @@ func main() {
 		m      = flag.Int("m", 2, "lists to generate when no -db is given")
 		seed   = flag.Uint64("seed", 1, "generation seed when no -db is given")
 		page   = flag.Int("page", wire.DefaultPage, "entries per /v1/entries response")
+		cache  = flag.Int("cache", 0, "equip the query engine with a result cache of this many entries (0 = off); /v1/query responses then report cache handling")
 	)
 	flag.Parse()
 
@@ -61,7 +62,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	mux, err := buildMux(db, *page)
+	mux, err := buildMux(db, *page, *cache)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "fuzzyserve: %v\n", err)
 		os.Exit(1)
@@ -101,8 +102,9 @@ func loadDB(dbFile string, n, m int, seed uint64) (*scoredb.Database, error) {
 }
 
 // buildMux mounts the source server (lists A1…Am) and the query server
-// (an engine over the same lists, target "*") on one mux.
-func buildMux(db *scoredb.Database, page int) (*http.ServeMux, error) {
+// (an engine over the same lists, target "*") on one mux; cache > 0
+// gives the engine a result cache of that many entries.
+func buildMux(db *scoredb.Database, page, cache int) (*http.ServeMux, error) {
 	lists := make(map[string]subsys.Source, db.M())
 	subs := make([]fuzzydb.Subsystem, db.M())
 	for i := 0; i < db.M(); i++ {
@@ -116,7 +118,11 @@ func buildMux(db *scoredb.Database, page int) (*http.ServeMux, error) {
 	if err != nil {
 		return nil, err
 	}
-	eng, err := fuzzydb.NewEngine(subs)
+	var engOpts []fuzzydb.EngineOption
+	if cache > 0 {
+		engOpts = append(engOpts, fuzzydb.WithCache(cache))
+	}
+	eng, err := fuzzydb.NewEngine(subs, engOpts...)
 	if err != nil {
 		return nil, err
 	}

@@ -172,6 +172,39 @@
 // _Wire benchmarks measure that win against a real network stack).
 // See examples/wireserve for the minimal server-plus-client program.
 //
+// # Caching: epoch-versioned results over mutable sources
+//
+// Repeat queries dominate many read-heavy workloads, and a finished
+// top-k answer is its own certificate of correctness (every object
+// outside it aggregates to at most the k-th grade — the same bound the
+// stop threshold τ = t(g̲₁,…,g̲ₘ) establishes). WithCache(n) equips an
+// engine with a bounded LRU over completed reports, keyed by the
+// normalized query AST, k, algorithm, aggregation law, and execution
+// shape: a repeat request is served in O(k) with ZERO source accesses,
+// bit-identical to recomputation (results and Section 5 tallies), with
+// Report.Cache recording the hit, the data-version fingerprint, and
+// the access cost saved. Only pure computations are cached — budgeted,
+// degraded, non-exact (NRA), and non-monotone evaluations recompute
+// every time, as do the streaming entry points.
+//
+// Data may change under the cache. NewMutableSubsystem serves graded
+// lists that support in-place grade updates: UpdateGrade replaces one
+// object's grade by copy-on-write (snapshots already handed to running
+// evaluations or cursors are immutable), bumps the subsystem's epoch,
+// and journals the change. A cache lookup whose entry lags the current
+// epochs replays the missed updates through a threshold test against
+// the entry's stored k-th grade: updates that provably cannot disturb
+// the cached top k (lowered non-members; raises whose aggregate bound
+// stays below the k-th grade) leave the entry serving hits, and only
+// updates that could actually change the answer evict it — instead of
+// the evict-all a version-tag cache would do. Wholesale list
+// replacement (Set) and journal overflow evict conservatively, and
+// eng.Invalidate drops everything. The equivalence contract — hit or
+// miss, answers equal an always-recompute oracle — is pinned across
+// executors, sharding, and random update interleavings by the
+// middleware fuzz harness; see package internal/cache for the
+// invalidation argument and the staleness contract.
+//
 // Lower-level building blocks — the algorithms, aggregation functions,
 // graded sets, synthetic workload generators, and the experiment harness
 // reproducing the paper's analysis — are exported as aliases so library
@@ -343,6 +376,33 @@ func NewTextSubsystem(attr string, docs []string) *TextSubsystem {
 // NewStaticSubsystem builds a subsystem serving registered graded lists.
 func NewStaticSubsystem(attr string, n int) *StaticSubsystem {
 	return subsys.NewStatic(attr, n)
+}
+
+// Mutable sources: versioned grade updates under the result cache.
+type (
+	// MutableSubsystem serves graded lists that support in-place grade
+	// updates: UpdateGrade replaces one object's grade by copy-on-write
+	// (snapshots handed to running evaluations stay immutable), bumps
+	// the subsystem's epoch, and journals the change so a result cache
+	// can invalidate selectively (see WithCache).
+	MutableSubsystem = subsys.Mutable
+	// VersionedSubsystem is the optional capability a result cache uses
+	// to revalidate entries: a current epoch plus a bounded journal of
+	// the grade updates since a given epoch.
+	VersionedSubsystem = subsys.Versioned
+	// GradeUpdate is one journaled grade change.
+	GradeUpdate = subsys.Update
+)
+
+// DefaultJournalDepth is the update-journal bound NewMutableSubsystem
+// uses; entries older than the journal evict cached results
+// conservatively.
+const DefaultJournalDepth = subsys.DefaultJournalDepth
+
+// NewMutableSubsystem builds a mutable subsystem over n objects; register
+// lists with Set, update grades in place with UpdateGrade.
+func NewMutableSubsystem(attr string, n int) *MutableSubsystem {
+	return subsys.NewMutable(attr, n, subsys.DefaultJournalDepth)
 }
 
 // SourceFromList wraps a graded list as a Source.
@@ -648,6 +708,24 @@ func WithSemantics(sem Semantics) EngineOption { return middleware.WithSemantics
 
 // WithObjectNames attaches display names to objects.
 func WithObjectNames(names []string) EngineOption { return middleware.WithNames(names) }
+
+// Result caching (see the package notes on caching).
+type (
+	// CacheInfo records how the result cache handled one request; see
+	// Report.Cache.
+	CacheInfo = middleware.CacheInfo
+	// CacheStats are the result cache's cumulative counters
+	// (eng.CacheStats).
+	CacheStats = middleware.CacheStats
+)
+
+// WithCache equips the engine with a bounded result cache of the given
+// capacity in entries (non-positive selects a default). Repeat
+// cacheable queries are served in O(k) with zero source accesses and
+// reports bit-identical to recomputation; grade updates on mutable
+// subsystems evict only the entries they could disturb. Invalidate,
+// CacheStats, and CacheLen on the engine manage and observe it.
+func WithCache(capacity int) EngineOption { return middleware.WithCache(capacity) }
 
 // Per-request options for Engine.Query, Engine.QueryString,
 // Engine.Results, and Engine.Paginate.

@@ -1,0 +1,226 @@
+package cache
+
+import (
+	"sync"
+	"testing"
+
+	"fuzzydb/internal/agg"
+	"fuzzydb/internal/cost"
+	"fuzzydb/internal/subsys"
+)
+
+func testKey(q string) Key {
+	return Key{Query: q, K: 10, Algorithm: "A0", Law: "min/max", Prefetch: -1}
+}
+
+func testEntry(members []int, kth float64, epochs []uint64) *Entry {
+	return NewEntry("payload", cost.Cost{Sorted: 100, Random: 50},
+		[]AtomRef{{Attr: "A1", Target: "*"}, {Attr: "A2", Target: "*"}},
+		agg.Min, members, kth, epochs)
+}
+
+func TestCacheLRUBound(t *testing.T) {
+	c := New(2)
+	if c.Cap() != 2 {
+		t.Fatalf("cap = %d", c.Cap())
+	}
+	c.Put(testKey("a"), testEntry([]int{1}, 0.5, []uint64{0, 0}))
+	c.Put(testKey("b"), testEntry([]int{2}, 0.5, []uint64{0, 0}))
+	c.Put(testKey("c"), testEntry([]int{3}, 0.5, []uint64{0, 0}))
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want 2", c.Len())
+	}
+	if _, ok := c.Get(testKey("a"), nil); ok {
+		t.Fatal("oldest entry not evicted")
+	}
+	if _, ok := c.Get(testKey("c"), nil); !ok {
+		t.Fatal("newest entry evicted")
+	}
+	// Touching "b" makes "c" the LRU victim of the next insert.
+	if _, ok := c.Get(testKey("b"), nil); !ok {
+		t.Fatal("entry b missing")
+	}
+	c.Put(testKey("d"), testEntry([]int{4}, 0.5, []uint64{0, 0}))
+	if _, ok := c.Get(testKey("b"), nil); !ok {
+		t.Fatal("recently used entry evicted")
+	}
+	if _, ok := c.Get(testKey("c"), nil); ok {
+		t.Fatal("LRU victim survived")
+	}
+	st := c.Stats()
+	if st.Stores != 4 || st.Evictions != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCacheInvalidateAll(t *testing.T) {
+	c := New(8)
+	c.Put(testKey("a"), testEntry([]int{1}, 0.5, []uint64{0, 0}))
+	c.Put(testKey("b"), testEntry([]int{2}, 0.5, []uint64{0, 0}))
+	c.Invalidate()
+	if c.Len() != 0 {
+		t.Fatalf("len = %d after Invalidate", c.Len())
+	}
+	if st := c.Stats(); st.Invalidations != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCacheFailedValidationDrops(t *testing.T) {
+	c := New(8)
+	c.Put(testKey("a"), testEntry([]int{1}, 0.5, []uint64{0, 0}))
+	if _, ok := c.Get(testKey("a"), func(*Entry) bool { return false }); ok {
+		t.Fatal("failed validation served")
+	}
+	if c.Len() != 0 {
+		t.Fatal("invalidated entry kept")
+	}
+	st := c.Stats()
+	if st.Hits != 0 || st.Misses != 1 || st.Invalidations != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// updatesOf builds the Revalidate callbacks for a single-subsystem
+// scenario: every atom shares one epoch counter and journal.
+func replay(e *Entry, epoch uint64, ups []subsys.Update) bool {
+	return e.Revalidate(
+		func(int) uint64 { return epoch },
+		func(_ int, since uint64) ([]subsys.Update, bool) {
+			out := []subsys.Update{}
+			for _, u := range ups {
+				if u.Seq > since {
+					out = append(out, u)
+				}
+			}
+			return out, true
+		},
+		func(i int, u subsys.Update) bool { return u.Target == "*" },
+	)
+}
+
+func TestSurvivalRules(t *testing.T) {
+	kth := 0.6
+	cases := []struct {
+		name    string
+		u       subsys.Update
+		survive bool
+	}{
+		{"member raise evicts", subsys.Update{Seq: 1, Target: "*", Object: 1, Old: 0.7, New: 0.9}, false},
+		{"member lower evicts", subsys.Update{Seq: 1, Target: "*", Object: 2, Old: 0.8, New: 0.1}, false},
+		{"non-member lower survives", subsys.Update{Seq: 1, Target: "*", Object: 9, Old: 0.5, New: 0.1}, true},
+		{"non-member raise below kth survives", subsys.Update{Seq: 1, Target: "*", Object: 9, Old: 0.1, New: 0.59}, true},
+		{"non-member raise above kth evicts", subsys.Update{Seq: 1, Target: "*", Object: 9, Old: 0.1, New: 0.7}, false},
+		{"non-member raise to kth evicts (tie)", subsys.Update{Seq: 1, Target: "*", Object: 9, Old: 0.1, New: 0.6}, false},
+		{"other target ignored", subsys.Update{Seq: 1, Target: "other", Object: 1, Old: 0.7, New: 1}, true},
+	}
+	for _, tc := range cases {
+		e := testEntry([]int{1, 2, 3}, kth, []uint64{0, 0})
+		got := replay(e, 1, []subsys.Update{tc.u})
+		if got != tc.survive {
+			t.Errorf("%s: survive = %v, want %v", tc.name, got, tc.survive)
+		}
+		if e.Dead() == got {
+			t.Errorf("%s: dead = %v alongside survive = %v", tc.name, e.Dead(), got)
+		}
+	}
+}
+
+// TestSurvivalTracksKnownGrades pins the per-object refinement: under
+// min, a raise to 0.9 on list 1 survives when an earlier replayed
+// update revealed the object's grade on list 0 is tiny — the aggregate
+// bound min(0.05, 0.9) stays below the k-th grade. Without tracking,
+// the bound would be min(1, 0.9) = 0.9 and the entry would be lost.
+func TestSurvivalTracksKnownGrades(t *testing.T) {
+	e := testEntry([]int{1, 2, 3}, 0.6, []uint64{0, 0})
+	journals := [][]subsys.Update{
+		{{Seq: 1, Target: "*", Object: 9, Old: 0.5, New: 0.05}}, // list 0: reveals a tiny grade
+		{{Seq: 1, Target: "*", Object: 9, Old: 0.1, New: 0.9}},  // list 1: would evict unrefined
+	}
+	ok := e.Revalidate(
+		func(int) uint64 { return 1 },
+		func(i int, since uint64) ([]subsys.Update, bool) { return journals[i], true },
+		func(i int, u subsys.Update) bool { return u.Target == "*" },
+	)
+	if !ok {
+		t.Fatal("raise evicted despite a known tiny grade on the other list")
+	}
+}
+
+func TestRevalidateJournalOverflow(t *testing.T) {
+	e := testEntry([]int{1}, 0.6, []uint64{0, 0})
+	ok := e.Revalidate(
+		func(int) uint64 { return 5 },
+		func(int, uint64) ([]subsys.Update, bool) { return nil, false },
+		func(int, subsys.Update) bool { return true },
+	)
+	if ok {
+		t.Fatal("unreplayable history must evict")
+	}
+	if !e.Dead() {
+		t.Fatal("entry not marked dead")
+	}
+}
+
+func TestRevalidateAdvancesEpochs(t *testing.T) {
+	e := testEntry([]int{1}, 0.6, []uint64{0, 0})
+	calls := 0
+	upsSince := func(_ int, since uint64) ([]subsys.Update, bool) {
+		calls++
+		if since != 3 && calls > 2 {
+			// After the first successful replay the stamps must be 3: a
+			// second revalidation at the same epoch replays nothing.
+			return nil, false
+		}
+		return []subsys.Update{{Seq: since + 1, Target: "*", Object: 9, Old: 0.5, New: 0.1}}, true
+	}
+	if !e.Revalidate(func(int) uint64 { return 3 }, upsSince, func(int, subsys.Update) bool { return true }) {
+		t.Fatal("first revalidation failed")
+	}
+	calls = 0
+	if !e.Revalidate(func(int) uint64 { return 3 }, upsSince, func(int, subsys.Update) bool { return true }) {
+		t.Fatal("second revalidation failed")
+	}
+	if calls != 0 {
+		t.Fatalf("second revalidation replayed %d times; stamps did not advance", calls)
+	}
+}
+
+// TestCacheConcurrentHitWhileInvalidating races lookups that serve an
+// entry against Invalidate and failing validations; run under -race it
+// pins the locking, and the counters must stay coherent (every lookup
+// is a hit or a miss, never both, never neither).
+func TestCacheConcurrentHitWhileInvalidating(t *testing.T) {
+	c := New(16)
+	key := testKey("hot")
+	c.Put(key, testEntry([]int{1}, 0.5, []uint64{0, 0}))
+	var wg sync.WaitGroup
+	const lookups = 400
+	for w := 0; w < 4; w++ {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < lookups; i++ {
+				if e, ok := c.Get(key, func(e *Entry) bool { return i%7 != 0 }); ok {
+					if e.Payload != "payload" {
+						t.Error("wrong payload served")
+						return
+					}
+				} else {
+					c.Put(key, testEntry([]int{1}, 0.5, []uint64{0, 0}))
+				}
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for i := 0; i < lookups/10; i++ {
+				c.Invalidate()
+			}
+		}()
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Hits+st.Misses != 4*lookups {
+		t.Fatalf("hits %d + misses %d != %d lookups", st.Hits, st.Misses, 4*lookups)
+	}
+}

@@ -3,6 +3,7 @@ package gradedset
 import (
 	"errors"
 	"fmt"
+	"sort"
 )
 
 // List is a graded set materialized as a descending-grade sequence: the
@@ -201,6 +202,37 @@ func (l *List) Reversed() *List {
 	}
 	denseRank, rank, _ := buildIndex(entries) // duplicates impossible: same objects as l
 	return &List{entries: entries, rank: rank, denseRank: denseRank}
+}
+
+// Updated returns a new List equal to l except that obj's grade is g:
+// the copy-on-write form of a single grade update. The receiver is left
+// untouched — snapshots handed out before the update (sources in flight,
+// streaming cursors) keep reading the old data — and the new list is in
+// canonical order (descending grade, ascending object on ties), exactly
+// as NewList would have built it from the updated entries. The object
+// must already be graded: the universe of a list is fixed; an update
+// changes a grade, never the object set.
+func (l *List) Updated(obj int, g float64) (*List, error) {
+	if err := CheckGrade(g); err != nil {
+		return nil, fmt.Errorf("object %d: %w", obj, err)
+	}
+	old := l.Rank(obj)
+	if old < 0 {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownObject, obj)
+	}
+	es := make([]Entry, len(l.entries))
+	copy(es, l.entries)
+	// Remove the old entry, find where the regraded one belongs among the
+	// rest, and slide the gap there.
+	copy(es[old:], es[old+1:])
+	rest := es[:len(es)-1]
+	pos := sort.Search(len(rest), func(i int) bool {
+		return g > rest[i].Grade || (g == rest[i].Grade && obj < rest[i].Object)
+	})
+	copy(es[pos+1:], es[pos:len(es)-1])
+	es[pos] = Entry{Object: obj, Grade: g}
+	denseRank, rank, _ := buildIndex(es) // duplicates impossible: same objects as l
+	return &List{entries: es, rank: rank, denseRank: denseRank}, nil
 }
 
 // Validate re-checks all invariants; it is used by tests and by loaders of

@@ -1,0 +1,124 @@
+package gradedset
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestUpdatedCanonicalOrder(t *testing.T) {
+	l, err := NewList([]Entry{
+		{Object: 0, Grade: 0.9},
+		{Object: 1, Grade: 0.7},
+		{Object: 2, Grade: 0.7},
+		{Object: 3, Grade: 0.2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		obj int
+		g   float64
+	}{
+		{3, 0.95}, // climb to the top
+		{0, 0.0},  // fall to the bottom
+		{1, 0.7},  // no-op value, same rank region
+		{2, 0.7},  // tie: ascending-object order must hold
+		{3, 0.7},  // join the tie class
+		{0, 0.7},  // join the tie class from above
+	}
+	for _, tc := range cases {
+		nl, err := l.Updated(tc.obj, tc.g)
+		if err != nil {
+			t.Fatalf("Updated(%d, %g): %v", tc.obj, tc.g, err)
+		}
+		if err := nl.Validate(); err != nil {
+			t.Fatalf("Updated(%d, %g): invalid list: %v", tc.obj, tc.g, err)
+		}
+		if g, _ := nl.Grade(tc.obj); g != tc.g {
+			t.Fatalf("Updated(%d, %g): grade = %g", tc.obj, tc.g, g)
+		}
+		// Rebuild from scratch: Updated must equal NewList on the updated
+		// entries, entry for entry (canonical order is unique).
+		want := make([]Entry, 0, l.Len())
+		for _, e := range l.Entries() {
+			if e.Object == tc.obj {
+				e.Grade = tc.g
+			}
+			want = append(want, e)
+		}
+		ref, err := NewList(want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ref.Entries() {
+			if nl.Entry(i) != ref.Entry(i) {
+				t.Fatalf("Updated(%d, %g): entry %d = %v, want %v", tc.obj, tc.g, i, nl.Entry(i), ref.Entry(i))
+			}
+		}
+	}
+}
+
+func TestUpdatedCopyOnWrite(t *testing.T) {
+	l, err := NewList([]Entry{{Object: 0, Grade: 0.5}, {Object: 1, Grade: 0.4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, err := l.Updated(1, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g, _ := l.Grade(1); g != 0.4 {
+		t.Fatalf("receiver mutated: grade(1) = %g, want 0.4", g)
+	}
+	if nl.Entry(0) != (Entry{Object: 1, Grade: 0.9}) {
+		t.Fatalf("updated list top = %v", nl.Entry(0))
+	}
+	if l.Entry(0) != (Entry{Object: 0, Grade: 0.5}) {
+		t.Fatalf("receiver reordered: top = %v", l.Entry(0))
+	}
+}
+
+func TestUpdatedErrors(t *testing.T) {
+	l, err := NewList([]Entry{{Object: 0, Grade: 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Updated(7, 0.5); !errors.Is(err, ErrUnknownObject) {
+		t.Fatalf("unknown object: err = %v", err)
+	}
+	if _, err := l.Updated(0, 1.5); err == nil {
+		t.Fatal("invalid grade accepted")
+	}
+}
+
+func TestUpdatedRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	n := 64
+	entries := make([]Entry, n)
+	for i := range entries {
+		entries[i] = Entry{Object: i, Grade: rng.Float64()}
+	}
+	l, err := NewList(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 200; step++ {
+		obj := rng.Intn(n)
+		g := float64(rng.Intn(5)) / 4 // heavy ties
+		nl, err := l.Updated(obj, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := nl.Validate(); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		if got, _ := nl.Grade(obj); got != g {
+			t.Fatalf("step %d: grade = %g, want %g", step, got, g)
+		}
+		l = nl
+	}
+	if _, dense := l.DenseUniverse(); !dense {
+		t.Fatal("dense universe lost through updates")
+	}
+}

@@ -1,0 +1,254 @@
+package middleware
+
+// The engine half of the result cache: WithCache wires an
+// internal/cache LRU into Query, serving repeat requests in O(k) with
+// zero source accesses. The cache package owns the bound, the stats,
+// and the threshold survival test; this file owns the key (normalized
+// query AST + request shape), the epoch plumbing to the registered
+// subsystems, and the rule for what is cacheable at all.
+//
+// Cacheable means: the report is a pure function of the query and the
+// data. Budgeted requests (their reports depend on where the budget
+// struck), degraded requests (on which lists failed), and non-exact
+// algorithms (NRA's grades are bounds that depend on when it stopped)
+// are computed fresh every time. Non-monotone queries are exact but
+// their aggregates move unpredictably under updates, so the threshold
+// survival argument does not apply; they are not cached either. The
+// streaming entry points (Results, Paginate) never consult the cache:
+// a cursor's pages are computed over live source snapshots.
+
+import (
+	"context"
+	"fmt"
+
+	"fuzzydb/internal/cache"
+	"fuzzydb/internal/core"
+	"fuzzydb/internal/cost"
+	"fuzzydb/internal/query"
+	"fuzzydb/internal/subsys"
+)
+
+// CacheInfo records how the result cache handled a request; see
+// Report.Cache.
+type CacheInfo struct {
+	// Hit reports whether the request was served from the cache.
+	Hit bool
+	// Epoch is the data version the answer reflects: the sum of the
+	// per-atom source epochs the entry is valid at (0 when every source
+	// is immutable).
+	Epoch uint64
+	// SavedCost is, on a hit, the Section 5 spend of the original
+	// computation — the access cost this request did not pay. Zero on a
+	// miss.
+	SavedCost cost.Cost
+}
+
+// CacheStats re-exports the cache's cumulative counters (see
+// cache.Stats).
+type CacheStats = cache.Stats
+
+// WithCache equips the engine with a bounded result cache of the given
+// capacity (entries; non-positive selects cache.DefaultSize). Repeat
+// queries with identical normalized form and request shape are then
+// served from the cache in O(k), with zero source accesses, the
+// original computation's results and Section 5 tallies, and
+// Report.Cache filled in. Grade updates on Versioned subsystems
+// invalidate only the entries they could disturb (see package cache).
+func WithCache(capacity int) Option {
+	return func(m *Middleware) { m.resultCache = cache.New(capacity) }
+}
+
+// Invalidate drops every cached result. It is the big hammer for data
+// changes the epoch journals cannot describe (bulk reload of a
+// non-Versioned subsystem); Versioned updates invalidate selectively
+// on their own.
+func (m *Middleware) Invalidate() {
+	if m.resultCache != nil {
+		m.resultCache.Invalidate()
+	}
+}
+
+// CacheStats returns the result cache's counters; ok is false when the
+// engine was built without WithCache.
+func (m *Middleware) CacheStats() (CacheStats, bool) {
+	if m.resultCache == nil {
+		return CacheStats{}, false
+	}
+	return m.resultCache.Stats(), true
+}
+
+// CacheLen returns the number of live cached entries (0 without
+// WithCache).
+func (m *Middleware) CacheLen() int {
+	if m.resultCache == nil {
+		return 0
+	}
+	return m.resultCache.Len()
+}
+
+// cacheable reports whether the request shape may touch the cache at
+// all; the algorithm-dependent half of the decision lives in
+// queryCached.
+func (c queryConfig) cacheable() bool {
+	return c.k >= 1 && c.budget <= 0 && c.maxDrop == 0
+}
+
+// cacheKey builds the lookup key: the canonical string of the
+// normalized AST (rewrite is idempotent and String is deterministic,
+// so equivalent spellings of a query share an entry), the clamped k,
+// the algorithm (name plus configuration — FilterFirst's drive list is
+// not in its name), the aggregation law, and the execution shape.
+func (m *Middleware) cacheKey(q query.Node, alg core.Algorithm, cfg queryConfig) cache.Key {
+	qn := query.Rewrite(q, query.RulesFor(m.sem))
+	prefetch := -1
+	if cfg.prefetchOn {
+		prefetch = cfg.prefetch
+	}
+	shards := cfg.shards
+	if shards <= 1 {
+		shards = 0
+	}
+	par := cfg.parallelism
+	if par <= 1 {
+		par = 0
+	}
+	return cache.Key{
+		Query:       qn.String(),
+		K:           m.clampK(cfg.k),
+		Algorithm:   algID(alg),
+		Law:         m.sem.And.Name() + "/" + m.sem.Or.Name(),
+		Shards:      shards,
+		Parallelism: par,
+		Prefetch:    prefetch,
+	}
+}
+
+// algID identifies an algorithm including its configuration fields
+// (Name alone is too coarse: FilterFirst{Drive: 0} and {Drive: 1} pay
+// different tallies under the same name).
+func algID(alg core.Algorithm) string {
+	return fmt.Sprintf("%s%+v", alg.Name(), alg)
+}
+
+// subsystemEpoch reads the current epoch of the subsystem owning attr:
+// 0 for immutable (non-Versioned) subsystems.
+func (m *Middleware) subsystemEpoch(attr string) uint64 {
+	if v, ok := m.subsystems[attr].(subsys.Versioned); ok {
+		return v.Epoch()
+	}
+	return 0
+}
+
+// atomEpochs snapshots the per-atom source epochs. Callers read them
+// BEFORE materializing sources: an update racing the computation then
+// leaves the entry stamped strictly behind the data it may contain,
+// so the next lookup revalidates (at worst spuriously) instead of
+// serving a stale answer.
+func (m *Middleware) atomEpochs(atoms []query.Atomic) []uint64 {
+	out := make([]uint64, len(atoms))
+	for i, a := range atoms {
+		out[i] = m.subsystemEpoch(a.Attr)
+	}
+	return out
+}
+
+// cacheValidator builds the revalidation callbacks for an entry whose
+// atoms align with plan.Atoms (same normalized query, so same compiled
+// atom order).
+func (m *Middleware) cacheValidator(plan *Plan) func(*cache.Entry) bool {
+	return func(e *cache.Entry) bool {
+		if len(e.Atoms) != len(plan.Atoms) {
+			return false
+		}
+		return e.Revalidate(
+			func(i int) uint64 { return m.subsystemEpoch(plan.Atoms[i].Attr) },
+			func(i int, since uint64) ([]subsys.Update, bool) {
+				v, ok := m.subsystems[plan.Atoms[i].Attr].(subsys.Versioned)
+				if !ok {
+					// Immutable subsystem: its epoch is constant 0, so a
+					// stamp mismatch is impossible and this is unreached;
+					// answer conservatively anyway.
+					return nil, since == 0
+				}
+				return v.UpdatesSince(since)
+			},
+			func(i int, u subsys.Update) bool { return u.Target == plan.Atoms[i].Target },
+		)
+	}
+}
+
+// queryCached is Query's path when the engine has a cache and the
+// request shape is cacheable: plan (to learn the algorithm and atoms),
+// decide final cacheability, look up, revalidate, and either serve the
+// cloned original report or compute-and-store.
+func (m *Middleware) queryCached(ctx context.Context, q query.Node, cfg queryConfig) (*Report, error) {
+	plan, err := m.PlanQuery(q)
+	if err != nil {
+		return m.queryUncached(ctx, q, cfg)
+	}
+	alg := plan.Algorithm
+	if cfg.alg != nil {
+		alg = cfg.alg
+	}
+	if !alg.Exact() || !plan.Agg.Monotone() {
+		return m.queryUncached(ctx, q, cfg)
+	}
+	key := m.cacheKey(q, alg, cfg)
+	if e, ok := m.resultCache.Get(key, m.cacheValidator(plan)); ok {
+		rep := cloneReport(e.Payload.(*Report))
+		rep.Cache = &CacheInfo{Hit: true, Epoch: e.EpochSum(), SavedCost: e.SavedCost}
+		return rep, nil
+	}
+	// Miss: snapshot the source epochs before anything is materialized,
+	// then compute as usual.
+	epochs := m.atomEpochs(plan.Atoms)
+	rep, err := m.queryUncached(ctx, q, cfg)
+	if err != nil || rep == nil || rep.Degraded != nil || len(rep.Results) == 0 {
+		return rep, err
+	}
+	members := make([]int, len(rep.Results))
+	for i, r := range rep.Results {
+		members[i] = r.Object
+	}
+	atoms := make([]cache.AtomRef, len(plan.Atoms))
+	for i, a := range plan.Atoms {
+		atoms[i] = cache.AtomRef{Attr: a.Attr, Target: a.Target}
+	}
+	kth := rep.Results[len(rep.Results)-1].Grade
+	m.resultCache.Put(key, cache.NewEntry(
+		cloneReport(rep), rep.Cost, atoms, plan.Agg, members, kth, epochs))
+	var esum uint64
+	for _, e := range epochs {
+		esum += e
+	}
+	rep.Cache = &CacheInfo{Hit: false, Epoch: esum}
+	return rep, nil
+}
+
+// cloneReport deep-copies the report sections a caller could mutate,
+// so the cached original stays pristine no matter what happens to
+// served copies. Degraded reports are never cached, and Cache is
+// per-serve.
+func cloneReport(r *Report) *Report {
+	cp := *r
+	if r.Results != nil {
+		cp.Results = append([]core.Result(nil), r.Results...)
+	}
+	if r.PerList != nil {
+		cp.PerList = append([]cost.Cost(nil), r.PerList...)
+	}
+	if r.PerShard != nil {
+		cp.PerShard = append([]cost.Cost(nil), r.PerShard...)
+	}
+	if r.Prefetch != nil {
+		p := *r.Prefetch
+		cp.Prefetch = &p
+	}
+	if r.Plan != nil {
+		pl := *r.Plan
+		cp.Plan = &pl
+	}
+	cp.Degraded = nil
+	cp.Cache = nil
+	return &cp
+}

@@ -1,0 +1,411 @@
+package middleware
+
+import (
+	"context"
+	"math/rand/v2"
+	"reflect"
+	"sync"
+	"testing"
+
+	"fuzzydb/internal/core"
+	"fuzzydb/internal/query"
+	"fuzzydb/internal/scoredb"
+	"fuzzydb/internal/subsys"
+)
+
+// genMutableStore builds a cached engine and an uncached oracle engine
+// over the SAME mutable subsystems, so every grade update is visible to
+// both and the oracle always recomputes from live data.
+func genMutableStore(t testing.TB, n, m int, seed uint64, capacity int) (*Middleware, *Middleware, []*subsys.Mutable, *scoredb.Database) {
+	t.Helper()
+	db := scoredb.Generator{N: n, M: m, Seed: seed}.MustGenerate()
+	muts := make([]*subsys.Mutable, m)
+	subsystems := make([]subsys.Subsystem, m)
+	for i := 0; i < m; i++ {
+		mu := subsys.NewMutable(attrName(i), n, subsys.DefaultJournalDepth)
+		mu.Set("*", db.List(i))
+		muts[i] = mu
+		subsystems[i] = mu
+	}
+	cached, err := New(subsystems, WithCache(capacity))
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := New(subsystems)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cached, oracle, muts, db
+}
+
+// sameReport compares every section a hit promises to reproduce
+// bit-identically: results, Section 5 tallies and their per-list,
+// per-shard, and pipeline breakdowns.
+func sameReport(t *testing.T, label string, got, want *Report) {
+	t.Helper()
+	if !reflect.DeepEqual(got.Results, want.Results) {
+		t.Fatalf("%s: results differ:\n got %v\nwant %v", label, got.Results, want.Results)
+	}
+	if got.Cost != want.Cost {
+		t.Fatalf("%s: cost = %+v, want %+v", label, got.Cost, want.Cost)
+	}
+	if !reflect.DeepEqual(got.PerList, want.PerList) {
+		t.Fatalf("%s: per-list tallies differ", label)
+	}
+	if !reflect.DeepEqual(got.PerShard, want.PerShard) {
+		t.Fatalf("%s: per-shard tallies differ", label)
+	}
+	if got.Shards != want.Shards {
+		t.Fatalf("%s: shards = %d, want %d", label, got.Shards, want.Shards)
+	}
+}
+
+// samePrefetch additionally compares the pipeline stats — meaningful
+// only between a hit and the very computation it cached: against a
+// fresh recompute the adaptive depths and stalls are timing-dependent.
+func samePrefetch(t *testing.T, label string, got, want *Report) {
+	t.Helper()
+	if !reflect.DeepEqual(got.Prefetch, want.Prefetch) {
+		t.Fatalf("%s: pipeline stats differ", label)
+	}
+}
+
+func sameResults(t *testing.T, label string, got, want *Report) {
+	t.Helper()
+	if !reflect.DeepEqual(got.Results, want.Results) {
+		t.Fatalf("%s: results differ:\n got %v\nwant %v", label, got.Results, want.Results)
+	}
+}
+
+// TestCacheHitBitIdentity pins the equivalence contract across every
+// executor and sharding shape: the second identical request is a hit
+// and its report is bit-identical to both the first computation and a
+// fresh evaluation by an uncached engine.
+func TestCacheHitBitIdentity(t *testing.T) {
+	shapes := []struct {
+		name string
+		opts []QueryOption
+	}{
+		{"serial", nil},
+		{"concurrent", []QueryOption{WithParallelism(4)}},
+		{"pipelined", []QueryOption{WithPrefetch(8)}},
+		{"sharded", []QueryOption{WithShards(4)}},
+		{"sharded-pipelined", []QueryOption{WithShards(4), WithPrefetch(8)}},
+	}
+	for _, sh := range shapes {
+		t.Run(sh.name, func(t *testing.T) {
+			eng, oracle, _, _ := genMutableStore(t, 900, 3, 41, 0)
+			q := genConj(3)
+			opts := append([]QueryOption{TopN(12)}, sh.opts...)
+
+			first, err := eng.Query(context.Background(), q, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if first.Cache == nil || first.Cache.Hit {
+				t.Fatalf("first query Cache = %+v, want recorded miss", first.Cache)
+			}
+			second, err := eng.Query(context.Background(), q, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if second.Cache == nil || !second.Cache.Hit {
+				t.Fatalf("second query Cache = %+v, want hit", second.Cache)
+			}
+			if second.Cache.SavedCost != first.Cost {
+				t.Fatalf("SavedCost = %+v, want the original spend %+v", second.Cache.SavedCost, first.Cost)
+			}
+			sameReport(t, "hit vs original", second, first)
+			samePrefetch(t, "hit vs original", second, first)
+
+			fresh, err := oracle.Query(context.Background(), q, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameReport(t, "hit vs uncached recompute", second, fresh)
+			if (second.Prefetch == nil) != (fresh.Prefetch == nil) {
+				t.Fatalf("pipeline stats presence differs: hit %v, fresh %v", second.Prefetch != nil, fresh.Prefetch != nil)
+			}
+
+			st, ok := eng.CacheStats()
+			if !ok || st.Hits != 1 || st.Misses != 1 || st.Stores != 1 {
+				t.Fatalf("stats = %+v (ok=%v)", st, ok)
+			}
+		})
+	}
+}
+
+// TestCacheUpdateSurvival drives the threshold invalidation rules
+// end-to-end through mutable subsystems: updates that provably cannot
+// disturb the cached top k leave it serving hits, updates that could
+// evict it, and in every case the served answer equals a fresh
+// recompute over the live data.
+func TestCacheUpdateSurvival(t *testing.T) {
+	eng, oracle, muts, db := genMutableStore(t, 600, 2, 47, 0)
+	q := genConj(2)
+	ctx := context.Background()
+
+	warm := func() *Report {
+		t.Helper()
+		rep, err := eng.Query(ctx, q, TopN(10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	requery := func(wantHit bool, label string) *Report {
+		t.Helper()
+		rep, err := eng.Query(ctx, q, TopN(10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Cache == nil || rep.Cache.Hit != wantHit {
+			t.Fatalf("%s: Cache = %+v, want hit=%v", label, rep.Cache, wantHit)
+		}
+		fresh, err := oracle.Query(ctx, q, TopN(10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResults(t, label+" vs recompute", rep, fresh)
+		return rep
+	}
+
+	base := warm()
+	members := make(map[int]bool, len(base.Results))
+	for _, r := range base.Results {
+		members[r.Object] = true
+	}
+	kth := base.Results[len(base.Results)-1].Grade
+	nonMember := -1
+	for obj := 0; obj < db.N(); obj++ {
+		if !members[obj] {
+			nonMember = obj
+			break
+		}
+	}
+	if nonMember < 0 {
+		t.Fatal("no non-member object")
+	}
+
+	// Lowering a non-member cannot disturb the top k: still a hit.
+	old, err := db.List(0).Grade(nonMember)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := muts[0].UpdateGrade("*", nonMember, old/2); err != nil {
+		t.Fatal(err)
+	}
+	requery(true, "non-member lower")
+
+	// Raising it while the aggregate bound stays strictly below the
+	// k-th grade (min law: the raised grade itself): still a hit.
+	if err := muts[0].UpdateGrade("*", nonMember, kth*0.9); err != nil {
+		t.Fatal(err)
+	}
+	requery(true, "non-member raise below kth")
+
+	// Raising it past the k-th grade could displace a member: miss.
+	if err := muts[0].UpdateGrade("*", nonMember, (kth+1)/2); err != nil {
+		t.Fatal(err)
+	}
+	requery(false, "non-member raise above kth")
+
+	// A member's grade moving always evicts.
+	warm()
+	member := base.Results[0].Object
+	mold, err := db.List(1).Grade(member)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := muts[1].UpdateGrade("*", member, mold*0.99); err != nil {
+		t.Fatal(err)
+	}
+	requery(false, "member update")
+
+	// Set replaces the list wholesale and poisons the journal: the next
+	// lookup cannot replay and must recompute.
+	warm()
+	muts[0].Set("*", db.List(0))
+	requery(false, "journal poisoned by Set")
+
+	st, _ := eng.CacheStats()
+	if st.Invalidations == 0 {
+		t.Fatalf("stats = %+v, want recorded invalidations", st)
+	}
+}
+
+// TestCacheSkipsUncacheableRequests: budgeted, degradable, non-exact,
+// and non-monotone evaluations bypass the cache entirely — no stores,
+// no Report.Cache.
+func TestCacheSkipsUncacheableRequests(t *testing.T) {
+	eng, _, _, _ := genMutableStore(t, 400, 2, 53, 0)
+	ctx := context.Background()
+	cases := []struct {
+		name string
+		q    query.Node
+		opts []QueryOption
+	}{
+		{"budgeted", genConj(2), []QueryOption{TopN(5), WithAccessBudget(1e6)}},
+		{"degradable", genConj(2), []QueryOption{TopN(5), WithDegradedLists(1)}},
+		{"non-exact algorithm", genConj(2), []QueryOption{TopN(5), WithAlgorithm(core.NRA{})}},
+		{"non-monotone query", query.Not{Child: query.Atomic{Attr: attrName(0), Target: "*"}}, []QueryOption{TopN(5)}},
+	}
+	for _, tc := range cases {
+		rep, err := eng.Query(ctx, tc.q, tc.opts...)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if rep.Cache != nil {
+			t.Errorf("%s: Report.Cache = %+v, want nil", tc.name, rep.Cache)
+		}
+	}
+	if n := eng.CacheLen(); n != 0 {
+		t.Fatalf("cache holds %d entries after uncacheable requests", n)
+	}
+	if st, _ := eng.CacheStats(); st.Stores != 0 {
+		t.Fatalf("stats = %+v, want zero stores", st)
+	}
+}
+
+// TestCacheEngineLRUBound: the engine-level cache honors its entry
+// bound, and Invalidate empties it.
+func TestCacheEngineLRUBound(t *testing.T) {
+	eng, _, _, _ := genMutableStore(t, 300, 2, 59, 2)
+	ctx := context.Background()
+	q := genConj(2)
+	for _, k := range []int{3, 5, 7} {
+		if _, err := eng.Query(ctx, q, TopN(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := eng.CacheLen(); n != 2 {
+		t.Fatalf("cache holds %d entries, capacity 2", n)
+	}
+	// The oldest key (k=3) was evicted; k=7 is still cached.
+	rep, err := eng.Query(ctx, q, TopN(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cache == nil || !rep.Cache.Hit {
+		t.Fatalf("recent key not cached: %+v", rep.Cache)
+	}
+	rep, err = eng.Query(ctx, q, TopN(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cache == nil || rep.Cache.Hit {
+		t.Fatalf("evicted key served a hit: %+v", rep.Cache)
+	}
+
+	eng.Invalidate()
+	if n := eng.CacheLen(); n != 0 {
+		t.Fatalf("cache holds %d entries after Invalidate", n)
+	}
+	rep, err = eng.Query(ctx, q, TopN(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cache == nil || rep.Cache.Hit {
+		t.Fatalf("hit after Invalidate: %+v", rep.Cache)
+	}
+}
+
+// TestCacheStreamSnapshotIsolation: a streaming cursor opened before an
+// epoch bump keeps paging over the snapshot its sources were
+// materialized from — the update neither corrupts the stream nor
+// sneaks cached pages in.
+func TestCacheStreamSnapshotIsolation(t *testing.T) {
+	eng, oracle, muts, db := genMutableStore(t, 500, 2, 61, 0)
+	ctx := context.Background()
+	q := genConj(2)
+
+	const total = 40
+	want, err := oracle.Query(ctx, q, TopN(total))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var got []core.Result
+	bumped := false
+	for r, err := range eng.Results(ctx, q, TopN(8)) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, r)
+		if !bumped {
+			// Mid-stream: move a grade on every list.
+			for i, mu := range muts {
+				g, gerr := db.List(i).Grade(got[0].Object)
+				if gerr != nil {
+					t.Fatal(gerr)
+				}
+				if uerr := mu.UpdateGrade("*", got[0].Object, g/2); uerr != nil {
+					t.Fatal(uerr)
+				}
+			}
+			bumped = true
+		}
+		if len(got) == total {
+			break
+		}
+	}
+	if !reflect.DeepEqual(got, want.Results) {
+		t.Fatalf("stream diverged from its snapshot:\n got %v\nwant %v", got, want.Results)
+	}
+}
+
+// TestCacheConcurrentQueryUpdate hammers a cached engine with
+// concurrent queries, grade updates, and invalidations; run under
+// -race it pins the locking, and every served answer must be
+// well-formed (sorted descending, within k).
+func TestCacheConcurrentQueryUpdate(t *testing.T) {
+	eng, _, muts, db := genMutableStore(t, 400, 3, 67, 8)
+	ctx := context.Background()
+	q := genConj(3)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(2)
+		go func(seed uint64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(seed, 1))
+			for i := 0; i < 60; i++ {
+				k := 1 + rng.IntN(12)
+				rep, err := eng.Query(ctx, q, TopN(k))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if len(rep.Results) > k {
+					t.Errorf("%d results for k=%d", len(rep.Results), k)
+					return
+				}
+				for j := 1; j < len(rep.Results); j++ {
+					if rep.Results[j].Grade > rep.Results[j-1].Grade {
+						t.Error("results out of order")
+						return
+					}
+				}
+			}
+		}(uint64(w))
+		go func(seed uint64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(seed, 2))
+			for i := 0; i < 60; i++ {
+				l := rng.IntN(len(muts))
+				obj := rng.IntN(db.N())
+				if err := muts[l].UpdateGrade("*", obj, rng.Float64()); err != nil {
+					t.Error(err)
+					return
+				}
+				if i%20 == 19 {
+					eng.Invalidate()
+				}
+			}
+		}(uint64(w))
+	}
+	wg.Wait()
+	st, _ := eng.CacheStats()
+	if st.Hits+st.Misses != 4*60 {
+		t.Fatalf("hits %d + misses %d != %d lookups", st.Hits, st.Misses, 4*60)
+	}
+}

@@ -1,0 +1,113 @@
+package middleware
+
+import (
+	"context"
+	"math/rand/v2"
+	"reflect"
+	"testing"
+
+	"fuzzydb/internal/query"
+	"fuzzydb/internal/scoredb"
+	"fuzzydb/internal/subsys"
+)
+
+// FuzzCacheEquivalence interleaves random grade updates, queries across
+// executor shapes, explicit invalidations, and wholesale list
+// replacements (journal poison) on a cached engine, checking every
+// answer against an uncached oracle engine over the SAME mutable
+// subsystems. Grades are continuous (generator and updates), so ties —
+// the one case where the cache conservatively recomputes rather than
+// serving a still-bit-identical answer — have probability zero, and
+// hit or miss the results must match the recompute exactly. On a miss
+// both engines pay the same tallies, so costs are compared too.
+func FuzzCacheEquivalence(f *testing.F) {
+	for _, seed := range []uint64{1, 7, 42, 1996, 0xfa61} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		rng := rand.New(rand.NewPCG(seed, 0xcafe))
+		n := 60 + rng.IntN(140)
+		m := 2 + rng.IntN(3)
+		depths := []int{4, 32, subsys.DefaultJournalDepth}
+		depth := depths[rng.IntN(len(depths))]
+		db := scoredb.Generator{N: n, M: m, Seed: seed}.MustGenerate()
+
+		muts := make([]*subsys.Mutable, m)
+		subsystems := make([]subsys.Subsystem, m)
+		for i := 0; i < m; i++ {
+			mu := subsys.NewMutable(attrName(i), n, depth)
+			mu.Set("*", db.List(i))
+			muts[i] = mu
+			subsystems[i] = mu
+		}
+		eng, err := New(subsystems, WithCache(1+rng.IntN(8)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle, err := New(subsystems)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		shapes := [][]QueryOption{
+			nil,
+			{WithParallelism(3)},
+			{WithShards(3)},
+			{WithPrefetch(4)},
+		}
+		ctx := context.Background()
+		queries, hits := 0, 0
+		for step := 0; step < 60; step++ {
+			switch rng.IntN(10) {
+			case 0:
+				eng.Invalidate()
+			case 1:
+				l := rng.IntN(m)
+				muts[l].Set("*", db.List(l))
+			case 2, 3, 4:
+				l := rng.IntN(m)
+				if err := muts[l].UpdateGrade("*", rng.IntN(n), rng.Float64()); err != nil {
+					t.Fatalf("step %d: update: %v", step, err)
+				}
+			default:
+				j := 1 + rng.IntN(m)
+				atoms := make([]query.Atomic, j)
+				for i := range atoms {
+					atoms[i] = query.Atomic{Attr: attrName(i), Target: "*"}
+				}
+				q := query.Conj(atoms...)
+				k := 1 + rng.IntN(16)
+				opts := append([]QueryOption{TopN(k)}, shapes[rng.IntN(len(shapes))]...)
+
+				got, err := eng.Query(ctx, q, opts...)
+				if err != nil {
+					t.Fatalf("step %d: cached query: %v", step, err)
+				}
+				want, err := oracle.Query(ctx, q, opts...)
+				if err != nil {
+					t.Fatalf("step %d: oracle query: %v", step, err)
+				}
+				if !reflect.DeepEqual(got.Results, want.Results) {
+					t.Fatalf("step %d (k=%d, hit=%v): results diverged from recompute:\n got %v\nwant %v",
+						step, k, got.Cache != nil && got.Cache.Hit, got.Results, want.Results)
+				}
+				if got.Cache == nil {
+					t.Fatalf("step %d: cacheable query carried no Cache info", step)
+				}
+				queries++
+				if got.Cache.Hit {
+					hits++
+				} else if got.Cost != want.Cost {
+					t.Fatalf("step %d: miss cost %+v != recompute cost %+v", step, got.Cost, want.Cost)
+				}
+			}
+		}
+		st, ok := eng.CacheStats()
+		if !ok || st.Hits+st.Misses != uint64(queries) {
+			t.Fatalf("stats %+v incoherent with %d lookups", st, queries)
+		}
+		if st.Hits != uint64(hits) {
+			t.Fatalf("stats count %d hits, reports said %d", st.Hits, hits)
+		}
+	})
+}

@@ -85,6 +85,7 @@ import (
 	"math"
 
 	"fuzzydb/internal/agg"
+	"fuzzydb/internal/cache"
 	"fuzzydb/internal/core"
 	"fuzzydb/internal/cost"
 	"fuzzydb/internal/query"
@@ -94,10 +95,11 @@ import (
 // Middleware routes queries to subsystems and evaluates Boolean
 // combinations over the combined graded results.
 type Middleware struct {
-	subsystems map[string]subsys.Subsystem
-	sem        query.Semantics
-	n          int
-	names      []string
+	subsystems  map[string]subsys.Subsystem
+	sem         query.Semantics
+	n           int
+	names       []string
+	resultCache *cache.Cache // nil without WithCache; see cache.go
 }
 
 // Errors returned by the middleware. The sentinels classify; the typed
@@ -334,6 +336,16 @@ type Report struct {
 	// Stalls and Batches sum). Nil unless the request asked for
 	// WithPrefetch and the pipelines engaged.
 	Prefetch *subsys.PipelineStats
+	// Cache records how the result cache handled this request — hit or
+	// miss, the source-epoch fingerprint the answer reflects, and (on a
+	// hit) the access cost the cache saved. Nil when the engine has no
+	// cache or the request was not cacheable (budgeted, degraded,
+	// non-exact or non-monotone evaluation). A hit carries the original
+	// computation's Results, Cost, PerList, PerShard, and Prefetch
+	// sections verbatim: bit-identical to what recomputing would return
+	// (results provably so even after surviving grade updates; tallies
+	// describe the original computation — see package cache).
+	Cache *CacheInfo
 	// Plan that produced the results.
 	Plan *Plan
 }
@@ -529,6 +541,16 @@ func (m *Middleware) clampK(k int) int {
 // error plus a valid partial-cost report.
 func (m *Middleware) Query(ctx context.Context, q query.Node, opts ...QueryOption) (*Report, error) {
 	cfg := newQueryConfig(opts)
+	if m.resultCache != nil && cfg.cacheable() {
+		return m.queryCached(ctx, q, cfg)
+	}
+	return m.queryUncached(ctx, q, cfg)
+}
+
+// queryUncached is the compute-from-scratch path: the planning,
+// degradation, and execution loop every request ultimately runs
+// through (the cache path calls it on a miss).
+func (m *Middleware) queryUncached(ctx context.Context, q query.Node, cfg queryConfig) (*Report, error) {
 	var degraded []DegradedList
 	var sunk cost.Cost
 	for {

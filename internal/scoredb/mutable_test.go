@@ -1,0 +1,50 @@
+package scoredb
+
+import "testing"
+
+func TestMutableDatabase(t *testing.T) {
+	db := Generator{N: 16, M: 3, Law: Uniform{}, Seed: 5}.MustGenerate()
+	mdb := NewMutable(db)
+	if mdb.N() != 16 || mdb.M() != 3 {
+		t.Fatalf("shape %dx%d", mdb.M(), mdb.N())
+	}
+	before := mdb.List(1)
+	oldGrade, _ := before.Grade(7)
+	g := 0.5
+	if g == oldGrade {
+		g = 0.25
+	}
+	if err := mdb.UpdateGrade(1, 7, g); err != nil {
+		t.Fatal(err)
+	}
+	if mdb.Epoch(1) != 1 || mdb.Epoch(0) != 0 {
+		t.Fatalf("epochs = [%d %d %d]", mdb.Epoch(0), mdb.Epoch(1), mdb.Epoch(2))
+	}
+	// Copy-on-write: the earlier snapshot still carries the old grade.
+	if got, _ := before.Grade(7); got != oldGrade {
+		t.Fatalf("snapshot mutated: grade = %g, want %g", got, oldGrade)
+	}
+	if got, _ := mdb.List(1).Grade(7); got != g {
+		t.Fatalf("current grade = %g, want %g", got, g)
+	}
+	// No-op update: nothing moves.
+	if err := mdb.UpdateGrade(1, 7, g); err != nil {
+		t.Fatal(err)
+	}
+	if mdb.Epoch(1) != 1 {
+		t.Fatal("no-op update bumped the epoch")
+	}
+	snap, err := mdb.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := snap.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := mdb.UpdateGrade(5, 0, 0.1); err == nil {
+		t.Fatal("out-of-range list accepted")
+	}
+	if err := mdb.UpdateGrade(0, 99, 0.1); err == nil {
+		t.Fatal("unknown object accepted")
+	}
+}

@@ -141,6 +141,18 @@ type PrefetchStats struct {
 	Batches  int `json:"batches"`
 }
 
+// CacheInfo is the JSON form of middleware.CacheInfo: how the engine's
+// result cache handled the request. Absent when the server's engine has
+// no cache or the request was not cacheable.
+type CacheInfo struct {
+	// Hit reports whether the answer was served from the cache.
+	Hit bool `json:"hit"`
+	// Epoch is the source-data version fingerprint the answer reflects.
+	Epoch uint64 `json:"epoch"`
+	// SavedCost is, on a hit, the Section 5 spend the cache saved.
+	SavedCost *Cost `json:"saved_cost,omitempty"`
+}
+
 // DegradedList records one list a degraded evaluation dropped.
 type DegradedList struct {
 	Attr     string `json:"attr"`
@@ -167,6 +179,9 @@ type QueryResponse struct {
 	Prefetch *PrefetchStats `json:"prefetch,omitempty"`
 	// Degraded lists what a degraded evaluation dropped, in drop order.
 	Degraded []DegradedList `json:"degraded,omitempty"`
+	// Cache reports how the engine's result cache handled the request
+	// (absent without a cache or for uncacheable requests).
+	Cache *CacheInfo `json:"cache,omitempty"`
 	// ElapsedNS is the server-side evaluation wall-clock in nanoseconds.
 	ElapsedNS int64 `json:"elapsed_ns"`
 }

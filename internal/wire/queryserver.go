@@ -127,6 +127,14 @@ func responseOf(rep *middleware.Report, elapsed time.Duration) QueryResponse {
 			Batches:  rep.Prefetch.Batches,
 		}
 	}
+	if rep.Cache != nil {
+		ci := &CacheInfo{Hit: rep.Cache.Hit, Epoch: rep.Cache.Epoch}
+		if rep.Cache.Hit {
+			c := costOf(rep.Cache.SavedCost)
+			ci.SavedCost = &c
+		}
+		resp.Cache = ci
+	}
 	for _, d := range rep.Degraded {
 		dl := DegradedList{Attr: d.Attr, Target: d.Target, Attempts: d.Attempts, Cost: costOf(d.Cost)}
 		if d.Err != nil {

@@ -138,21 +138,27 @@ func (s *SourceServer) handleEntries(w http.ResponseWriter, r *http.Request) {
 	if hi > req.Lo+s.page {
 		hi = req.Lo + s.page
 	}
-	resp := EntriesResponse{Objects: []int{}, Grades: []float64{}}
-	if sl.fs != nil {
-		span, err := sl.fs.TryEntries(req.Lo, hi)
-		for _, e := range span {
-			resp.Objects = append(resp.Objects, e.Object)
-			resp.Grades = append(resp.Grades, e.Grade)
+	resp, ok := serveBound(r, sl.src, func() EntriesResponse {
+		resp := EntriesResponse{Objects: []int{}, Grades: []float64{}}
+		if sl.fs != nil {
+			span, err := sl.fs.TryEntries(req.Lo, hi)
+			for _, e := range span {
+				resp.Objects = append(resp.Objects, e.Object)
+				resp.Grades = append(resp.Grades, e.Grade)
+			}
+			if err != nil {
+				resp.Err = faultOf(err)
+			}
+		} else {
+			for _, e := range sl.src.Entries(req.Lo, hi) {
+				resp.Objects = append(resp.Objects, e.Object)
+				resp.Grades = append(resp.Grades, e.Grade)
+			}
 		}
-		if err != nil {
-			resp.Err = faultOf(err)
-		}
-	} else {
-		for _, e := range sl.src.Entries(req.Lo, hi) {
-			resp.Objects = append(resp.Objects, e.Object)
-			resp.Grades = append(resp.Grades, e.Grade)
-		}
+		return resp
+	})
+	if !ok {
+		return // client gone; nothing to write
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -167,18 +173,48 @@ func (s *SourceServer) handleGrade(w http.ResponseWriter, r *http.Request) {
 		writeFault(w, http.StatusNotFound, &Fault{Message: fmt.Sprintf("unknown list %q", req.List)})
 		return
 	}
-	var resp GradeResponse
-	if sl.fs != nil {
-		g, err := sl.fs.TryGrade(req.Object)
-		resp.Grade = g
-		if err != nil {
-			resp.Grade = 0
-			resp.Err = faultOf(err)
+	resp, ok := serveBound(r, sl.src, func() GradeResponse {
+		var resp GradeResponse
+		if sl.fs != nil {
+			g, err := sl.fs.TryGrade(req.Object)
+			resp.Grade = g
+			if err != nil {
+				resp.Grade = 0
+				resp.Err = faultOf(err)
+			}
+		} else {
+			resp.Grade = sl.src.Grade(req.Object)
 		}
-	} else {
-		resp.Grade = sl.src.Grade(req.Object)
+		return resp
+	})
+	if !ok {
+		return // client gone; nothing to write
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// serveBound runs one source access under the client's request context,
+// the way /v1/query evaluations already do: the context is forwarded
+// into the source when it has the per-request capability
+// (subsys.ContextSource), so a wedged transport call underneath is
+// abandoned, and — capability or not — the handler stops waiting the
+// moment the client disconnects instead of holding the connection until
+// the source returns. The abandoned access finishes on its own
+// goroutine and its result is discarded.
+func serveBound[T any](r *http.Request, src subsys.Source, access func() T) (T, bool) {
+	ctx := r.Context()
+	if cs, ok := src.(subsys.ContextSource); ok {
+		cs.BindContext(ctx)
+	}
+	done := make(chan T, 1)
+	go func() { done <- access() }()
+	select {
+	case v := <-done:
+		return v, true
+	case <-ctx.Done():
+		var zero T
+		return zero, false
+	}
 }
 
 // faultOf flattens a source error into the wire envelope, preserving
