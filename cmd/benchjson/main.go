@@ -89,7 +89,7 @@ func main() {
 	// (anchored: a bare "BenchmarkE1_A0_SqrtN" would also match the
 	// _Latency variants, whose real sleeps need their own -benchtime 1x
 	// invocation).
-	bench := flag.String("bench", "^(BenchmarkE1_A0_SqrtN|BenchmarkE2_A0_GeneralM)(_Parallel|_Sharded|_Faulty|_CachedRepeat|_CachedWriteMix)?$", "benchmarks to run (go test -bench regexp)")
+	bench := flag.String("bench", "^(BenchmarkE1_A0_SqrtN|BenchmarkE2_A0_GeneralM)(_Parallel|_Sharded|_Faulty|_CachedRepeat|_CachedWriteMix|_WeightedShard|_Stealing)?$|^BenchmarkE17_ShardedSkew(_WeightedShard)?$", "benchmarks to run (go test -bench regexp)")
 	benchtime := flag.String("benchtime", "1s", "go test -benchtime value")
 	out := flag.String("o", "", "output file (default stdout)")
 	compare := flag.String("compare", "", "baseline snapshot to gate cost metrics against")
@@ -193,11 +193,12 @@ func compareSnapshots(snap Snapshot, baselinePath string, tol float64) bool {
 			// A variant-suffixed benchmark (_Parallel executor, _Sharded
 			// evaluator, _Latency/_LatencyConcurrent transports, the
 			// composed _ShardedLatency/_ShardedLatencyNoPrefetch modes,
-			// and the _CachedRepeat/_CachedWriteMix result-cache mixes)
-			// pins itself to the base benchmark's historical cost
-			// trajectory. Longest suffixes first: _ShardedLatency must be
-			// stripped whole, not matched by _Sharded.
-			for _, suffix := range []string{"_ShardedLatencyNoPrefetch", "_ShardedLatency", "_CachedWriteMix", "_CachedRepeat", "_Parallel", "_Sharded", "_LatencyConcurrent", "_Latency", "_Faulty", "_WireNoPrefetch", "_Wire"} {
+			// the _CachedRepeat/_CachedWriteMix result-cache mixes, and
+			// the _WeightedShard/_Stealing planner modes) pins itself to
+			// the base benchmark's historical cost trajectory. Longest
+			// suffixes first: _ShardedLatency must be stripped whole, not
+			// matched by _Sharded, and _WeightedShard before _Sharded.
+			for _, suffix := range []string{"_ShardedLatencyNoPrefetch", "_ShardedLatency", "_CachedWriteMix", "_CachedRepeat", "_WeightedShard", "_Stealing", "_Parallel", "_Sharded", "_LatencyConcurrent", "_Latency", "_Faulty", "_WireNoPrefetch", "_Wire"} {
 				refName = strings.Replace(m.Name, suffix, "", 1)
 				if ref, found = baseline[refName]; found {
 					break

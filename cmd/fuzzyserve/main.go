@@ -46,15 +46,21 @@ import (
 
 func main() {
 	var (
-		addr   = flag.String("addr", ":8080", "listen address")
-		dbFile = flag.String("db", "", "scoring database JSON (from fuzzygen); default: generate with -n/-m/-seed")
-		n      = flag.Int("n", 10000, "objects to generate when no -db is given")
-		m      = flag.Int("m", 2, "lists to generate when no -db is given")
-		seed   = flag.Uint64("seed", 1, "generation seed when no -db is given")
-		page   = flag.Int("page", wire.DefaultPage, "entries per /v1/entries response")
-		cache  = flag.Int("cache", 0, "equip the query engine with a result cache of this many entries (0 = off); /v1/query responses then report cache handling")
+		addr      = flag.String("addr", ":8080", "listen address")
+		dbFile    = flag.String("db", "", "scoring database JSON (from fuzzygen); default: generate with -n/-m/-seed")
+		n         = flag.Int("n", 10000, "objects to generate when no -db is given")
+		m         = flag.Int("m", 2, "lists to generate when no -db is given")
+		seed      = flag.Uint64("seed", 1, "generation seed when no -db is given")
+		page      = flag.Int("page", wire.DefaultPage, "entries per /v1/entries response")
+		cache     = flag.Int("cache", 0, "equip the query engine with a result cache of this many entries (0 = off); /v1/query responses then report cache handling")
+		shardPlan = flag.String("shard-plan", "even", "default shard-boundary policy for sharded requests: even or weighted (requests may override via shard_plan)")
+		steal     = flag.Bool("steal", false, "enable work stealing between shard workers by default for sharded requests")
 	)
 	flag.Parse()
+	if *shardPlan != "even" && *shardPlan != "weighted" {
+		fmt.Fprintf(os.Stderr, "fuzzyserve: -shard-plan must be even or weighted, got %q\n", *shardPlan)
+		os.Exit(2)
+	}
 
 	db, err := loadDB(*dbFile, *n, *m, *seed)
 	if err != nil {
@@ -62,7 +68,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	mux, err := buildMux(db, *page, *cache)
+	mux, err := buildMux(db, *page, *cache, *shardPlan, *steal)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "fuzzyserve: %v\n", err)
 		os.Exit(1)
@@ -103,8 +109,10 @@ func loadDB(dbFile string, n, m int, seed uint64) (*scoredb.Database, error) {
 
 // buildMux mounts the source server (lists A1…Am) and the query server
 // (an engine over the same lists, target "*") on one mux; cache > 0
-// gives the engine a result cache of that many entries.
-func buildMux(db *scoredb.Database, page, cache int) (*http.ServeMux, error) {
+// gives the engine a result cache of that many entries. shardPlan and
+// steal become the query server's default execution policy for sharded
+// requests (requests may override the plan via shard_plan).
+func buildMux(db *scoredb.Database, page, cache int, shardPlan string, steal bool) (*http.ServeMux, error) {
 	lists := make(map[string]subsys.Source, db.M())
 	subs := make([]fuzzydb.Subsystem, db.M())
 	for i := 0; i < db.M(); i++ {
@@ -126,7 +134,14 @@ func buildMux(db *scoredb.Database, page, cache int) (*http.ServeMux, error) {
 	if err != nil {
 		return nil, err
 	}
-	qs := wire.NewQueryServer(eng)
+	var defaults []fuzzydb.QueryOption
+	if shardPlan == "weighted" {
+		defaults = append(defaults, fuzzydb.WithShardPlan(fuzzydb.ShardPlanWeighted))
+	}
+	if steal {
+		defaults = append(defaults, fuzzydb.WithWorkStealing(true))
+	}
+	qs := wire.NewQueryServer(eng, defaults...)
 
 	mux := http.NewServeMux()
 	ss.Register(mux)

@@ -763,6 +763,45 @@ func WithParallelism(p int) QueryOption { return middleware.WithParallelism(p) }
 // pipelines; see WithPrefetch).
 func WithShards(p int) QueryOption { return middleware.WithShards(p) }
 
+// ShardPlanPolicy selects how WithShards cuts the universe into shard
+// ranges; see WithShardPlan.
+type ShardPlanPolicy = core.ShardPlanPolicy
+
+// Shard boundary policies for WithShardPlan.
+const (
+	// ShardPlanEven splits the universe into near-equal object counts
+	// (the default).
+	ShardPlanEven = core.ShardPlanEven
+	// ShardPlanWeighted cuts at quantiles of the predicted access work
+	// derived from per-list grade-distribution sketches, so shard
+	// boundaries equalize expected cost instead of object count on
+	// skewed data.
+	ShardPlanWeighted = core.ShardPlanWeighted
+)
+
+// WithShardPlan selects the shard-boundary policy for WithShards.
+// Under ShardPlanWeighted the engine consults per-list
+// grade-distribution sketches — exact cached ones from subsystems that
+// can serve them, bounded unmetered sampling otherwise — and cuts the
+// universe where predicted access work balances, so one hot region no
+// longer bounds the whole sharded query. Sketching and planning never
+// touch the Section 5 tallies; with no usable sketch the plan
+// degenerates to the even split byte for byte. The report's
+// ShardDetails carries each shard's planned and actual cost. No-op
+// without WithShards.
+func WithShardPlan(p ShardPlanPolicy) QueryOption { return middleware.WithShardPlan(p) }
+
+// WithWorkStealing lets shard workers that finish early split the
+// remaining range of the most-behind running shard and evaluate the
+// ceded tail themselves, under the same shared budget pool and
+// threshold scoreboard. Answers are unchanged (the sharded-vs-unsharded
+// equivalence contract holds); per-shard tallies become timing-
+// dependent, so leave it off when reproducible cost breakdowns matter.
+// Engages only under WithShards with more than one shard worker and a
+// fence-safe algorithm; Report.Stolen and ShardDetails count the
+// splits. No-op otherwise.
+func WithWorkStealing(on bool) QueryOption { return middleware.WithWorkStealing(on) }
+
 // WithPrefetch evaluates one request with the pipelined latency-hiding
 // executor: background per-subsystem prefetchers keep sorted streams
 // ahead of the algorithm with adaptively batched accesses (depth 0 =

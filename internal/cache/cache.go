@@ -32,6 +32,13 @@ type Key struct {
 	Shards      int
 	Parallelism int
 	Prefetch    int
+	// Plan and Steal extend the execution shape for sharded requests:
+	// the shard-boundary policy and work stealing both perturb the
+	// per-shard tallies a cached report carries, so entries from
+	// different planning modes must not collide. Both zero for
+	// unsharded requests.
+	Plan  int
+	Steal bool
 }
 
 // AtomRef names one source list an entry depends on: the (attribute,

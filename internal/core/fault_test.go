@@ -306,9 +306,17 @@ func TestWedgedBatchTimedOutAndRetried(t *testing.T) {
 		out := make([]subsys.Source, len(raw))
 		for i, s := range raw {
 			f := subsys.NewFaultSource(s, subsys.FaultPlan{
-				Seed: 0xedce + uint64(i), Rate: 0.3, Transient: 1, Wedge: 200 * time.Millisecond,
+				Seed: 0xedce + uint64(i), Rate: 0.15, Transient: 1, Wedge: 200 * time.Millisecond,
 			})
-			out[i] = subsys.Resilient(f, subsys.Policy{MaxRetries: 2, PerAccessTimeout: time.Millisecond})
+			// The timeout sits far below the wedge (so abandonment, not
+			// patience, is what finishes the run) but far enough above zero
+			// that a healthy access delayed by a busy scheduler — the race
+			// detector on a loaded single core — is never misread as wedged.
+			// The retry budget needs headroom over the rate: an abandoned
+			// attempt delivers no partial span, so a run of c consecutive
+			// wedged ranks inside one batch costs c no-progress attempts
+			// before the batch advances.
+			out[i] = subsys.Resilient(f, subsys.Policy{MaxRetries: 6, PerAccessTimeout: 20 * time.Millisecond})
 		}
 		return out
 	}

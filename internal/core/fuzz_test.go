@@ -178,6 +178,51 @@ func fuzzExecutorEquivalence(t *testing.T, seed uint64) {
 		requireShardEquiv(t, label+"/sharded-par", want, sPar.Results, truth)
 	}
 
+	// Weighted planning and work stealing are transport changes too: the
+	// weighted plan moves shard boundaries to sketch quantiles, stealing
+	// splits shards mid-flight, and neither may disturb the answers —
+	// the shard-equivalence contract for exact algorithms, the
+	// byte-identical unsharded degeneration for the rest.
+	sketches := make([]*subsys.Sketch, m)
+	for j := 0; j < m; j++ {
+		sketches[j] = subsys.SketchList(db.List(j))
+	}
+	sWeighted, err := EvaluateSharded(context.Background(), tc.alg, srcs(), tc.f, k,
+		ShardConfig{Shards: shards, Parallel: 1, Plan: ShardPlanWeighted, Sketches: sketches})
+	if err != nil {
+		t.Fatalf("%s: sharded weighted: %v", label, err)
+	}
+	stealPlan := ShardPlanEven
+	if rng.Intn(2) == 0 {
+		stealPlan = ShardPlanWeighted
+	}
+	sSteal, err := EvaluateSharded(context.Background(), tc.alg, srcs(), tc.f, k,
+		ShardConfig{Shards: shards, Parallel: 2 + rng.Intn(3), Steal: true,
+			Plan: stealPlan, Sketches: sketches})
+	if err != nil {
+		t.Fatalf("%s: sharded stealing: %v", label, err)
+	}
+	if tc.alg.Exact() {
+		requireShardEquiv(t, label+"/sharded-weighted", want, sWeighted.Results, truth)
+		requireShardEquiv(t, label+"/sharded-steal", want, sSteal.Results, truth)
+	} else {
+		for i := range want {
+			if sWeighted.Results[i] != want[i] || sSteal.Results[i] != want[i] {
+				t.Errorf("%s: weighted/steal degenerate result %d diverged from unsharded", label, i)
+			}
+		}
+	}
+	var stealSum int
+	for _, d := range sSteal.Details {
+		stealSum += d.Steals
+	}
+	if stealSum != sSteal.Stolen {
+		t.Errorf("%s: per-shard steals sum %d, total %d", label, stealSum, sSteal.Stolen)
+	}
+	if !fenceSafe(tc.alg) && sSteal.Stolen != 0 {
+		t.Errorf("%s: non-fence-safe algorithm stole %d times", label, sSteal.Stolen)
+	}
+
 	// Budgets: every executor must stop at the same typed *BudgetError
 	// with the same spend — or all complete identically.
 	if full := wantCost.Sum(); full > 4 && rng.Intn(2) == 0 {

@@ -70,6 +70,26 @@ type ShardConfig struct {
 	// the concurrently running shards (0 means the Pipelined default);
 	// each shard worker gets an equal slice, floored at 1.
 	PrefetchWidth int
+	// Plan selects how the universe is cut into shard ranges: the
+	// zero value ShardPlanEven splits by object count (the historical
+	// behavior, byte for byte), ShardPlanWeighted cuts at quantiles of
+	// the predicted access work derived from Sketches. Weighted planning
+	// degenerates to even when no usable sketch is supplied.
+	Plan ShardPlanPolicy
+	// Sketches are the per-list grade-distribution sketches the weighted
+	// planner consumes, in source order; nil entries (and sketches over
+	// the wrong universe) are tolerated — a list without a sketch is
+	// assumed indifferent. Ignored under ShardPlanEven.
+	Sketches []*subsys.Sketch
+	// Steal lets a shard worker that runs out of planned work split the
+	// remaining range of the most-behind running shard and evaluate the
+	// ceded tail itself (see stealController). Engages only when more
+	// than one worker runs and the algorithm supports threshold fencing
+	// (the same exactness property that makes a truncated stream safe);
+	// otherwise it is silently inert. Stealing changes which worker does
+	// the work, never the merged answers — but it does perturb per-shard
+	// tallies, so deterministic-cost callers leave it off.
+	Steal bool
 }
 
 // pipelineExecutor builds the per-shard pipelined executor under the
@@ -130,6 +150,29 @@ type ShardReport struct {
 	// engaged: MaxDepth is the deepest refill any shard used, Stalls and
 	// Batches sum over shards and lists. Nil otherwise.
 	Prefetch *subsys.PipelineStats
+	// Details is the planning/measurement breakdown per planned shard:
+	// the range the planner drew, its predicted work (weighted plan
+	// only), the model-weighted cost actually spent inside it (stolen
+	// sub-ranges included — cost follows the plan, not the worker), and
+	// how many times it was robbed. Nil on the degenerate unsharded
+	// path.
+	Details []ShardDetail
+	// Stolen is the total number of honored steal splits.
+	Stolen int
+}
+
+// ShardDetail is one planned shard's entry in ShardReport.Details.
+type ShardDetail struct {
+	// Range is the planned id range.
+	Range subsys.ShardRange
+	// Planned is the planner's predicted work for the range, in the
+	// work proxy's unitless scale; zero under the even plan.
+	Planned float64
+	// Actual is the model-weighted access cost spent evaluating the
+	// range, including any stolen sub-ranges.
+	Actual float64
+	// Steals counts the splits honored by this shard's tasks.
+	Steals int
 }
 
 // EvaluateSharded finds the top k answers of F_t(srcs…) by partitioned
@@ -206,6 +249,10 @@ func EvaluateSharded(ctx context.Context, alg Algorithm, srcs []subsys.Source, t
 	}
 
 	plan := subsys.PlanShards(n, p)
+	var planned []float64
+	if cfg.Plan == ShardPlanWeighted {
+		plan, planned = PlanShardsWeighted(n, p, cfg.Sketches, t)
+	}
 	var board *shardBoard
 	if t.Monotone() && fenceSafe(alg) {
 		board = &shardBoard{top: boundedTopK{k: k}}
@@ -229,55 +276,115 @@ func EvaluateSharded(ctx context.Context, alg Algorithm, srcs []subsys.Source, t
 		exec = cfg.pipelineExecutor(workers, workers)
 	}
 
-	outs := make([]shardOut, len(plan))
-	runShard := func(i int) {
-		outs[i] = evalShard(ctx, alg, srcs, t, k, plan[i], model, pool, board, exec)
-		if board != nil && outs[i].err == nil {
-			board.publish(outs[i].res)
-		}
+	// taskOut attributes one evaluated range's outcome to the planned
+	// shard it descends from; without stealing there is exactly one task
+	// per planned shard.
+	type taskOut struct {
+		origin int
+		out    shardOut
 	}
-
-	if workers <= 1 {
-		// Sequential mode: shards run in index order, so the threshold
-		// scoreboard a shard stops against is a deterministic function of
-		// the data — and so are the per-shard tallies.
-		for i := range plan {
-			runShard(i)
+	var touts []taskOut
+	var ctrl *stealController
+	if cfg.Steal && workers > 1 && board != nil {
+		// Work-stealing fan-out: workers drain a dynamic task queue that
+		// starts as the plan and grows as running shards cede tails.
+		ctrl = newStealController(plan)
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					tk, ok := ctrl.next()
+					if !ok {
+						return
+					}
+					st := &stealState{task: tk}
+					out := evalShard(ctx, alg, srcs, t, k, tk.r, model, pool, board, exec, ctrl, st)
+					if out.err == nil {
+						board.publish(out.res)
+					}
+					ctrl.finish(st)
+					mu.Lock()
+					touts = append(touts, taskOut{origin: tk.origin, out: out})
+					mu.Unlock()
+				}
+			}()
 		}
+		wg.Wait()
 	} else {
-		runIndexed(workers, len(plan), runShard)
+		outs := make([]shardOut, len(plan))
+		runShard := func(i int) {
+			outs[i] = evalShard(ctx, alg, srcs, t, k, plan[i], model, pool, board, exec, nil, nil)
+			if board != nil && outs[i].err == nil {
+				board.publish(outs[i].res)
+			}
+		}
+		if workers <= 1 {
+			// Sequential mode: shards run in index order, so the threshold
+			// scoreboard a shard stops against is a deterministic function of
+			// the data — and so are the per-shard tallies.
+			for i := range plan {
+				runShard(i)
+			}
+		} else {
+			runIndexed(workers, len(plan), runShard)
+		}
+		touts = make([]taskOut, len(outs))
+		for i := range outs {
+			touts[i] = taskOut{origin: i, out: outs[i]}
+		}
 	}
 
 	rep := &ShardReport{
 		PerList:  make([]cost.Cost, len(srcs)),
 		PerShard: make([]cost.Cost, len(plan)),
+		Details:  make([]ShardDetail, len(plan)),
 		Shards:   len(plan),
 	}
+	for i, r := range plan {
+		rep.Details[i].Range = r
+		if planned != nil {
+			rep.Details[i].Planned = planned[i]
+		}
+	}
 	var firstErr error
+	firstOrigin := len(plan)
 	total := 0
-	for i := range outs {
-		rep.PerShard[i] = outs[i].total
-		rep.Cost = rep.Cost.Add(outs[i].total)
-		for j, c := range outs[i].per {
+	for _, to := range touts {
+		rep.PerShard[to.origin] = rep.PerShard[to.origin].Add(to.out.total)
+		rep.Cost = rep.Cost.Add(to.out.total)
+		for j, c := range to.out.per {
 			rep.PerList[j] = rep.PerList[j].Add(c)
 		}
-		if outs[i].piped {
+		if to.out.piped {
 			if rep.Prefetch == nil {
 				rep.Prefetch = &subsys.PipelineStats{}
 			}
-			*rep.Prefetch = rep.Prefetch.Add(outs[i].pstats)
+			*rep.Prefetch = rep.Prefetch.Add(to.out.pstats)
 		}
-		if outs[i].err != nil && firstErr == nil {
-			firstErr = outs[i].err
+		if to.out.err != nil && to.origin < firstOrigin {
+			firstErr = to.out.err
+			firstOrigin = to.origin
 		}
-		total += len(outs[i].res)
+		total += len(to.out.res)
+	}
+	for i := range rep.Details {
+		rep.Details[i].Actual = model.Of(rep.PerShard[i])
+	}
+	if ctrl != nil {
+		for i := range rep.Details {
+			rep.Details[i].Steals = ctrl.steals[i]
+		}
+		rep.Stolen = ctrl.stolen
 	}
 	if firstErr != nil {
 		return rep, firstErr
 	}
 	entries := make([]gradedset.Entry, 0, total)
-	for i := range outs {
-		for _, r := range outs[i].res {
+	for _, to := range touts {
+		for _, r := range to.out.res {
 			entries = append(entries, gradedset.Entry{Object: r.Object, Grade: r.Grade})
 		}
 	}
@@ -331,12 +438,21 @@ type shardOut struct {
 // configured), the algorithm at k clamped to the shard size, and
 // local→global id translation of the answers. An empty range evaluates
 // to nothing at zero cost.
-func evalShard(ctx context.Context, alg Algorithm, srcs []subsys.Source, t agg.Func, k int, r subsys.ShardRange, model cost.Model, pool *budgetPool, board *shardBoard, exec Executor) shardOut {
+//
+// Under work stealing (ctrl and st non-nil) the run is additionally a
+// steal victim: it registers its views with the controller, honors
+// split requests between sorted rounds (truncating its views, so its
+// streams run dry over the ceded tail — safe for exactly the fenceSafe
+// algorithms, which is why the caller gates stealing on the board), and
+// filters its answers to the final retained range before returning,
+// since the ceded ids are re-evaluated exactly by a thief.
+func evalShard(ctx context.Context, alg Algorithm, srcs []subsys.Source, t agg.Func, k int, r subsys.ShardRange, model cost.Model, pool *budgetPool, board *shardBoard, exec Executor, ctrl *stealController, st *stealState) shardOut {
 	var out shardOut
 	if r.Len() == 0 {
 		return out
 	}
-	counted := subsys.CountAll(subsys.ShardSources(srcs, r))
+	shards := subsys.ShardSources(srcs, r)
+	counted := subsys.CountAll(shards)
 	opts := []EvalOption{WithCostModel(model)}
 	if exec != nil {
 		opts = append(opts, WithExecutor(exec))
@@ -349,11 +465,39 @@ func evalShard(ctx context.Context, alg Algorithm, srcs []subsys.Source, t agg.F
 	if board != nil {
 		ec.stop = board.stopFunc(t, len(srcs))
 	}
+	if ctrl != nil && st != nil {
+		st.views = subsys.ViewsOf(shards)
+		st.cut = r.Len()
+		ctrl.begin(st)
+		ec.onStage = func() {
+			// A fenced shard (stop consumed itself) finishes in a few
+			// rounds over what it has seen: nothing worth ceding.
+			if ec.stop != nil {
+				ctrl.honor(st)
+			}
+		}
+	}
 	ks := k
 	if ks > r.Len() {
 		ks = r.Len()
 	}
 	res, err := alg.TopK(ec, counted, t, ks)
+	if ctrl != nil && st != nil {
+		if final := ctrl.freeze(st); final < r.Len() && err == nil {
+			// Drop the answers in the ceded tail: a thief owns [final,
+			// r.Len()) now, and whatever this run materialized there early
+			// would duplicate the thief's exact results in the merge (and
+			// inflate the scoreboard's k-th-grade bound, which has no
+			// dedup).
+			kept := res[:0]
+			for _, rr := range res {
+				if rr.Object < final {
+					kept = append(kept, rr)
+				}
+			}
+			res = kept
+		}
+	}
 	if err == nil {
 		// Final net for fallible sources (see Evaluate): a failed list
 		// reads as exhausted, so the algorithm may return cleanly over

@@ -112,6 +112,11 @@ func (m *Middleware) cacheKey(q query.Node, alg core.Algorithm, cfg queryConfig)
 	if par <= 1 {
 		par = 0
 	}
+	plan, steal := 0, false
+	if shards > 0 {
+		plan = int(cfg.shardPlan)
+		steal = cfg.steal
+	}
 	return cache.Key{
 		Query:       qn.String(),
 		K:           m.clampK(cfg.k),
@@ -120,6 +125,8 @@ func (m *Middleware) cacheKey(q query.Node, alg core.Algorithm, cfg queryConfig)
 		Shards:      shards,
 		Parallelism: par,
 		Prefetch:    prefetch,
+		Plan:        plan,
+		Steal:       steal,
 	}
 }
 
@@ -239,6 +246,9 @@ func cloneReport(r *Report) *Report {
 	}
 	if r.PerShard != nil {
 		cp.PerShard = append([]cost.Cost(nil), r.PerShard...)
+	}
+	if r.ShardDetails != nil {
+		cp.ShardDetails = append([]core.ShardDetail(nil), r.ShardDetails...)
 	}
 	if r.Prefetch != nil {
 		p := *r.Prefetch

@@ -322,6 +322,15 @@ type Report struct {
 	// Shards is the number of universe shards the evaluation ran over
 	// (0 for the unsharded path, 1 when WithShards degenerated to it).
 	Shards int
+	// ShardDetails is the planning/measurement breakdown per planned
+	// shard under WithShards: the planned range, its predicted work
+	// (weighted plan only), the model-weighted cost actually spent in
+	// it, and how many times it was robbed by work stealing. Nil for
+	// unsharded evaluations.
+	ShardDetails []core.ShardDetail
+	// Stolen is the total number of honored work-stealing splits
+	// (WithWorkStealing); 0 otherwise.
+	Stolen int
 	// Degraded lists the subsystem lists a degraded evaluation dropped
 	// (WithDegradedLists), in drop order: which atom, how many attempts,
 	// the terminal error, and the cost sunk into the failed attempt. Nil
@@ -361,6 +370,8 @@ type queryConfig struct {
 	alg         core.Algorithm
 	parallelism int
 	shards      int
+	shardPlan   core.ShardPlanPolicy // boundary policy under WithShards
+	steal       bool                 // WithWorkStealing under WithShards
 	budget      float64
 	model       cost.Model
 	prefetch    int  // pipelined readahead depth; meaningful when prefetchOn
@@ -420,6 +431,29 @@ func WithParallelism(p int) QueryOption {
 // unsharded regardless of this option.
 func WithShards(p int) QueryOption {
 	return func(c *queryConfig) { c.shards = p }
+}
+
+// WithShardPlan selects how WithShards cuts the universe into shard
+// ranges. core.ShardPlanEven (the default) splits by object count;
+// core.ShardPlanWeighted cuts at quantiles of the predicted access work
+// derived from the subsystems' grade-distribution sketches — subsystems
+// exposing subsys.GradeSketcher (Static, Mutable) serve exact cached
+// sketches, any other source is sketched once by bounded unmetered
+// sampling — so a skewed workload's hot region is spread across shards
+// instead of concentrating in one. Sketching and planning are invisible
+// to the Section 5 tallies. No-op without WithShards.
+func WithShardPlan(p core.ShardPlanPolicy) QueryOption {
+	return func(c *queryConfig) { c.shardPlan = p }
+}
+
+// WithWorkStealing lets a shard worker that finishes early split the
+// remaining range of the most-behind running shard and evaluate the
+// ceded tail itself (see core.ShardConfig.Steal). Engages only under
+// WithShards with more than one shard worker and a fence-safe
+// algorithm; answers are unchanged, per-shard tallies are not
+// deterministic. No-op otherwise.
+func WithWorkStealing(on bool) QueryOption {
+	return func(c *queryConfig) { c.steal = on }
 }
 
 // WithPrefetch evaluates the request with the pipelined executor, the
@@ -485,7 +519,30 @@ func (c queryConfig) shardConfig() core.ShardConfig {
 		Model:         c.model,
 		Prefetch:      c.prefetchOn,
 		PrefetchDepth: c.prefetch,
+		Plan:          c.shardPlan,
+		Steal:         c.steal,
 	}
+}
+
+// gradeSketches assembles the per-atom grade-distribution sketches the
+// weighted shard planner consumes: the subsystem's own cached sketch
+// when it implements subsys.GradeSketcher, a one-time bounded sampling
+// of the materialized list otherwise. Both routes read raw sources
+// outside any Counted, so the request's tallies are untouched.
+func (m *Middleware) gradeSketches(atoms []query.Atomic, lists []subsys.Source) []*subsys.Sketch {
+	out := make([]*subsys.Sketch, len(atoms))
+	for i, a := range atoms {
+		if gs, ok := m.subsystems[a.Attr].(subsys.GradeSketcher); ok {
+			if sk := gs.GradeSketch(a.Target); sk != nil {
+				out[i] = sk
+				continue
+			}
+		}
+		if i < len(lists) && lists[i] != nil {
+			out[i] = subsys.SampleSketch(lists[i], subsys.DefaultSketchProbes)
+		}
+	}
+	return out
 }
 
 // evalOptions lowers the request configuration onto the core evaluation
@@ -672,7 +729,11 @@ func (m *Middleware) preparePagination(ctx context.Context, q query.Node, cfg qu
 		return pagination{}, err
 	}
 	if cfg.shards > 1 {
-		sp, err := core.NewShardedPaginator(ctx, alg, lists, plan.Agg, cfg.shardConfig())
+		scfg := cfg.shardConfig()
+		if scfg.Plan == core.ShardPlanWeighted {
+			scfg.Sketches = m.gradeSketches(plan.Atoms, lists)
+		}
+		sp, err := core.NewShardedPaginator(ctx, alg, lists, plan.Agg, scfg)
 		if err != nil {
 			return pagination{}, err
 		}
@@ -832,8 +893,13 @@ func (m *Middleware) execute(ctx context.Context, plan *Plan, cfg queryConfig) (
 // tallies summed across shards (total, per atom, and — new with
 // sharding — per shard), plus the aggregated prefetch-pipeline stats.
 func (m *Middleware) executeSharded(ctx context.Context, plan *Plan, cfg queryConfig, lists []subsys.Source) (*Report, error) {
-	sr, err := core.EvaluateSharded(ctx, plan.Algorithm, lists, plan.Agg, m.clampK(cfg.k), cfg.shardConfig())
-	rep := &Report{Cost: sr.Cost, PerShard: sr.PerShard, Shards: sr.Shards, Prefetch: sr.Prefetch, Plan: plan}
+	scfg := cfg.shardConfig()
+	if scfg.Plan == core.ShardPlanWeighted {
+		scfg.Sketches = m.gradeSketches(plan.Atoms, lists)
+	}
+	sr, err := core.EvaluateSharded(ctx, plan.Algorithm, lists, plan.Agg, m.clampK(cfg.k), scfg)
+	rep := &Report{Cost: sr.Cost, PerShard: sr.PerShard, Shards: sr.Shards, Prefetch: sr.Prefetch,
+		ShardDetails: sr.Details, Stolen: sr.Stolen, Plan: plan}
 	if len(sr.PerList) == len(plan.Atoms) {
 		rep.PerList = sr.PerList
 	}

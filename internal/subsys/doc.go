@@ -86,6 +86,28 @@
 // What Fence never touches: delivered prefixes, tallies, memos, or
 // random access.
 //
+// # Grade-distribution sketches (planning metadata)
+//
+// A Sketch is an equi-depth histogram of one list's grade mass over the
+// id axis: at most DefaultSketchBuckets contiguous id buckets cut so
+// each holds a near-equal share of the list's total grade, which makes
+// the cuts quantiles of the mass distribution — hot id regions get
+// narrow buckets, cold tails get wide ones — and MassBetween answers
+// "how much grade lives in [lo, hi)?" with per-bucket uniform
+// interpolation. SketchList builds the exact sketch from a materialized
+// list; SampleSketch estimates one from any Source using a bounded,
+// deterministic burst of strided random probes and no sorted access at
+// all, for opaque or remote subsystems whose sorted streams must not be
+// disturbed. Sketches are planning metadata, not evaluation state:
+// building one is never a metered access and never moves a cursor, so
+// the Section 5 tallies of a query are identical whether or not its
+// shard plan consulted sketches. Static and Mutable subsystems cache
+// one sketch per target and invalidate it with exactly the mutations
+// that move grade mass (UpdateGrade, Set — the same events that bump a
+// Versioned epoch), so a planner never cuts the universe against stale
+// distributions. core.PlanShardsWeighted consumes these to place shard
+// boundaries at quantiles of expected work instead of object count.
+//
 // Sharding and the prefetch pipelines compose: a Counted over a
 // ShardView may run StartPrefetch, so the pipeline worker drives the
 // view's lazy re-ranking scan — batched parent Entries spans, filtered

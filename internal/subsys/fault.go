@@ -296,6 +296,17 @@ func (f *FaultSubsystem) Query(target string) (Source, error) {
 	return fs, nil
 }
 
+// GradeSketch forwards GradeSketcher: fault injection does not move
+// grade mass, so weighted shard plans — and the tallies that depend on
+// the cut boundaries — are identical with and without the fault layer,
+// and sketching never trips an injected fault site.
+func (f *FaultSubsystem) GradeSketch(target string) *Sketch {
+	if gs, ok := f.sub.(GradeSketcher); ok {
+		return gs.GradeSketch(target)
+	}
+	return nil
+}
+
 // Injected sums the faults injected across every source this subsystem
 // has produced.
 func (f *FaultSubsystem) Injected() int64 {

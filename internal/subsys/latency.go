@@ -211,3 +211,15 @@ func (l *LatencySubsystem) Query(target string) (Source, error) {
 	}
 	return NewLatencySource(src, l.perCall, l.perItem, l.opts...), nil
 }
+
+// GradeSketch forwards GradeSketcher: simulated latency does not move
+// grade mass, so the shard planner must see the same distribution it
+// would see against the unwrapped subsystem — weighted plans (and with
+// them the Section 5 tallies) stay transport-invariant, and sketching
+// never pays the simulated round trips.
+func (l *LatencySubsystem) GradeSketch(target string) *Sketch {
+	if gs, ok := l.sub.(GradeSketcher); ok {
+		return gs.GradeSketch(target)
+	}
+	return nil
+}

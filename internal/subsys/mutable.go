@@ -62,11 +62,12 @@ type Mutable struct {
 	n          int
 	journalCap int
 
-	mu      sync.RWMutex
-	lists   map[string]*gradedset.List
-	epoch   uint64
-	floor   uint64 // UpdatesSince(since) with since < floor is unanswerable
-	journal []Update
+	mu       sync.RWMutex
+	lists    map[string]*gradedset.List
+	epoch    uint64
+	floor    uint64 // UpdatesSince(since) with since < floor is unanswerable
+	journal  []Update
+	sketches map[string]*Sketch // lazily built; dropped when the target's grades move
 }
 
 // NewMutable builds a mutable subsystem over an n-object universe.
@@ -81,6 +82,7 @@ func NewMutable(attr string, n, journalDepth int) *Mutable {
 		n:          n,
 		journalCap: journalDepth,
 		lists:      make(map[string]*gradedset.List),
+		sketches:   make(map[string]*Sketch),
 	}
 }
 
@@ -101,6 +103,7 @@ func (m *Mutable) Set(target string, l *gradedset.List) {
 	m.epoch++
 	m.journal = m.journal[:0]
 	m.floor = m.epoch
+	delete(m.sketches, target)
 }
 
 // UpdateGrade changes the grade of obj under target to g, copy-on-write:
@@ -127,6 +130,7 @@ func (m *Mutable) UpdateGrade(target string, obj int, g float64) error {
 	}
 	m.lists[target] = nl
 	m.epoch++
+	delete(m.sketches, target)
 	m.journal = append(m.journal, Update{Seq: m.epoch, Target: target, Object: obj, Old: old, New: g})
 	if len(m.journal) > m.journalCap {
 		drop := len(m.journal) - m.journalCap
@@ -147,6 +151,33 @@ func (m *Mutable) Query(target string) (Source, error) {
 		return nil, fmt.Errorf("%w: %q for attribute %q", ErrUnknownTarget, target, m.attr)
 	}
 	return FromList(l), nil
+}
+
+// GradeSketch implements GradeSketcher: the exact equi-depth sketch of
+// the target's current list, built on first request and cached until
+// the next update that touches the target — Set and UpdateGrade both
+// bump the epoch and drop the cached sketch, so a planner never cuts
+// the universe against stale grade mass. Planning metadata, never
+// metered. Unknown targets yield nil.
+func (m *Mutable) GradeSketch(target string) *Sketch {
+	m.mu.RLock()
+	sk, ok := m.sketches[target]
+	m.mu.RUnlock()
+	if ok {
+		return sk
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if sk, ok := m.sketches[target]; ok {
+		return sk
+	}
+	l, ok := m.lists[target]
+	if !ok {
+		return nil
+	}
+	sk = SketchList(l)
+	m.sketches[target] = sk
+	return sk
 }
 
 // Epoch implements Versioned.

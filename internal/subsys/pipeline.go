@@ -165,11 +165,15 @@ func (p *pipeline) run() {
 			p.mu.Unlock()
 			return
 		}
-		if ferr != nil && len(span) < hi-lo {
-			// Terminal source failure inside the batch: absorb the partial
-			// span (the consumer still drains it, pinning the failure to
-			// the first missing rank), record the cause, and shut down.
-			// The consumer wakes via updates, drains, and reads err. An
+		if len(span) < hi-lo {
+			// The batch came back short: a terminal source failure inside
+			// it, or — with no error — a stream that genuinely ended early
+			// (a shard view truncated by work stealing). Either way absorb
+			// the partial span (the consumer still drains it; a failure
+			// pins to the first missing rank), record the cause if any,
+			// and shut down: fetched advances only by what arrived, so
+			// await never over-promises and the consumer falls through to
+			// a direct read that settles the stream as failed or dry. An
 			// error alongside a COMPLETE span is not a failure of this
 			// batch — a source that scans beyond the request internally
 			// (a shard view's chunked re-ranking) hit a fault past it —

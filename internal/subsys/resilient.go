@@ -471,6 +471,16 @@ func (w *ResilientSubsystem) Query(target string) (Source, error) {
 	return rs, nil
 }
 
+// GradeSketch forwards GradeSketcher: the resilience layer is transport,
+// not data, so the shard planner sees the wrapped subsystem's exact
+// distribution and weighted plans stay invariant under it.
+func (w *ResilientSubsystem) GradeSketch(target string) *Sketch {
+	if gs, ok := w.sub.(GradeSketcher); ok {
+		return gs.GradeSketch(target)
+	}
+	return nil
+}
+
 // Stats sums the resilience counters across every source this subsystem
 // has produced.
 func (w *ResilientSubsystem) Stats() ResilienceStats {

@@ -21,15 +21,21 @@ func (r ShardRange) Len() int { return r.Hi - r.Lo }
 
 // PlanShards splits the dense universe {0,…,n−1} into p contiguous
 // ranges of near-equal size (the first n mod p shards hold one extra
-// object). p < 1 is treated as 1; when p exceeds n the first n shards
-// hold one object each and the remaining ranges are empty — callers
-// evaluating per shard skip empty ranges.
+// object). p < 1 is treated as 1, and p is clamped to n (floored at 1)
+// so the plan never contains a zero-width trailing shard: every planned
+// range is non-empty, and callers allocating a ShardView plus scratch
+// per range never pay for shards that could not hold an object.
 func PlanShards(n, p int) []ShardRange {
 	if p < 1 {
 		p = 1
 	}
 	if n < 0 {
 		n = 0
+	}
+	if p > n {
+		if p = n; p < 1 {
+			p = 1 // empty universe: one empty range, not p of them
+		}
 	}
 	out := make([]ShardRange, p)
 	base, rem := n/p, n%p
@@ -81,14 +87,15 @@ type ShardView struct {
 	r         ShardRange
 	parentLen int
 
-	mu      sync.Mutex        // guards entries/scanned (lazy re-ranking)
+	mu      sync.Mutex        // guards entries/scanned/cut (lazy re-ranking)
 	entries []gradedset.Entry // local-id entries in shard rank order
 	scanned int               // parent ranks examined so far
+	cut     int               // future fills keep only local ids < cut (work stealing)
 }
 
 // NewShardView builds the shard's re-ranked view of parent.
 func NewShardView(parent Source, r ShardRange) *ShardView {
-	v := &ShardView{parent: parent, r: r, parentLen: parent.Len()}
+	v := &ShardView{parent: parent, r: r, parentLen: parent.Len(), cut: r.Len()}
 	if fp, ok := parent.(FallibleSource); ok {
 		v.fparent = fp
 	}
@@ -143,8 +150,8 @@ func (s *ShardView) fill(n int) {
 			hi = s.parentLen
 		}
 		for _, e := range s.parent.Entries(s.scanned, hi) {
-			if e.Object >= s.r.Lo && e.Object < s.r.Hi {
-				s.entries = append(s.entries, gradedset.Entry{Object: e.Object - s.r.Lo, Grade: e.Grade})
+			if local := e.Object - s.r.Lo; local >= 0 && local < s.cut {
+				s.entries = append(s.entries, gradedset.Entry{Object: local, Grade: e.Grade})
 			}
 		}
 		s.scanned = hi
@@ -168,6 +175,15 @@ func (s *ShardView) Entries(lo, hi int) []gradedset.Entry {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.fill(hi)
+	// A truncated view (see Truncate) holds fewer than r.Len() entries
+	// once its parent is fully scanned: clamp instead of overrunning, so
+	// the consumer sees a short span — the dry-stream signal.
+	if n := len(s.entries); hi > n {
+		hi = n
+		if lo > hi {
+			lo = hi
+		}
+	}
 	return s.entries[lo:hi]
 }
 
@@ -198,8 +214,8 @@ func (s *ShardView) tryFill(n int) error {
 		}
 		span, err := s.fparent.TryEntries(s.scanned, hi)
 		for _, e := range span {
-			if e.Object >= s.r.Lo && e.Object < s.r.Hi {
-				s.entries = append(s.entries, gradedset.Entry{Object: e.Object - s.r.Lo, Grade: e.Grade})
+			if local := e.Object - s.r.Lo; local >= 0 && local < s.cut {
+				s.entries = append(s.entries, gradedset.Entry{Object: local, Grade: e.Grade})
 			}
 		}
 		s.scanned += len(span)
@@ -252,4 +268,62 @@ func (s *ShardView) Scanned() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.scanned
+}
+
+// Truncate narrows the view's future responsibility to the local ids
+// below cut: entries already materialized are kept (removing them would
+// re-rank a stream a consumer may have buffered), but every future fill
+// delivers only ids < cut, so the view's sorted stream eventually runs
+// dry instead of covering the ceded tail. The stream stays a valid
+// descending-grade sequence: a subsequence of the parent's canonical
+// order containing every id < cut, plus whatever ceded ids happened to
+// be materialized already — a thief re-evaluates the ceded range
+// [cut, Len()) in full, so the work-stealing driver filters this view's
+// shard results to ids < cut before merging.
+//
+// cut only ever shrinks; a larger value is a no-op. Safe to call while
+// other goroutines read the view (a prefetch pipeline mid-fill observes
+// the new cut on its next chunk at the latest).
+func (s *ShardView) Truncate(cut int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cut < 0 {
+		cut = 0
+	}
+	if cut < s.cut {
+		s.cut = cut
+	}
+}
+
+// Cut reports the view's current local responsibility bound: r.Len()
+// until Truncate shrinks it.
+func (s *ShardView) Cut() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cut
+}
+
+// Filled reports how many re-ranked entries the view has materialized —
+// the progress proxy a work-stealing driver uses to find the
+// most-behind shard.
+func (s *ShardView) Filled() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// ViewsOf extracts the underlying *ShardView from sources built by
+// ShardSources (plain views and their fallible faces alike); other
+// source kinds yield nil at their index.
+func ViewsOf(srcs []Source) []*ShardView {
+	out := make([]*ShardView, len(srcs))
+	for i, s := range srcs {
+		switch v := s.(type) {
+		case *ShardView:
+			out[i] = v
+		case fallibleShardView:
+			out[i] = v.ShardView
+		}
+	}
+	return out
 }

@@ -15,10 +15,12 @@ func TestPlanShards(t *testing.T) {
 		{10, 3, []int{4, 3, 3}},
 		{9, 3, []int{3, 3, 3}},
 		{7, 1, []int{7}},
-		{5, 0, []int{5}},             // p < 1 behaves as 1
-		{5, -2, []int{5}},            // ditto
-		{3, 5, []int{1, 1, 1, 0, 0}}, // p > n: trailing empty slices
-		{0, 2, []int{0, 0}},
+		{5, 0, []int{5}},       // p < 1 behaves as 1
+		{5, -2, []int{5}},      // ditto
+		{3, 5, []int{1, 1, 1}}, // p > n: clamped, no zero-width trailing shards
+		{1, 8, []int{1}},       // ditto, extreme
+		{0, 2, []int{0}},       // empty universe: one empty range, not p of them
+		{0, 0, []int{0}},
 	}
 	for _, tc := range cases {
 		plan := PlanShards(tc.n, tc.p)

@@ -93,19 +93,22 @@ func (s ListSource) Universe() (int, bool) { return s.list.DenseUniverse() }
 // order, so re-reads never touch the source again.
 type Counted struct {
 	src     Source
-	fs      FallibleSource    // non-nil when src exposes the fallible face
-	idx     int               // list index within the evaluation (SourceError.List)
-	serr    *SourceError      // sticky first failure; the stream then reads as exhausted
-	length  int               // src.Len(), cached off the interface
-	fetched int               // paid high-water mark: entries delivered by sorted access
-	random  int               // R for this list
-	fenced  bool              // sorted stream closed early (threshold stop); see Fence
-	prefix  []gradedset.Entry // buffered prefix, prefix[r] = entry at rank r; may exceed fetched
-	dc      *denseCache       // dense-universe memo; nil → map fallback
-	known   map[int]float64   // map fallback memo (also overflow for out-of-universe probes)
-	pipe    *pipeline         // background prefetcher; nil until StartPrefetch
-	pstats  PipelineStats     // stats snapshot kept past Release
-	piped   bool              // a pipeline ran at some point (pstats is meaningful)
+	fs      FallibleSource // non-nil when src exposes the fallible face
+	idx     int            // list index within the evaluation (SourceError.List)
+	serr    *SourceError   // sticky first failure; the stream then reads as exhausted
+	length  int            // src.Len(), cached off the interface
+	fetched int            // paid high-water mark: entries delivered by sorted access
+	random  int            // R for this list
+	fenced  bool           // sorted stream closed early (threshold stop); see Fence
+	dry     bool           // source delivered short of a demand without error: the
+	// stream ended before Len() ranks (a work-stealing truncated shard
+	// view); cursors past the buffered prefix read as exhausted
+	prefix []gradedset.Entry // buffered prefix, prefix[r] = entry at rank r; may exceed fetched
+	dc     *denseCache       // dense-universe memo; nil → map fallback
+	known  map[int]float64   // map fallback memo (also overflow for out-of-universe probes)
+	pipe   *pipeline         // background prefetcher; nil until StartPrefetch
+	pstats PipelineStats     // stats snapshot kept past Release
+	piped  bool              // a pipeline ran at some point (pstats is meaningful)
 }
 
 // Count wraps src for metered access. When src reports a dense universe
@@ -250,8 +253,8 @@ func (c *Counted) buffer(n int, demand bool) {
 	if n <= len(c.prefix) {
 		return
 	}
-	if c.serr != nil {
-		// Failed list: the sorted stream reads as exhausted at the
+	if c.serr != nil || c.dry {
+		// Failed or dry list: the sorted stream reads as exhausted at the
 		// already-buffered prefix; no further source accesses.
 		return
 	}
@@ -261,6 +264,11 @@ func (c *Counted) buffer(n int, demand bool) {
 		for len(c.prefix) < n && c.pipe.await(n, nil) {
 			c.prefix = c.pipe.drainInto(c.prefix)
 		}
+		// The close path returns from await without a drain: absorb the
+		// worker's final partial span before deciding anything, so a
+		// failure pins to the true first missing rank and the direct
+		// read below never overlaps ranks still parked in the spool.
+		c.prefix = c.pipe.drainInto(c.prefix)
 		if n <= len(c.prefix) {
 			return
 		}
@@ -290,10 +298,23 @@ func (c *Counted) buffer(n int, demand bool) {
 			// actually needs it.
 			c.failSorted(len(c.prefix), err)
 		}
+		if err == nil && len(c.prefix) < n {
+			// Short without error: the stream genuinely ended before Len()
+			// ranks — a shard view truncated by work stealing. Unlike a
+			// swallowed fault this is permanent, so mark the stream dry
+			// whether the read was demand or readahead.
+			c.dry = true
+		}
 		return
 	}
 	span := c.src.Entries(len(c.prefix), n)
 	c.prefix = append(c.prefix, span...)
+	if len(c.prefix) < n {
+		// Infallible sources deliver every requested rank below Len() —
+		// except a shard view truncated by work stealing, whose stream
+		// ends early. Mark it dry so cursors read it as exhausted.
+		c.dry = true
+	}
 }
 
 // failSorted records the sticky first failure of this list's sorted
@@ -618,7 +639,7 @@ func (cu *Cursor) Next() (e gradedset.Entry, ok bool) {
 // sorted access on the underlying list. Callers must genuinely want all
 // max entries: every entry returned is paid for.
 func (cu *Cursor) NextBatch(max int) []gradedset.Entry {
-	if max <= 0 || cu.pos >= cu.list.Len() || cu.list.fenced || cu.list.serr != nil {
+	if max <= 0 || cu.Exhausted() {
 		return nil
 	}
 	hi := cu.pos + max
@@ -710,8 +731,10 @@ func (cu *Cursor) AwaitAhead(n int, stop <-chan struct{}) bool {
 func (cu *Cursor) LastGrade() float64 { return cu.last }
 
 // Exhausted reports whether the cursor has consumed the whole list, the
-// list was fenced, or the list's source failed — in every case a closed
-// stream with nothing further to consume.
+// list was fenced, the list's source failed, or the stream ran dry (a
+// work-stealing truncated view delivered its last in-range rank) — in
+// every case a closed stream with nothing further to consume.
 func (cu *Cursor) Exhausted() bool {
-	return cu.list.fenced || cu.list.serr != nil || cu.pos >= cu.list.Len()
+	return cu.list.fenced || cu.list.serr != nil || cu.pos >= cu.list.Len() ||
+		(cu.list.dry && cu.pos >= len(cu.list.prefix))
 }

@@ -99,6 +99,13 @@ type QueryRequest struct {
 	Parallelism int `json:"parallelism,omitempty"`
 	// Shards partitions the universe (WithShards); 0/1 means unsharded.
 	Shards int `json:"shards,omitempty"`
+	// ShardPlan selects the shard-boundary policy for sharded requests:
+	// "even" (or empty) for equal-width ranges, "weighted" for
+	// sketch-driven skew-aware cuts (WithShardPlan).
+	ShardPlan string `json:"shard_plan,omitempty"`
+	// Steal enables work stealing between shard workers
+	// (WithWorkStealing).
+	Steal bool `json:"steal,omitempty"`
 	// Budget caps the weighted access cost (WithAccessBudget); 0 = none.
 	Budget float64 `json:"budget,omitempty"`
 	// Prefetch selects the pipelined executor with this readahead depth
@@ -153,6 +160,18 @@ type CacheInfo struct {
 	SavedCost *Cost `json:"saved_cost,omitempty"`
 }
 
+// ShardDetail is the JSON form of core.ShardDetail: one planned
+// shard's range [Lo, Hi), the planner's expected work, the weighted
+// cost actually paid by accesses attributed to it, and how many times
+// work was stolen from it.
+type ShardDetail struct {
+	Lo      int     `json:"lo"`
+	Hi      int     `json:"hi"`
+	Planned float64 `json:"planned"`
+	Actual  float64 `json:"actual"`
+	Steals  int     `json:"steals,omitempty"`
+}
+
 // DegradedList records one list a degraded evaluation dropped.
 type DegradedList struct {
 	Attr     string `json:"attr"`
@@ -172,6 +191,13 @@ type QueryResponse struct {
 	// PerShard breaks the cost down by universe shard (sharded requests).
 	PerShard []Cost `json:"per_shard,omitempty"`
 	Shards   int    `json:"shards,omitempty"`
+	// ShardDetails carries the planner's view of each shard (planned
+	// range and expected work, actual cost, steal count); present only
+	// on sharded requests.
+	ShardDetails []ShardDetail `json:"shard_details,omitempty"`
+	// Stolen is the total number of work-stealing splits the evaluation
+	// performed (0 unless the request enabled stealing).
+	Stolen int `json:"stolen,omitempty"`
 	// Algorithm and Reason describe the plan that produced the results.
 	Algorithm string `json:"algorithm"`
 	Reason    string `json:"reason"`

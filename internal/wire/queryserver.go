@@ -22,17 +22,28 @@ import (
 // into the engine — in-flight evaluation stops at its next cancellation
 // poll, budget reservations settle, and pooled state is released.
 type QueryServer struct {
-	eng    *middleware.Middleware
-	active atomic.Int64
-	mux    *http.ServeMux
+	eng      *middleware.Middleware
+	defaults []middleware.QueryOption
+	active   atomic.Int64
+	mux      *http.ServeMux
 }
 
-// NewQueryServer builds a query server over the engine.
-func NewQueryServer(eng *middleware.Middleware) *QueryServer {
-	s := &QueryServer{eng: eng}
+// NewQueryServer builds a query server over the engine. defaults are
+// request options applied to every evaluation before the request's own
+// (so a request field that maps to the same option overrides the
+// server default) — the hook for server-side execution policy like
+// a default shard plan or work stealing.
+func NewQueryServer(eng *middleware.Middleware, defaults ...middleware.QueryOption) *QueryServer {
+	s := &QueryServer{eng: eng, defaults: defaults}
 	s.mux = http.NewServeMux()
 	s.Register(s.mux)
 	return s
+}
+
+// options combines the server defaults with the request's own options,
+// request last so it wins where both speak.
+func (s *QueryServer) options(req QueryRequest) []middleware.QueryOption {
+	return append(append([]middleware.QueryOption(nil), s.defaults...), req.options()...)
 }
 
 // Register mounts the query endpoints on mux, so callers can combine
@@ -64,6 +75,16 @@ func (q QueryRequest) options() []middleware.QueryOption {
 	if q.Shards > 1 {
 		opts = append(opts, middleware.WithShards(q.Shards))
 	}
+	switch q.ShardPlan {
+	case "weighted":
+		opts = append(opts, middleware.WithShardPlan(core.ShardPlanWeighted))
+	case "even":
+		// Explicit, so a request can override a weighted server default.
+		opts = append(opts, middleware.WithShardPlan(core.ShardPlanEven))
+	}
+	if q.Steal {
+		opts = append(opts, middleware.WithWorkStealing(true))
+	}
 	if q.Budget > 0 {
 		opts = append(opts, middleware.WithAccessBudget(q.Budget))
 	}
@@ -88,7 +109,7 @@ func (s *QueryServer) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.active.Add(1)
 	defer s.active.Add(-1)
 	start := time.Now()
-	rep, err := s.eng.QueryString(r.Context(), req.Query, req.options()...)
+	rep, err := s.eng.QueryString(r.Context(), req.Query, s.options(req)...)
 	if err != nil {
 		status, f := queryFault(err)
 		if rep != nil {
@@ -109,7 +130,14 @@ func responseOf(rep *middleware.Report, elapsed time.Duration) QueryResponse {
 		PerList:   costsOf(rep.PerList),
 		PerShard:  costsOf(rep.PerShard),
 		Shards:    rep.Shards,
+		Stolen:    rep.Stolen,
 		ElapsedNS: elapsed.Nanoseconds(),
+	}
+	for _, d := range rep.ShardDetails {
+		resp.ShardDetails = append(resp.ShardDetails, ShardDetail{
+			Lo: d.Range.Lo, Hi: d.Range.Hi,
+			Planned: d.Planned, Actual: d.Actual, Steals: d.Steals,
+		})
 	}
 	for _, r := range rep.Results {
 		resp.Results = append(resp.Results, Result{Object: r.Object, Grade: r.Grade})
@@ -171,7 +199,7 @@ func queryFault(err error) (int, *Fault) {
 
 // resultsRequest parses the GET /v1/results URL parameters (the
 // QueryRequest fields flattened: q, k, parallelism, shards, budget,
-// prefetch, degrade).
+// prefetch, degrade, shard_plan, steal).
 func resultsRequest(r *http.Request) (QueryRequest, error) {
 	q := r.URL.Query()
 	req := QueryRequest{Query: q.Get("q")}
@@ -210,6 +238,14 @@ func resultsRequest(r *http.Request) (QueryRequest, error) {
 		}
 		req.Prefetch = &d
 	}
+	req.ShardPlan = q.Get("shard_plan")
+	if v := q.Get("steal"); v != "" {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			return req, fmt.Errorf("bad steal: %v", err)
+		}
+		req.Steal = b
+	}
 	return req, nil
 }
 
@@ -231,7 +267,7 @@ func (s *QueryServer) handleResults(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
-	for res, err := range s.eng.ResultsString(r.Context(), req.Query, req.options()...) {
+	for res, err := range s.eng.ResultsString(r.Context(), req.Query, s.options(req)...) {
 		if err != nil {
 			_, f := queryFault(err)
 			_ = enc.Encode(f)
