@@ -11,11 +11,15 @@ package fuzzydb_test
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand/v2"
 	"net/http"
 	"net/http/httptest"
+	"sort"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -957,6 +961,123 @@ func BenchmarkEngineThroughput(b *testing.B) {
 	b.StopTimer()
 	if secs := b.Elapsed().Seconds(); secs > 0 {
 		b.ReportMetric(float64(b.N)/secs, "queries/sec")
+	}
+}
+
+// BenchmarkEngineThroughput_Saturated extends BenchmarkEngineThroughput
+// past the cooperative regime: the same workload behind an admission
+// scheduler, driven by a mixed-tenant load generator at 4×
+// oversubscription (4·MaxConcurrent callers split across two
+// equal-weight tenants, each query under its own deadline). Reported
+// alongside sustained queries/sec: p50/p99 latency, the shed rate, and
+// the Jain fairness index over the tenants' settled access-cost shares
+// — 1.0 is perfectly fair; the run fails if either tenant's share
+// drifts more than 20% from its fair half, or if any shed request
+// surfaces as anything but a typed *fuzzydb.OverloadError carrying a
+// positive RetryAfter. Wall-clock metrics only — nothing here is gated
+// by the cost-regression harness.
+func BenchmarkEngineThroughput_Saturated(b *testing.B) {
+	const (
+		n       = 16384
+		maxConc = 4
+		oversub = 4
+	)
+	db := scoredb.Generator{N: n, M: 2, Seed: 23}.MustGenerate()
+	a1 := fuzzydb.NewStaticSubsystem("A1", n)
+	a1.Set("*", db.List(0))
+	a2 := fuzzydb.NewStaticSubsystem("A2", n)
+	a2.Set("*", db.List(1))
+	tenants := []string{"tenant-a", "tenant-b"}
+	sched := fuzzydb.NewScheduler(fuzzydb.SchedulerConfig{
+		MaxConcurrent: maxConc,
+		MaxQueue:      4, // small, so oversubscription genuinely sheds
+		Rate:          1e9,
+		Burst:         1e9, // generous buckets: the pressure is the concurrency gate
+		Tenants: map[string]fuzzydb.SchedulerTenantConfig{
+			tenants[0]: {Weight: 1},
+			tenants[1]: {Weight: 1},
+		},
+	})
+	eng, err := fuzzydb.NewEngine([]fuzzydb.Subsystem{a1, a2}, fuzzydb.WithScheduler(sched))
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := fuzzydb.ParseQuery(`A1 = "*" AND A2 = "*"`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	workers := maxConc * oversub
+	latencies := make([][]time.Duration, workers)
+	var issued, shed, badShed atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tenant := tenants[w%len(tenants)]
+			for issued.Add(1) <= int64(b.N) {
+				qctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+				start := time.Now()
+				_, qerr := eng.Query(qctx, q, fuzzydb.TopN(10), fuzzydb.WithTenant(tenant))
+				cancel()
+				if qerr != nil {
+					var oe *fuzzydb.OverloadError
+					if !errors.As(qerr, &oe) || oe.RetryAfter <= 0 {
+						badShed.Add(1)
+					}
+					shed.Add(1)
+					continue
+				}
+				latencies[w] = append(latencies[w], time.Since(start))
+			}
+		}(w)
+	}
+	wg.Wait()
+	b.StopTimer()
+	if badShed.Load() > 0 {
+		b.Fatalf("%d rejections were not typed *fuzzydb.OverloadError with positive RetryAfter", badShed.Load())
+	}
+	var all []time.Duration
+	for _, ls := range latencies {
+		all = append(all, ls...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	if len(all) > 0 {
+		b.ReportMetric(float64(all[len(all)/2]), "p50-ns")
+		b.ReportMetric(float64(all[len(all)*99/100]), "p99-ns")
+	}
+	var shares []float64
+	var total float64
+	for _, st := range sched.Stats() {
+		shares = append(shares, st.SettledCost)
+		total += st.SettledCost
+	}
+	if len(shares) == 2 && total > 0 {
+		// Jain fairness index: (Σx)² / (k·Σx²); 1.0 = perfectly fair.
+		var sq float64
+		for _, x := range shares {
+			sq += x * x
+		}
+		b.ReportMetric(total*total/(float64(len(shares))*sq), "fairness-index")
+		// Only judge fairness once the sample is big enough to be
+		// signal: short calibration runs (-benchtime=1x) stay silent.
+		if int64(b.N) >= 256 {
+			for i, x := range shares {
+				if share := x / total; share < 0.4 || share > 0.6 {
+					b.Fatalf("tenant %d settled share %.3f drifts more than 20%% from its fair half (shares %v)", i, share, shares)
+				}
+			}
+		}
+	}
+	done := int64(len(all))
+	if issuedN := done + shed.Load(); issuedN > 0 {
+		b.ReportMetric(float64(shed.Load())/float64(issuedN), "shed-rate")
+	}
+	if secs := b.Elapsed().Seconds(); secs > 0 && done > 0 {
+		b.ReportMetric(float64(done)/secs, "queries/sec")
 	}
 }
 

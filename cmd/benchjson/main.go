@@ -28,7 +28,8 @@
 // "..._Sharded/N=65536", "..._Latency/m=5", "..._LatencyConcurrent/…",
 // "..._ShardedLatency/m=5", "..._ShardedLatencyNoPrefetch/…",
 // "..._Faulty/m=5", "..._Wire/m=5", "..._WireNoPrefetch/…",
-// "..._CachedRepeat/m=5", "..._CachedWriteMix/…") with no
+// "..._CachedRepeat/m=5", "..._CachedWriteMix/…", "..._Saturated")
+// with no
 // counterpart in the old snapshot is compared against its base name
 // ("…/m=5"), which is how the serial executor, the concurrent executor,
 // the sharded evaluator, the latency-wrapped pipelined executor, the
@@ -194,11 +195,12 @@ func compareSnapshots(snap Snapshot, baselinePath string, tol float64) bool {
 			// evaluator, _Latency/_LatencyConcurrent transports, the
 			// composed _ShardedLatency/_ShardedLatencyNoPrefetch modes,
 			// the _CachedRepeat/_CachedWriteMix result-cache mixes, and
-			// the _WeightedShard/_Stealing planner modes) pins itself to
+			// the _WeightedShard/_Stealing planner modes, the _Saturated
+			// admission-control drive) pins itself to
 			// the base benchmark's historical cost trajectory. Longest
 			// suffixes first: _ShardedLatency must be stripped whole, not
 			// matched by _Sharded, and _WeightedShard before _Sharded.
-			for _, suffix := range []string{"_ShardedLatencyNoPrefetch", "_ShardedLatency", "_CachedWriteMix", "_CachedRepeat", "_WeightedShard", "_Stealing", "_Parallel", "_Sharded", "_LatencyConcurrent", "_Latency", "_Faulty", "_WireNoPrefetch", "_Wire"} {
+			for _, suffix := range []string{"_ShardedLatencyNoPrefetch", "_ShardedLatency", "_CachedWriteMix", "_CachedRepeat", "_WeightedShard", "_Saturated", "_Stealing", "_Parallel", "_Sharded", "_LatencyConcurrent", "_Latency", "_Faulty", "_WireNoPrefetch", "_Wire"} {
 				refName = strings.Replace(m.Name, suffix, "", 1)
 				if ref, found = baseline[refName]; found {
 					break

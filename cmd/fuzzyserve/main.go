@@ -11,6 +11,17 @@
 //
 //	fuzzyserve -n 100000 -m 3 -seed 7 -addr :8080
 //
+// Admission control (off by default): -rate/-burst meter every tenant's
+// spend in Section 5 access-cost units, -max-concurrent bounds the
+// evaluations in flight, and -tenants grants named tenants weights and
+// their own buckets, e.g.
+//
+//	fuzzyserve -rate 5000 -burst 20000 -max-concurrent 8 \
+//	    -tenants "gold=3,bronze=1"
+//
+// Requests name their tenant in the query body ("tenant") or the
+// X-Fuzzydb-Tenant header; shed requests get HTTP 429 with Retry-After.
+//
 // Endpoints (see the internal/wire package documentation for the full
 // protocol spec):
 //
@@ -34,6 +45,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -55,10 +68,23 @@ func main() {
 		cache     = flag.Int("cache", 0, "equip the query engine with a result cache of this many entries (0 = off); /v1/query responses then report cache handling")
 		shardPlan = flag.String("shard-plan", "even", "default shard-boundary policy for sharded requests: even or weighted (requests may override via shard_plan)")
 		steal     = flag.Bool("steal", false, "enable work stealing between shard workers by default for sharded requests")
+
+		readTimeout = flag.Duration("read-timeout", 10*time.Second, "full-request read deadline (slowloris guard); header deadline is min(5s, this)")
+
+		rate    = flag.Float64("rate", 0, "per-tenant token refill in access-cost units per second (0 = no token metering)")
+		burst   = flag.Float64("burst", 0, "per-tenant token-bucket capacity in access-cost units (0 with -rate set = a sane default)")
+		maxConc = flag.Int("max-concurrent", 0, "evaluations in flight at once across all tenants (0 = unbounded)")
+		tenants = flag.String("tenants", "", `named tenants with fair-share weights, e.g. "gold=3,bronze=1" (unlisted tenants get weight 1)`)
 	)
 	flag.Parse()
 	if *shardPlan != "even" && *shardPlan != "weighted" {
 		fmt.Fprintf(os.Stderr, "fuzzyserve: -shard-plan must be even or weighted, got %q\n", *shardPlan)
+		os.Exit(2)
+	}
+
+	sched, err := buildScheduler(*rate, *burst, *maxConc, *tenants)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fuzzyserve: %v\n", err)
 		os.Exit(2)
 	}
 
@@ -68,13 +94,29 @@ func main() {
 		os.Exit(1)
 	}
 
-	mux, err := buildMux(db, *page, *cache, *shardPlan, *steal)
+	mux, err := buildMux(db, *page, *cache, *shardPlan, *steal, sched)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "fuzzyserve: %v\n", err)
 		os.Exit(1)
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: mux}
+	headerTimeout := 5 * time.Second
+	if *readTimeout > 0 && *readTimeout < headerTimeout {
+		headerTimeout = *readTimeout
+	}
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: mux,
+		// Slowloris guard: a client must finish its headers and body
+		// within these deadlines or the connection is dropped. No
+		// WriteTimeout, deliberately — /v1/results is an unbounded
+		// NDJSON streaming cursor paced by the consumer, and a write
+		// deadline would sever every slow-but-live stream; cancellation
+		// of abandoned streams comes from the request context instead.
+		ReadHeaderTimeout: headerTimeout,
+		ReadTimeout:       *readTimeout,
+		IdleTimeout:       120 * time.Second,
+	}
 	done := make(chan error, 1)
 	go func() { done <- srv.ListenAndServe() }()
 	log.Printf("fuzzyserve: serving %d lists over %d objects on %s", db.M(), db.N(), *addr)
@@ -94,6 +136,31 @@ func main() {
 	}
 }
 
+// buildScheduler assembles the admission scheduler from the -rate,
+// -burst, -max-concurrent, and -tenants flags; all unset means no
+// admission layer (nil scheduler).
+func buildScheduler(rate, burst float64, maxConc int, tenants string) (*fuzzydb.Scheduler, error) {
+	if rate <= 0 && burst <= 0 && maxConc <= 0 && tenants == "" {
+		return nil, nil
+	}
+	cfg := fuzzydb.SchedulerConfig{Rate: rate, Burst: burst, MaxConcurrent: maxConc}
+	if tenants != "" {
+		cfg.Tenants = make(map[string]fuzzydb.SchedulerTenantConfig)
+		for _, spec := range strings.Split(tenants, ",") {
+			name, weightStr, ok := strings.Cut(strings.TrimSpace(spec), "=")
+			if !ok || name == "" {
+				return nil, fmt.Errorf(`-tenants: want "name=weight[,name=weight...]", got %q`, spec)
+			}
+			w, err := strconv.ParseFloat(weightStr, 64)
+			if err != nil || w <= 0 {
+				return nil, fmt.Errorf("-tenants: bad weight for %q: %q", name, weightStr)
+			}
+			cfg.Tenants[name] = fuzzydb.SchedulerTenantConfig{Weight: w}
+		}
+	}
+	return fuzzydb.NewScheduler(cfg), nil
+}
+
 // loadDB reads the scoring database, or generates one.
 func loadDB(dbFile string, n, m int, seed uint64) (*scoredb.Database, error) {
 	if dbFile == "" {
@@ -111,8 +178,9 @@ func loadDB(dbFile string, n, m int, seed uint64) (*scoredb.Database, error) {
 // (an engine over the same lists, target "*") on one mux; cache > 0
 // gives the engine a result cache of that many entries. shardPlan and
 // steal become the query server's default execution policy for sharded
-// requests (requests may override the plan via shard_plan).
-func buildMux(db *scoredb.Database, page, cache int, shardPlan string, steal bool) (*http.ServeMux, error) {
+// requests (requests may override the plan via shard_plan); a non-nil
+// sched puts the engine behind admission control.
+func buildMux(db *scoredb.Database, page, cache int, shardPlan string, steal bool, sched *fuzzydb.Scheduler) (*http.ServeMux, error) {
 	lists := make(map[string]subsys.Source, db.M())
 	subs := make([]fuzzydb.Subsystem, db.M())
 	for i := 0; i < db.M(); i++ {
@@ -129,6 +197,9 @@ func buildMux(db *scoredb.Database, page, cache int, shardPlan string, steal boo
 	var engOpts []fuzzydb.EngineOption
 	if cache > 0 {
 		engOpts = append(engOpts, fuzzydb.WithCache(cache))
+	}
+	if sched != nil {
+		engOpts = append(engOpts, fuzzydb.WithScheduler(sched))
 	}
 	eng, err := fuzzydb.NewEngine(subs, engOpts...)
 	if err != nil {

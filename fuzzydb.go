@@ -205,6 +205,36 @@
 // middleware fuzz harness; see package internal/cache for the
 // invalidation argument and the staleness contract.
 //
+// # Admission control: tenants, fair scheduling, load shedding
+//
+// One engine process shared by many callers needs a policy for who
+// runs when the offered load exceeds what the sources can serve.
+// WithScheduler(NewScheduler(cfg)) places an admission layer in front
+// of Query and Results, denominated in the same Section 5 access-cost
+// units the engine meters: each tenant (named per request by
+// WithTenant) holds a token bucket refilled at a configured rate of
+// cost units per second, a query reserves its tenant's recent-cost
+// estimate on admission and settles the reservation against the exact
+// cost its Report tallied (a cache hit settles at zero), and tenants
+// with queued work are admitted in weighted-fair order — over any
+// saturated interval each backlogged tenant receives access-cost
+// service proportional to its configured weight. A global
+// MaxConcurrent bounds the evaluations in flight, and each admitted
+// query is granted a share of a global MaxWidth prefetch/gather
+// envelope, clamping its pipelined fan-out and shard workers so total
+// source pressure stays bounded no matter how many callers arrive.
+//
+// Work that cannot be served in time is shed, not queued forever: a
+// request rejects with a typed *OverloadError — tenant, queue depth,
+// and a RetryAfter advice — when its tenant's queue overflows or its
+// context deadline provably cannot be met. cmd/fuzzyserve maps the
+// shed to HTTP 429 with a Retry-After header, which resilient wire
+// clients honor over their own exponential backoff, so a fleet drains
+// at the server's advised pace. An engine built without WithScheduler
+// has no admission layer at all: nothing is metered, queued, or
+// reordered, and every report stays bit-identical to an engine that
+// predates the scheduler.
+//
 // Lower-level building blocks — the algorithms, aggregation functions,
 // graded sets, synthetic workload generators, and the experiment harness
 // reproducing the paper's analysis — are exported as aliases so library
@@ -222,6 +252,7 @@ import (
 	"fuzzydb/internal/gradedset"
 	"fuzzydb/internal/middleware"
 	"fuzzydb/internal/query"
+	"fuzzydb/internal/sched"
 	"fuzzydb/internal/scoredb"
 	"fuzzydb/internal/subsys"
 )
@@ -726,6 +757,42 @@ type (
 // subsystems evict only the entries they could disturb. Invalidate,
 // CacheStats, and CacheLen on the engine manage and observe it.
 func WithCache(capacity int) EngineOption { return middleware.WithCache(capacity) }
+
+// Admission control (see the package notes on admission control).
+type (
+	// Scheduler is the admission-control layer WithScheduler installs:
+	// per-tenant token buckets in access-cost units, weighted-fair
+	// admission, a concurrency/width governor, and deadline-aware load
+	// shedding. Build one with NewScheduler; one Scheduler may front
+	// several engines to give them a shared admission domain.
+	Scheduler = sched.Scheduler
+	// SchedulerConfig configures NewScheduler: default Rate/Burst,
+	// MaxConcurrent, MaxQueue, MaxWidth, and per-tenant overrides.
+	SchedulerConfig = sched.Config
+	// SchedulerTenantConfig is one tenant's weight and token-bucket
+	// override inside SchedulerConfig.Tenants.
+	SchedulerTenantConfig = sched.TenantConfig
+	// OverloadError is the typed rejection of a shed request: the
+	// tenant, its queue depth, and a RetryAfter advice (errors.As).
+	OverloadError = sched.OverloadError
+	// TenantStats is one tenant's admission counters (Scheduler.Stats).
+	TenantStats = sched.TenantStats
+)
+
+// NewScheduler builds an admission scheduler for WithScheduler.
+func NewScheduler(cfg SchedulerConfig) *Scheduler { return sched.New(cfg) }
+
+// WithScheduler places an admission scheduler in front of the engine:
+// every Query and Results call is first admitted against its tenant's
+// token bucket and the weighted-fair queue, and settled with the
+// request's exact access cost afterwards. Overload rejects with a
+// typed *OverloadError. A nil scheduler leaves admission off.
+func WithScheduler(s *Scheduler) EngineOption { return middleware.WithScheduler(s) }
+
+// WithTenant names the admission tenant one request bills to under an
+// engine built WithScheduler; without a scheduler it is inert. The
+// empty name (the default) is the anonymous tenant.
+func WithTenant(name string) QueryOption { return middleware.WithTenant(name) }
 
 // Per-request options for Engine.Query, Engine.QueryString,
 // Engine.Results, and Engine.Paginate.

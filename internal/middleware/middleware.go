@@ -89,6 +89,7 @@ import (
 	"fuzzydb/internal/core"
 	"fuzzydb/internal/cost"
 	"fuzzydb/internal/query"
+	"fuzzydb/internal/sched"
 	"fuzzydb/internal/subsys"
 )
 
@@ -99,7 +100,8 @@ type Middleware struct {
 	sem         query.Semantics
 	n           int
 	names       []string
-	resultCache *cache.Cache // nil without WithCache; see cache.go
+	resultCache *cache.Cache     // nil without WithCache; see cache.go
+	sched       *sched.Scheduler // nil without WithScheduler; see sched.go
 }
 
 // Errors returned by the middleware. The sentinels classify; the typed
@@ -374,9 +376,11 @@ type queryConfig struct {
 	steal       bool                 // WithWorkStealing under WithShards
 	budget      float64
 	model       cost.Model
-	prefetch    int  // pipelined readahead depth; meaningful when prefetchOn
-	prefetchOn  bool // WithPrefetch given: use the pipelined executor
-	maxDrop     int  // WithDegradedLists: lists the request may lose
+	prefetch    int    // pipelined readahead depth; meaningful when prefetchOn
+	prefetchOn  bool   // WithPrefetch given: use the pipelined executor
+	maxDrop     int    // WithDegradedLists: lists the request may lose
+	tenant      string // WithTenant: who the request bills to (sched.go)
+	widthCap    int    // scheduler width grant; 0 = no cap (sched.go)
 }
 
 // QueryOption configures one evaluation (see Query and Results).
@@ -511,17 +515,30 @@ func newQueryConfig(opts []QueryOption) queryConfig {
 // (the gather/depth budget is divided across shard workers by core);
 // WithParallelism keeps its shard-worker-cap meaning, so the width
 // budget stays at the executor default under sharding.
+// A scheduler width grant (sched.go) caps both the shard-worker count
+// and the total gather budget, so admitted queries divide the global
+// envelope instead of each claiming the executor default.
 func (c queryConfig) shardConfig() core.ShardConfig {
 	return core.ShardConfig{
 		Shards:        c.shards,
-		Parallel:      c.parallelism,
+		Parallel:      c.clampParallel(c.parallelism),
 		Budget:        c.budget,
 		Model:         c.model,
 		Prefetch:      c.prefetchOn,
 		PrefetchDepth: c.prefetch,
+		PrefetchWidth: c.widthCap,
 		Plan:          c.shardPlan,
 		Steal:         c.steal,
 	}
+}
+
+// clampParallel bounds a worker count by the scheduler's width grant
+// (no-op without one).
+func (c queryConfig) clampParallel(p int) int {
+	if c.widthCap > 0 && (p == 0 || p > c.widthCap) {
+		return c.widthCap
+	}
+	return p
 }
 
 // gradeSketches assembles the per-atom grade-distribution sketches the
@@ -554,14 +571,21 @@ func (c queryConfig) evalOptions() []core.EvalOption {
 	if c.prefetchOn {
 		// WithParallelism(p>1) caps the in-flight probes; p ≤ 1 (the
 		// "serial" default) keeps the executor's wider default — a
-		// pipelined request is concurrent by nature.
+		// pipelined request is concurrent by nature. A scheduler width
+		// grant overrides both: the grant is the request's share of
+		// the global goroutine/buffer envelope.
 		width := 0
 		if c.parallelism > 1 {
 			width = c.parallelism
 		}
+		if c.widthCap > 0 && (width == 0 || width > c.widthCap) {
+			width = c.widthCap
+		}
 		opts = append(opts, core.WithExecutor(core.Pipelined{P: width, Depth: c.prefetch}))
 	} else if c.parallelism > 1 {
-		opts = append(opts, core.WithExecutor(core.Concurrent{P: c.parallelism}))
+		if p := c.clampParallel(c.parallelism); p > 1 {
+			opts = append(opts, core.WithExecutor(core.Concurrent{P: p}))
+		}
 	}
 	if c.budget > 0 {
 		opts = append(opts, core.WithAccessBudget(c.budget))
@@ -596,8 +620,25 @@ func (m *Middleware) clampK(k int) int {
 // (Report.Degraded) along with the full spend including the failed
 // attempts. Without the option a source failure fails fast: the typed
 // error plus a valid partial-cost report.
+// Under an engine built WithScheduler, the request is first admitted
+// against its tenant's token bucket and the weighted-fair queue (see
+// WithTenant); an overloaded scheduler rejects with a typed
+// *sched.OverloadError before any planning work, and the admitted
+// request's exact cost settles its reservation afterwards.
 func (m *Middleware) Query(ctx context.Context, q query.Node, opts ...QueryOption) (*Report, error) {
 	cfg := newQueryConfig(opts)
+	grant, err := m.admit(ctx, &cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := m.queryDispatch(ctx, q, cfg)
+	grant.Settle(settledCost(cfg, rep))
+	return rep, err
+}
+
+// queryDispatch routes an admitted request to the cache path or the
+// compute-from-scratch path.
+func (m *Middleware) queryDispatch(ctx context.Context, q query.Node, cfg queryConfig) (*Report, error) {
 	if m.resultCache != nil && cfg.cacheable() {
 		return m.queryCached(ctx, q, cfg)
 	}
@@ -660,12 +701,22 @@ func (m *Middleware) QueryString(ctx context.Context, q string, opts ...QueryOpt
 // iterator yields one (zero Result, err) pair and stops.
 func (m *Middleware) Results(ctx context.Context, q query.Node, opts ...QueryOption) iter.Seq2[core.Result, error] {
 	return func(yield func(core.Result, error) bool) {
-		pag, err := m.preparePagination(ctx, q, newQueryConfig(opts))
+		cfg := newQueryConfig(opts)
+		grant, err := m.admit(ctx, &cfg)
 		if err != nil {
 			yield(core.Result{}, err)
 			return
 		}
+		pag, err := m.preparePagination(ctx, q, cfg)
+		if err != nil {
+			grant.Settle(0)
+			yield(core.Result{}, err)
+			return
+		}
+		// LIFO deferral order: the settle closure runs before Release,
+		// while the paginator's cumulative tallies are still readable.
 		defer pag.p.Release()
+		defer func() { grant.Settle(cfg.model.Of(pag.p.Cost())) }()
 		pageSize := m.clampK(pag.pageSize)
 		for {
 			page, err := pag.p.NextPage(pageSize)

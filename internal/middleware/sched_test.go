@@ -1,0 +1,156 @@
+package middleware
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"fuzzydb/internal/sched"
+	"fuzzydb/internal/subsys"
+)
+
+// schedStore builds the running-example engine behind an admission
+// scheduler, with any extra engine options appended.
+func schedStore(t *testing.T, s *sched.Scheduler, extra ...Option) *Middleware {
+	t.Helper()
+	artists := []string{"Beatles", "Beatles", "Stones", "Stones", "Dylan", "Beatles"}
+	mw, err := New(
+		[]subsys.Subsystem{subsys.NewRelational("Artist", artists)},
+		append([]Option{WithScheduler(s)}, extra...)...,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mw
+}
+
+// TestSchedulerSettlesTenantExactCost pins the reserve-then-settle
+// protocol end to end: an admitted query's reservation is settled with
+// exactly the model-weighted Section 5 cost its report tallied, under
+// the tenant the request named.
+func TestSchedulerSettlesTenantExactCost(t *testing.T) {
+	s := sched.New(sched.Config{Rate: 1e6, Burst: 1e6})
+	mw := schedStore(t, s)
+	rep, err := mw.QueryString(context.Background(), `Artist = "Beatles"`, TopN(2), WithTenant("gold"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := rep.Cost.Sorted + rep.Cost.Random // Unweighted model
+	st := s.Stats()
+	if len(st) != 1 || st[0].Tenant != "gold" {
+		t.Fatalf("stats = %+v, want exactly tenant gold", st)
+	}
+	if st[0].Admitted != 1 || st[0].SettledCost != float64(want) {
+		t.Fatalf("tenant gold settled %v over %d admissions, want cost %d over 1",
+			st[0].SettledCost, st[0].Admitted, want)
+	}
+	if n := s.Inflight(); n != 0 {
+		t.Fatalf("inflight after query = %d, want 0", n)
+	}
+}
+
+// TestSchedulerShedsTypedOverload pins the shed path through the
+// engine: a tenant whose fixed token pool is spent gets a typed
+// *sched.OverloadError from Query, before any planning work.
+func TestSchedulerShedsTypedOverload(t *testing.T) {
+	s := sched.New(sched.Config{Tenants: map[string]sched.TenantConfig{
+		"broke": {Burst: 1}, // zero rate: one full-bucket admission, then dry
+	}})
+	mw := schedStore(t, s)
+	ctx := context.Background()
+	if _, err := mw.QueryString(ctx, `Artist = "Beatles"`, WithTenant("broke")); err != nil {
+		t.Fatalf("first query should ride the full-bucket allowance: %v", err)
+	}
+	rep, err := mw.QueryString(ctx, `Artist = "Beatles"`, WithTenant("broke"))
+	var oe *sched.OverloadError
+	if !errors.As(err, &oe) {
+		t.Fatalf("second query: got (%v, %v), want *sched.OverloadError", rep, err)
+	}
+	if oe.Tenant != "broke" || oe.RetryAfter <= 0 {
+		t.Fatalf("overload = %+v, want tenant broke with positive RetryAfter", oe)
+	}
+	st := s.Stats()
+	if len(st) != 1 || st[0].Shed != 1 {
+		t.Fatalf("stats = %+v, want one shed for broke", st)
+	}
+}
+
+// TestSchedulerResultsSettlesStreamCost pins admission on the
+// streaming path: a drained Results iterator settles the paginator's
+// cumulative spend against the tenant's reservation.
+func TestSchedulerResultsSettlesStreamCost(t *testing.T) {
+	s := sched.New(sched.Config{Rate: 1e6, Burst: 1e6})
+	mw := schedStore(t, s)
+	n := 0
+	for _, err := range mw.ResultsString(context.Background(), `Artist = "Beatles"`, TopN(2), WithTenant("gold")) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n == 0 {
+		t.Fatal("stream yielded nothing")
+	}
+	st := s.Stats()
+	if len(st) != 1 || st[0].Admitted != 1 || st[0].SettledCost <= 0 {
+		t.Fatalf("stats = %+v, want one admission with positive settled cost", st)
+	}
+	if n := s.Inflight(); n != 0 {
+		t.Fatalf("inflight after stream = %d, want 0", n)
+	}
+}
+
+// TestSchedulerCacheHitSettlesZero pins the cache interaction: a hit
+// consumed no source accesses, so it spends no tokens — the tenant's
+// settled total is unchanged by the repeat.
+func TestSchedulerCacheHitSettlesZero(t *testing.T) {
+	s := sched.New(sched.Config{Rate: 1e6, Burst: 1e6})
+	mw := schedStore(t, s, WithCache(8))
+	ctx := context.Background()
+	const q = `Artist = "Beatles"`
+	if _, err := mw.QueryString(ctx, q, TopN(2), WithTenant("gold")); err != nil {
+		t.Fatal(err)
+	}
+	afterMiss := s.Stats()[0].SettledCost
+	rep, err := mw.QueryString(ctx, q, TopN(2), WithTenant("gold"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cache == nil || !rep.Cache.Hit {
+		t.Fatalf("second query cache = %+v, want hit", rep.Cache)
+	}
+	st := s.Stats()[0]
+	if st.SettledCost != afterMiss {
+		t.Fatalf("hit changed the settled total: %v -> %v, want unchanged", afterMiss, st.SettledCost)
+	}
+	if st.Admitted != 2 {
+		t.Fatalf("admitted = %d, want 2 (hits are admitted, they just settle free)", st.Admitted)
+	}
+}
+
+// TestSchedulerWidthGrantCapsParallelism pins the governor wiring: a
+// scheduler with a small MaxWidth clamps the request's executor width
+// without changing its answers.
+func TestSchedulerWidthGrantCapsParallelism(t *testing.T) {
+	s := sched.New(sched.Config{Rate: 1e6, Burst: 1e6, MaxWidth: 2})
+	mw := schedStore(t, s)
+	bare := schedStore(t, nil)
+	ctx := context.Background()
+	const q = `Artist = "Beatles"`
+	got, err := mw.QueryString(ctx, q, TopN(2), WithTenant("gold"), WithParallelism(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := bare.QueryString(ctx, q, TopN(2), WithParallelism(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Results) != len(want.Results) {
+		t.Fatalf("clamped run answers %v, unclamped %v", got.Results, want.Results)
+	}
+	for i := range got.Results {
+		if got.Results[i] != want.Results[i] {
+			t.Fatalf("clamped run answers %v, unclamped %v", got.Results, want.Results)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package sched
+
+import (
+	"sync"
+	"time"
+)
+
+// bucket is one tenant's token bucket, denominated in Section 5
+// access-cost units. Tokens refill continuously at rate units/second
+// up to capacity; reservations debit immediately and settlement
+// adjusts the debit to the exact spend (possibly driving the level
+// negative — an overdraft subsequent refill repays). A rate of zero
+// never refills: the bucket is then a fixed pool replenished only by
+// settlement credits. Safe for concurrent use.
+type bucket struct {
+	rate     float64 // units per second; 0 = no refill
+	capacity float64
+
+	mu     sync.Mutex
+	tokens float64
+	last   time.Time
+	now    func() time.Time // test hook
+}
+
+func newBucket(rate, capacity float64, now func() time.Time) *bucket {
+	b := &bucket{rate: rate, capacity: capacity, now: now}
+	b.tokens = capacity // initial burst: start full
+	b.last = now()
+	return b
+}
+
+// refillLocked advances the token level to the current time. A clock
+// that runs backwards (an injected test clock; wall rewinds) never
+// destroys tokens: the negative interval is discarded and refill
+// resumes from the rewound instant.
+func (b *bucket) refillLocked() {
+	t := b.now()
+	dt := t.Sub(b.last)
+	b.last = t
+	if dt <= 0 || b.rate <= 0 {
+		return
+	}
+	b.tokens += dt.Seconds() * b.rate
+	if b.tokens > b.capacity {
+		b.tokens = b.capacity
+	}
+}
+
+// need is the token level reserve(est) requires: the estimate, bounded
+// by the capacity — a full bucket always admits one query, even when
+// one query's estimate exceeds the whole burst (otherwise such a
+// tenant could never run; the overdraft repays from refill).
+func (b *bucket) need(est float64) float64 {
+	if est > b.capacity {
+		return b.capacity
+	}
+	return est
+}
+
+// reserve debits est tokens if the bucket covers need(est), reporting
+// whether it did.
+func (b *bucket) reserve(est float64) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked()
+	if b.tokens < b.need(est) {
+		return false
+	}
+	b.tokens -= est
+	return true
+}
+
+// settle replaces a reservation's estimate with the actual spend:
+// the difference est−actual is credited back (or debited further when
+// the query overran), clamped above by capacity. The level may go
+// negative; refill repays the overdraft before new reservations pass.
+func (b *bucket) settle(est, actual float64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked()
+	b.tokens += est - actual
+	if b.tokens > b.capacity {
+		b.tokens = b.capacity
+	}
+}
+
+// eta reports how long until reserve(est) could succeed: zero when it
+// would succeed now, the refill time to cover the shortfall otherwise,
+// and -1 when refill alone can never cover it (zero rate) — only
+// settlement credits could.
+func (b *bucket) eta(est float64) time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked()
+	short := b.need(est) - b.tokens
+	if short <= 0 {
+		return 0
+	}
+	if b.rate <= 0 {
+		return -1
+	}
+	return time.Duration(short / b.rate * float64(time.Second))
+}
+
+// level reports the current token level (tests and stats).
+func (b *bucket) level() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked()
+	return b.tokens
+}

@@ -1,0 +1,454 @@
+package sched
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Defaults for Config fields left at their zero value.
+const (
+	// DefaultMaxQueue is the per-tenant waiting-request bound.
+	DefaultMaxQueue = 256
+	// DefaultEstimate is the cost-unit reserve for a tenant with no
+	// settled history (roughly one small top-k evaluation).
+	DefaultEstimate = 256
+	// DefaultMaxWidth is the global prefetch/gather width envelope,
+	// matching the pipelined executor's default gather width.
+	DefaultMaxWidth = 64
+	// minRetryAfter floors the RetryAfter advice carried by an
+	// OverloadError, so shed callers never busy-spin on a zero.
+	minRetryAfter = time.Millisecond
+	// defaultRetryAfter is the advice when no refill ETA exists (zero
+	// rate: only settlement credits can revive the tenant).
+	defaultRetryAfter = time.Second
+	// maxParkInterval bounds one uninterrupted wait, so a parked
+	// acquirer re-evaluates shedding conditions periodically even when
+	// nothing settles.
+	maxParkInterval = 250 * time.Millisecond
+)
+
+// TenantConfig overrides the scheduler-wide defaults for one tenant.
+type TenantConfig struct {
+	// Weight is the tenant's fair-share weight (≤ 0 means 1): over any
+	// saturated interval, backlogged tenants receive access-cost
+	// service proportional to their weights.
+	Weight float64
+	// Rate overrides Config.Rate for this tenant (> 0).
+	Rate float64
+	// Burst overrides Config.Burst for this tenant (> 0).
+	Burst float64
+}
+
+// Config configures a Scheduler. The zero value of each field selects
+// the documented default; a wholly zero Config admits everything
+// unmetered (no buckets, no concurrency bound) but still single-files
+// admissions through the fair queue.
+type Config struct {
+	// Rate is the default per-tenant token refill in cost units per
+	// second. Rate ≤ 0 with Burst ≤ 0 disables token metering for
+	// tenants without their own TenantConfig rates.
+	Rate float64
+	// Burst is the default bucket capacity (and initial fill) in cost
+	// units; ≤ 0 with a positive Rate defaults to one second of refill
+	// or DefaultEstimate, whichever is larger.
+	Burst float64
+	// MaxConcurrent bounds the queries evaluating at once across all
+	// tenants; ≤ 0 means unbounded.
+	MaxConcurrent int
+	// MaxQueue bounds one tenant's waiting requests; a waiter beyond
+	// it sheds with *OverloadError. ≤ 0 means DefaultMaxQueue.
+	MaxQueue int
+	// MaxWidth is the global prefetch/gather width envelope divided
+	// among in-flight queries (each grant's Width is MaxWidth/inflight,
+	// floored at 1). ≤ 0 means DefaultMaxWidth.
+	MaxWidth int
+	// DefaultEstimate is the reserve for a query whose tenant has no
+	// settled cost history; ≤ 0 means the DefaultEstimate constant.
+	DefaultEstimate float64
+	// Tenants pre-registers per-tenant weights and bucket overrides.
+	// Tenants not listed are admitted with weight 1 and the default
+	// rate/burst on first arrival.
+	Tenants map[string]TenantConfig
+}
+
+// OverloadError reports a request the scheduler shed: the tenant's
+// queue was full, the request's deadline provably could not be met, or
+// its bucket could never cover the reserve. It is transient over the
+// wire (a retry AFTER the advised interval may succeed), and the wire
+// layer maps it to HTTP 429 with a Retry-After header.
+type OverloadError struct {
+	// Tenant is the tenant whose request was shed.
+	Tenant string
+	// QueueDepth is how many requests the tenant had waiting.
+	QueueDepth int
+	// RetryAfter advises how long to wait before retrying.
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("sched: tenant %q overloaded (queue depth %d): retry after %v",
+		e.Tenant, e.QueueDepth, e.RetryAfter)
+}
+
+// Transient implements the retry-decision capability consulted by
+// subsys.Resilient: shedding is momentary by construction.
+func (e *OverloadError) Transient() bool { return true }
+
+// tenant is one tenant's scheduling state.
+type tenant struct {
+	name   string
+	weight float64
+	bucket *bucket // nil: unmetered (no rate, no burst configured)
+	pass   float64 // stride-scheduling virtual pass
+	queued int     // acquirers currently waiting
+	est    float64 // EWMA of settled costs; 0 = no history yet
+
+	admitted int64
+	shed     int64
+	settled  float64 // total settled cost (fairness observation)
+}
+
+// TenantStats is one tenant's cumulative admission counters.
+type TenantStats struct {
+	// Tenant names the tenant.
+	Tenant string
+	// Admitted counts admitted queries.
+	Admitted int64
+	// Shed counts requests rejected with *OverloadError.
+	Shed int64
+	// SettledCost is the total access-cost spend settled against the
+	// tenant's bucket — the fairness measure.
+	SettledCost float64
+	// Queued is the current waiting-request depth.
+	Queued int
+}
+
+// Scheduler is the admission-control layer: Acquire before evaluating,
+// Settle the returned Grant with the exact Report cost after. See the
+// package documentation for the currency, fairness, and shedding
+// contracts. Safe for concurrent use; a nil *Scheduler admits
+// everything (every method no-ops).
+type Scheduler struct {
+	cfg Config
+	now func() time.Time // test hook
+
+	mu       sync.Mutex
+	gen      chan struct{} // closed and replaced on every state change
+	tenants  map[string]*tenant
+	inflight int
+	vtime    float64 // virtual time: pass of the last admission
+	avgLat   float64 // EWMA seconds per admitted query (queue-wait estimate)
+}
+
+// New builds a scheduler; see Config for the knobs and their defaults.
+func New(cfg Config) *Scheduler {
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = DefaultMaxQueue
+	}
+	if cfg.MaxWidth <= 0 {
+		cfg.MaxWidth = DefaultMaxWidth
+	}
+	if cfg.DefaultEstimate <= 0 {
+		cfg.DefaultEstimate = DefaultEstimate
+	}
+	s := &Scheduler{
+		cfg:     cfg,
+		now:     time.Now,
+		gen:     make(chan struct{}),
+		tenants: make(map[string]*tenant),
+	}
+	for name := range cfg.Tenants {
+		s.tenantLocked(name)
+	}
+	return s
+}
+
+// tenantLocked finds or creates the named tenant's state under s.mu.
+func (s *Scheduler) tenantLocked(name string) *tenant {
+	if t, ok := s.tenants[name]; ok {
+		return t
+	}
+	tc := s.cfg.Tenants[name]
+	t := &tenant{name: name, weight: tc.Weight, pass: s.vtime}
+	if t.weight <= 0 {
+		t.weight = 1
+	}
+	rate, burst := s.cfg.Rate, s.cfg.Burst
+	if tc.Rate > 0 {
+		rate = tc.Rate
+	}
+	if tc.Burst > 0 {
+		burst = tc.Burst
+	}
+	if rate > 0 || burst > 0 {
+		if burst <= 0 {
+			burst = rate
+			if burst < s.cfg.DefaultEstimate {
+				burst = s.cfg.DefaultEstimate
+			}
+		}
+		t.bucket = newBucket(rate, burst, s.now)
+	}
+	s.tenants[name] = t
+	return t
+}
+
+// wake releases every parked acquirer to re-evaluate admission.
+func (s *Scheduler) wake() {
+	s.mu.Lock()
+	close(s.gen)
+	s.gen = make(chan struct{})
+	s.mu.Unlock()
+}
+
+// estimateLocked is the reserve for one of t's queries: the tenant's
+// settled-cost EWMA, the configured default before any history.
+func (s *Scheduler) estimateLocked(t *tenant) float64 {
+	if t.est > 0 {
+		if t.est < 1 {
+			return 1
+		}
+		return t.est
+	}
+	return s.cfg.DefaultEstimate
+}
+
+// eligibleLocked reports whether tenant o's own bucket could admit a
+// query right now — the gate that keeps a token-starved tenant from
+// holding the stride queue's head against tenants that have tokens.
+func (s *Scheduler) eligibleLocked(o *tenant) bool {
+	if o.queued == 0 {
+		return false
+	}
+	return o.bucket == nil || o.bucket.eta(s.estimateLocked(o)) == 0
+}
+
+// turnLocked reports whether t holds the smallest pass among tenants
+// with ELIGIBLE waiters (ties broken by name, for determinism); t's
+// own eligibility is the caller's reserve call.
+func (s *Scheduler) turnLocked(t *tenant) bool {
+	for _, o := range s.tenants {
+		if o == t || !s.eligibleLocked(o) {
+			continue
+		}
+		if o.pass < t.pass || (o.pass == t.pass && o.name < t.name) {
+			return false
+		}
+	}
+	return true
+}
+
+// waitEstimateLocked predicts how long a query of tenant t must wait
+// before admission: the bucket's refill ETA plus the concurrency
+// queue-wait (waiters ahead over MaxConcurrent slots at the recent
+// average service time). A negative return means refill alone can
+// never cover the reserve (zero rate).
+func (s *Scheduler) waitEstimateLocked(t *tenant, est float64) time.Duration {
+	var wait time.Duration
+	if t.bucket != nil {
+		eta := t.bucket.eta(est)
+		if eta < 0 {
+			return -1
+		}
+		wait = eta
+	}
+	if s.cfg.MaxConcurrent > 0 && s.inflight >= s.cfg.MaxConcurrent && s.avgLat > 0 {
+		waiting := 0
+		for _, o := range s.tenants {
+			waiting += o.queued
+		}
+		waves := 1 + waiting/s.cfg.MaxConcurrent
+		qwait := time.Duration(float64(waves) * s.avgLat * float64(time.Second))
+		if qwait > wait {
+			wait = qwait
+		}
+	}
+	return wait
+}
+
+// shedLocked records the rejection and builds the typed error.
+// Callers drop s.mu and wake after.
+func (s *Scheduler) shedLocked(t *tenant, retry time.Duration) *OverloadError {
+	if retry < 0 {
+		retry = defaultRetryAfter
+	}
+	if retry < minRetryAfter {
+		retry = minRetryAfter
+	}
+	t.queued--
+	t.shed++
+	return &OverloadError{Tenant: t.name, QueueDepth: t.queued, RetryAfter: retry}
+}
+
+// Grant is one admitted query's reservation: the engine evaluates
+// under the granted Width and must Settle exactly once with the
+// query's actual weighted access cost (0 for a cache hit or a query
+// that never ran). Settle is idempotent and nil-safe, so a nil
+// *Scheduler path settles a nil grant harmlessly.
+type Grant struct {
+	s       *Scheduler
+	t       *tenant
+	est     float64
+	width   int
+	start   time.Time
+	settled atomic.Bool
+}
+
+// Width is the prefetch/gather width envelope granted to this query
+// (the global MaxWidth divided by the queries in flight at admission,
+// floored at 1). The engine clamps its executor fan-out to it.
+func (g *Grant) Width() int {
+	if g == nil {
+		return 0
+	}
+	return g.width
+}
+
+// Settle replaces the admission reserve with the actual weighted
+// access cost, releases the concurrency slot, and feeds the tenant's
+// cost estimate. Idempotent; a nil grant no-ops.
+func (g *Grant) Settle(actual float64) {
+	if g == nil || !g.settled.CompareAndSwap(false, true) {
+		return
+	}
+	s := g.s
+	s.mu.Lock()
+	if g.t.bucket != nil {
+		g.t.bucket.settle(g.est, actual)
+	}
+	const alpha = 0.25 // EWMA weight of the newest settled cost
+	if g.t.est == 0 {
+		g.t.est = actual
+	} else {
+		g.t.est = (1-alpha)*g.t.est + alpha*actual
+	}
+	g.t.settled += actual
+	elapsed := s.now().Sub(g.start).Seconds()
+	if s.avgLat == 0 {
+		s.avgLat = elapsed
+	} else {
+		s.avgLat = 0.8*s.avgLat + 0.2*elapsed
+	}
+	s.inflight--
+	s.mu.Unlock()
+	s.wake()
+}
+
+// Acquire admits one query for the named tenant, blocking until the
+// weighted-fair queue, the tenant's token bucket, and the global
+// concurrency governor all clear it — or shedding it with a typed
+// *OverloadError when its deadline provably cannot be met, the
+// tenant's queue is full, or its bucket can never cover the reserve.
+// Context cancellation returns ctx.Err(). A nil *Scheduler admits
+// immediately with a nil Grant.
+func (s *Scheduler) Acquire(ctx context.Context, tenantName string) (*Grant, error) {
+	if s == nil {
+		return nil, nil
+	}
+	s.mu.Lock()
+	t := s.tenantLocked(tenantName)
+	est := s.estimateLocked(t)
+	if t.queued == 0 && t.pass < s.vtime {
+		// Re-entering after idling: resume at the virtual time, so
+		// idleness banks no priority over backlogged tenants.
+		t.pass = s.vtime
+	}
+	t.queued++
+	for {
+		if err := ctx.Err(); err != nil {
+			t.queued--
+			s.mu.Unlock()
+			s.wake()
+			return nil, err
+		}
+		admit := s.turnLocked(t) &&
+			(s.cfg.MaxConcurrent <= 0 || s.inflight < s.cfg.MaxConcurrent) &&
+			(t.bucket == nil || t.bucket.reserve(est))
+		if admit {
+			s.inflight++
+			s.vtime = t.pass
+			t.pass += est / t.weight
+			t.queued--
+			t.admitted++
+			width := s.cfg.MaxWidth / s.inflight
+			if width < 1 {
+				width = 1
+			}
+			g := &Grant{s: s, t: t, est: est, width: width, start: s.now()}
+			s.mu.Unlock()
+			s.wake() // the min-pass frontier moved; let others re-check
+			return g, nil
+		}
+		wait := s.waitEstimateLocked(t, est)
+		if t.queued > s.cfg.MaxQueue {
+			oe := s.shedLocked(t, wait)
+			s.mu.Unlock()
+			s.wake()
+			return nil, oe
+		}
+		if dl, ok := ctx.Deadline(); ok && (wait < 0 || s.now().Add(wait).After(dl)) {
+			oe := s.shedLocked(t, wait)
+			s.mu.Unlock()
+			s.wake()
+			return nil, oe
+		}
+		if wait < 0 && s.inflight == 0 {
+			// Zero refill, insufficient tokens, and nothing in flight
+			// whose settlement could credit them back: this request can
+			// never be admitted — shed now rather than park forever.
+			oe := s.shedLocked(t, -1)
+			s.mu.Unlock()
+			s.wake()
+			return nil, oe
+		}
+		park := maxParkInterval
+		if wait > 0 && wait < park {
+			park = wait
+		}
+		gen := s.gen
+		s.mu.Unlock()
+		timer := time.NewTimer(park)
+		select {
+		case <-gen:
+		case <-timer.C:
+		case <-ctx.Done():
+		}
+		timer.Stop()
+		s.mu.Lock()
+	}
+}
+
+// Stats reports every tenant's cumulative counters, sorted by name.
+// Nil-safe.
+func (s *Scheduler) Stats() []TenantStats {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]TenantStats, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		out = append(out, TenantStats{
+			Tenant: t.name, Admitted: t.admitted, Shed: t.shed,
+			SettledCost: t.settled, Queued: t.queued,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
+	return out
+}
+
+// Inflight reports the queries currently admitted and unsettled.
+// Nil-safe.
+func (s *Scheduler) Inflight() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inflight
+}

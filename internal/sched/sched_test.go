@@ -1,0 +1,501 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeClock is an injectable, manually advanced (and rewindable) clock.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Unix(1_000_000, 0)}
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// TestTokenBucketZeroRate pins the zero-rate edge: the bucket is a
+// fixed pool — the initial burst admits, then nothing refills and
+// reserve fails forever; only settlement credits revive it.
+func TestTokenBucketZeroRate(t *testing.T) {
+	clk := newFakeClock()
+	b := newBucket(0, 100, clk.now)
+	if !b.reserve(80) {
+		t.Fatal("initial burst should cover the first reserve")
+	}
+	clk.advance(time.Hour)
+	if b.reserve(80) {
+		t.Fatal("zero rate must never refill: second reserve should fail")
+	}
+	if eta := b.eta(80); eta >= 0 {
+		t.Fatalf("eta under zero rate should be -1 (never), got %v", eta)
+	}
+	// A settlement credit (the query spent less than reserved) revives it.
+	b.settle(80, 10)
+	if !b.reserve(80) {
+		t.Fatal("settlement credit should make the reserve pass again")
+	}
+}
+
+// TestTokenBucketBurstBelowQueryCost pins the full-bucket allowance:
+// a tenant whose burst is smaller than one query's estimate still
+// admits exactly one query from a full bucket (overdraft), and the
+// overdraft must repay from refill before the next admission.
+func TestTokenBucketBurstBelowQueryCost(t *testing.T) {
+	clk := newFakeClock()
+	b := newBucket(50, 100, clk.now) // burst 100 < one query's 300
+	if !b.reserve(300) {
+		t.Fatal("a FULL bucket must admit one query even when est > burst")
+	}
+	if lvl := b.level(); lvl != -200 {
+		t.Fatalf("overdraft level = %v, want -200", lvl)
+	}
+	if b.reserve(300) {
+		t.Fatal("a second oversized reserve must wait for the overdraft to repay")
+	}
+	// -200 → full 100 takes 300 units at 50/s = 6s; eta targets the
+	// capacity (the full-bucket allowance), not the estimate.
+	if eta := b.eta(300); math.Abs(eta.Seconds()-6) > 1e-9 {
+		t.Fatalf("eta = %v, want 6s", eta)
+	}
+	clk.advance(6 * time.Second)
+	if !b.reserve(300) {
+		t.Fatal("after refill to capacity the oversized reserve should pass again")
+	}
+}
+
+// TestTokenBucketClockRewind pins refill across clock rewinds: a
+// backwards step never destroys tokens, and refill resumes from the
+// rewound instant instead of stalling until the clock catches up.
+func TestTokenBucketClockRewind(t *testing.T) {
+	clk := newFakeClock()
+	b := newBucket(100, 1000, clk.now)
+	if !b.reserve(600) {
+		t.Fatal("initial reserve failed")
+	}
+	before := b.level() // 400
+	clk.advance(-time.Hour)
+	if got := b.level(); got != before {
+		t.Fatalf("rewind changed the level: %v -> %v", before, got)
+	}
+	// Refill must resume from the REWOUND time: 2s at 100/s = +200.
+	clk.advance(2 * time.Second)
+	if got := b.level(); got != before+200 {
+		t.Fatalf("refill after rewind = %v, want %v", got, before+200)
+	}
+}
+
+// TestTokenBucketSettleGreaterThanReserve pins the overrun direction of
+// reserve-then-settle: a query that spent more than its estimate drives
+// the bucket negative by exactly the difference, and refill repays it.
+func TestTokenBucketSettleGreaterThanReserve(t *testing.T) {
+	clk := newFakeClock()
+	b := newBucket(100, 500, clk.now)
+	if !b.reserve(100) {
+		t.Fatal("reserve failed")
+	}
+	b.settle(100, 900) // spent 9x the estimate
+	if lvl := b.level(); lvl != -400 {
+		t.Fatalf("level after overrun settle = %v, want -400", lvl)
+	}
+	if b.reserve(100) {
+		t.Fatal("reserve must fail while the overdraft is unpaid")
+	}
+	clk.advance(5 * time.Second) // +500 → level 100
+	if !b.reserve(100) {
+		t.Fatal("refill should repay the overdraft and admit again")
+	}
+}
+
+// TestTokenBucketSettleCreditClamp pins the upper clamp: a settlement
+// credit never pushes the level above capacity.
+func TestTokenBucketSettleCreditClamp(t *testing.T) {
+	clk := newFakeClock()
+	b := newBucket(1000, 100, clk.now)
+	if !b.reserve(50) {
+		t.Fatal("reserve failed")
+	}
+	clk.advance(time.Second) // refill back to capacity
+	b.settle(50, 0)          // credit the whole reserve back
+	if lvl := b.level(); lvl != 100 {
+		t.Fatalf("level = %v, want clamped capacity 100", lvl)
+	}
+}
+
+// TestBucketConcurrentDrain is the -race test of concurrent tenants
+// draining one bucket: many goroutines hammer reserve/settle on a
+// shared bucket; every settled reserve nets a debit of exactly its
+// actual spend, so the final level must match the ledger precisely.
+func TestBucketConcurrentDrain(t *testing.T) {
+	clk := newFakeClock() // frozen clock: no refill noise in the balance
+	b := newBucket(0, 1<<20, clk.now)
+	start := b.level()
+	var wg sync.WaitGroup
+	var spent atomic.Int64
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				if b.reserve(3) {
+					b.settle(3, 3)
+					spent.Add(3)
+				}
+				b.eta(3)
+				b.level()
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := b.level(), start-float64(spent.Load()); got != want {
+		t.Fatalf("level after drain = %v, want %v (start %v minus %d spent)", got, want, start, spent.Load())
+	}
+}
+
+// TestSchedulerConcurrentTenantsOneBucket races many goroutines of the
+// SAME tenant through the full Acquire/Settle path (one shared bucket
+// behind the scheduler), under -race in CI. Every admission must be
+// settled and the inflight gauge must return to zero.
+func TestSchedulerConcurrentTenantsOneBucket(t *testing.T) {
+	s := New(Config{Rate: 1e9, Burst: 1e9, MaxConcurrent: 4})
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	var admitted int64
+	var mu sync.Mutex
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				grant, err := s.Acquire(ctx, "shared")
+				if err != nil {
+					t.Errorf("Acquire: %v", err)
+					return
+				}
+				if w := grant.Width(); w < 1 {
+					t.Errorf("grant width = %d, want >= 1", w)
+				}
+				mu.Lock()
+				admitted++
+				mu.Unlock()
+				grant.Settle(10)
+				grant.Settle(10) // idempotent
+			}
+		}()
+	}
+	wg.Wait()
+	if admitted != 1600 {
+		t.Fatalf("admitted %d, want 1600", admitted)
+	}
+	if n := s.Inflight(); n != 0 {
+		t.Fatalf("inflight after drain = %d, want 0", n)
+	}
+	st := s.Stats()
+	if len(st) != 1 || st[0].Admitted != 1600 || st[0].SettledCost != 16000 {
+		t.Fatalf("stats = %+v, want one tenant with 1600 admissions, 16000 settled", st)
+	}
+}
+
+// TestSchedulerShedsOnFullQueue pins queue-depth shedding: with the
+// single concurrency slot held and MaxQueue=2, the third waiter sheds
+// with a typed *OverloadError carrying the tenant, depth, and a
+// positive RetryAfter.
+func TestSchedulerShedsOnFullQueue(t *testing.T) {
+	s := New(Config{MaxConcurrent: 1, MaxQueue: 2})
+	ctx := context.Background()
+	hold, err := s.Acquire(ctx, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two waiters park (within MaxQueue).
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			g, err := s.Acquire(ctx, "t")
+			if err != nil {
+				t.Errorf("parked waiter: %v", err)
+				return
+			}
+			<-release
+			g.Settle(0)
+		}()
+	}
+	// Wait until both are queued.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := s.Stats()
+		if len(st) == 1 && st[0].Queued == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("waiters never queued: %+v", s.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	_, err = s.Acquire(ctx, "t")
+	var oe *OverloadError
+	if !errors.As(err, &oe) {
+		t.Fatalf("third waiter: got %v, want *OverloadError", err)
+	}
+	if oe.Tenant != "t" || oe.QueueDepth != 2 || oe.RetryAfter <= 0 {
+		t.Fatalf("overload error = %+v, want tenant t, depth 2, positive RetryAfter", oe)
+	}
+	if !oe.Transient() {
+		t.Fatal("OverloadError must be transient")
+	}
+	close(release)
+	hold.Settle(0)
+	wg.Wait()
+}
+
+// TestSchedulerShedsHopelessDeadline pins deadline-aware shedding: a
+// request whose token-refill ETA provably overruns its context
+// deadline is rejected up front with *OverloadError (RetryAfter ≈ the
+// ETA), not parked until the deadline fires.
+func TestSchedulerShedsHopelessDeadline(t *testing.T) {
+	s := New(Config{Rate: 10, Burst: 100, DefaultEstimate: 100})
+	ctx := context.Background()
+	g, err := s.Acquire(ctx, "t") // drains the burst
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Settle(100)
+	// Refilling 100 units at 10/s takes 10s; a 50ms deadline is hopeless.
+	dctx, cancel := context.WithTimeout(ctx, 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = s.Acquire(dctx, "t")
+	var oe *OverloadError
+	if !errors.As(err, &oe) {
+		t.Fatalf("got %v, want *OverloadError", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("shed took %v: should reject up front, not park out the deadline", elapsed)
+	}
+	if oe.RetryAfter < 5*time.Second {
+		t.Fatalf("RetryAfter = %v, want ≈10s refill ETA", oe.RetryAfter)
+	}
+}
+
+// TestSchedulerZeroRateShedsNotParks pins the hopeless-bucket case: a
+// zero-rate tenant whose pool is drained, with nothing in flight to
+// settle credits back, sheds immediately instead of parking forever —
+// even without a deadline.
+func TestSchedulerZeroRateShedsNotParks(t *testing.T) {
+	s := New(Config{Tenants: map[string]TenantConfig{
+		"broke": {Burst: 10}, // zero rate: a fixed pool of 10
+	}, DefaultEstimate: 50})
+	ctx := context.Background()
+	// The full-bucket allowance admits one oversized query; settle at
+	// its estimate so no credit flows back.
+	g, err := s.Acquire(ctx, "broke")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Settle(50)
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.Acquire(ctx, "broke")
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		var oe *OverloadError
+		if !errors.As(err, &oe) {
+			t.Fatalf("got %v, want *OverloadError", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("zero-rate drained tenant parked forever instead of shedding")
+	}
+}
+
+// TestSchedulerWeightedFairness pins the stride-scheduling contract:
+// two backlogged tenants at weights 2:1 over one concurrency slot are
+// admitted in a 2:1 ratio.
+func TestSchedulerWeightedFairness(t *testing.T) {
+	s := New(Config{MaxConcurrent: 1, Tenants: map[string]TenantConfig{
+		"heavy": {Weight: 2},
+		"light": {Weight: 1},
+	}})
+	ctx := context.Background()
+	const perTenant = 60
+	var wg sync.WaitGroup
+	for _, name := range []string{"heavy", "light"} {
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			for i := 0; i < perTenant; i++ {
+				g, err := s.Acquire(ctx, name)
+				if err != nil {
+					t.Errorf("%s: %v", name, err)
+					return
+				}
+				g.Settle(100) // equal per-query cost
+			}
+		}(name)
+	}
+	wg.Wait()
+	var heavy, light float64
+	for _, st := range s.Stats() {
+		switch st.Tenant {
+		case "heavy":
+			heavy = st.SettledCost
+		case "light":
+			light = st.SettledCost
+		}
+	}
+	if heavy != 100*perTenant || light != 100*perTenant {
+		t.Fatalf("both tenants should finish their full load: heavy=%v light=%v", heavy, light)
+	}
+}
+
+// TestSchedulerTokenStarvedTenantDoesNotBlockOthers pins the
+// eligibility gate in the stride queue: a tenant with no tokens parked
+// at the head must not starve a tenant that has them.
+func TestSchedulerTokenStarvedTenantDoesNotBlockOthers(t *testing.T) {
+	s := New(Config{
+		DefaultEstimate: 10,
+		Tenants: map[string]TenantConfig{
+			"broke": {Burst: 10}, // zero rate, one admission then dry
+			"rich":  {Rate: 1e9, Burst: 1e9},
+		},
+	})
+	ctx := context.Background()
+	g, err := s.Acquire(ctx, "broke")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keep the broke tenant's query in flight so its next Acquire
+	// parks (credits might still come back) and holds the queue head.
+	brokeWaiting := make(chan struct{})
+	go func() {
+		close(brokeWaiting)
+		g2, err := s.Acquire(ctx, "broke")
+		if err == nil {
+			g2.Settle(0)
+		}
+	}()
+	<-brokeWaiting
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 50; i++ {
+			gr, err := s.Acquire(ctx, "rich")
+			if err != nil {
+				t.Errorf("rich: %v", err)
+				break
+			}
+			gr.Settle(10)
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("token-starved tenant at the queue head starved an eligible tenant")
+	}
+	g.Settle(0) // credit back; lets the parked broke waiter finish
+}
+
+// TestSchedulerNilIsNoOp pins the idle contract: a nil scheduler
+// admits with a nil grant and every method no-ops.
+func TestSchedulerNilIsNoOp(t *testing.T) {
+	var s *Scheduler
+	g, err := s.Acquire(context.Background(), "any")
+	if err != nil || g != nil {
+		t.Fatalf("nil scheduler Acquire = (%v, %v), want (nil, nil)", g, err)
+	}
+	g.Settle(100) // nil grant: must not panic
+	if g.Width() != 0 {
+		t.Fatal("nil grant width should be 0")
+	}
+	if s.Stats() != nil || s.Inflight() != 0 {
+		t.Fatal("nil scheduler stats should be empty")
+	}
+}
+
+// TestSchedulerCancelledContext pins cancellation: a parked acquirer
+// returns ctx.Err(), never a grant, and leaves no queued residue.
+func TestSchedulerCancelledContext(t *testing.T) {
+	s := New(Config{MaxConcurrent: 1})
+	hold, err := s.Acquire(context.Background(), "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.Acquire(ctx, "t")
+		done <- err
+	}()
+	// Let it park, then cancel.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if st := s.Stats(); len(st) == 1 && st[0].Queued == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never parked")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if st := s.Stats(); st[0].Queued != 0 {
+		t.Fatalf("queued residue after cancellation: %+v", st)
+	}
+	hold.Settle(0)
+}
+
+// TestGrantWidthDividesEnvelope pins the width governor: grants divide
+// MaxWidth by the in-flight count, floored at 1.
+func TestGrantWidthDividesEnvelope(t *testing.T) {
+	s := New(Config{MaxWidth: 8})
+	ctx := context.Background()
+	g1, _ := s.Acquire(ctx, "t")
+	if g1.Width() != 8 {
+		t.Fatalf("first grant width = %d, want 8", g1.Width())
+	}
+	g2, _ := s.Acquire(ctx, "t")
+	if g2.Width() != 4 {
+		t.Fatalf("second grant width = %d, want 4", g2.Width())
+	}
+	var grants []*Grant
+	for i := 0; i < 20; i++ {
+		g, err := s.Acquire(ctx, "t")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.Width() < 1 {
+			t.Fatalf("width fell below 1: %d", g.Width())
+		}
+		grants = append(grants, g)
+	}
+	g1.Settle(0)
+	g2.Settle(0)
+	for _, g := range grants {
+		g.Settle(0)
+	}
+}

@@ -267,6 +267,32 @@ func (r *ResilientSource) onFailure() {
 	r.mu.Unlock()
 }
 
+// retryAfterHint extracts a server-directed pacing advice from err via
+// the optional RetryAfter capability (wire.TransportError implements it
+// for 429 rejections carrying Retry-After). Zero means no advice.
+func retryAfterHint(err error) time.Duration {
+	var ra interface{ RetryAfter() time.Duration }
+	if errors.As(err, &ra) {
+		if d := ra.RetryAfter(); d > 0 {
+			return d
+		}
+	}
+	return 0
+}
+
+// pause sleeps before retry number attempt (1-based): the failure's own
+// RetryAfter advice verbatim when the server gave one (a shedding
+// server knows its refill schedule better than our jitter does — the
+// hint deliberately overrides MaxBackoff), the exponential backoff
+// schedule otherwise.
+func (r *ResilientSource) pause(attempt int, err error) {
+	if d := retryAfterHint(err); d > 0 {
+		time.Sleep(d)
+		return
+	}
+	r.backoff(attempt)
+}
+
 // backoff sleeps before retry number attempt (1-based): exponential
 // growth with full jitter, capped by MaxBackoff.
 func (r *ResilientSource) backoff(attempt int) {
@@ -402,7 +428,7 @@ func (r *ResilientSource) TryEntries(lo, hi int) ([]gradedset.Entry, error) {
 			return out, res.err
 		}
 		r.retries.Add(1)
-		r.backoff(attempts)
+		r.pause(attempts, res.err)
 	}
 	return out, nil
 }
@@ -429,7 +455,7 @@ func (r *ResilientSource) TryGrade(obj int) (float64, error) {
 			return 0, res.err
 		}
 		r.retries.Add(1)
-		r.backoff(attempts)
+		r.pause(attempts, res.err)
 	}
 }
 

@@ -177,7 +177,11 @@ func TestResilientTimeoutAbandonsWedgedCall(t *testing.T) {
 	const n = 20
 	base := FromList(descendingList(t, n))
 	f := NewFaultSource(base, FaultPlan{Seed: 2, Rate: 1, Transient: 1, Wedge: time.Minute})
-	r := Resilient(f, Policy{MaxRetries: 2, PerAccessTimeout: 2 * time.Millisecond})
+	// Timeout and retry budget carry headroom over scheduler noise (the
+	// TestWedgedBatchTimedOutAndRetried treatment): a timeout tight
+	// enough to misread a healthy-but-descheduled access as wedged, or
+	// a budget with one spare attempt, flakes on a loaded -race runner.
+	r := Resilient(f, Policy{MaxRetries: 6, PerAccessTimeout: 20 * time.Millisecond})
 
 	start := time.Now()
 	span, err := r.TryEntries(0, 1)

@@ -1,0 +1,125 @@
+package subsys
+
+import (
+	"testing"
+	"time"
+
+	"fuzzydb/internal/gradedset"
+)
+
+// pacedError is a transient failure carrying a server pacing advice,
+// the shape wire.TransportError takes for a 429 with Retry-After.
+type pacedError struct{ advice time.Duration }
+
+func (e *pacedError) Error() string             { return "paced: retry later" }
+func (e *pacedError) Transient() bool           { return true }
+func (e *pacedError) RetryAfter() time.Duration { return e.advice }
+
+// pacedSource fails every access with a pacedError until the failure
+// budget is spent, then serves from the backing list.
+type pacedSource struct {
+	Source
+	failures int
+	advice   time.Duration
+}
+
+func (s *pacedSource) try() error {
+	if s.failures > 0 {
+		s.failures--
+		return &pacedError{advice: s.advice}
+	}
+	return nil
+}
+
+func (s *pacedSource) TryEntry(rank int) (gradedset.Entry, error) {
+	if err := s.try(); err != nil {
+		return gradedset.Entry{}, err
+	}
+	return s.Entry(rank), nil
+}
+
+func (s *pacedSource) TryEntries(lo, hi int) ([]gradedset.Entry, error) {
+	if err := s.try(); err != nil {
+		return nil, err
+	}
+	return s.Entries(lo, hi), nil
+}
+
+func (s *pacedSource) TryGrade(obj int) (float64, error) {
+	if err := s.try(); err != nil {
+		return 0, err
+	}
+	return s.Grade(obj), nil
+}
+
+func pacedList() Source {
+	l, err := gradedset.NewList([]gradedset.Entry{{Object: 0, Grade: 0.9}, {Object: 1, Grade: 0.4}})
+	if err != nil {
+		panic(err)
+	}
+	return FromList(l)
+}
+
+// TestResilientHonorsOverloadRetryAfter pins the pacing contract: when
+// a transient failure carries a RetryAfter advice (a 429 from a
+// shedding server), the retry sleeps the advised interval instead of
+// the policy's own exponential backoff.
+func TestResilientHonorsOverloadRetryAfter(t *testing.T) {
+	const advice = 60 * time.Millisecond
+	r := Resilient(&pacedSource{Source: pacedList(), failures: 1, advice: advice}, Policy{
+		MaxRetries:  3,
+		BaseBackoff: time.Nanosecond, // own schedule would be ~instant
+	})
+	start := time.Now()
+	g, err := r.TryGrade(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g != 0.9 {
+		t.Fatalf("grade = %v, want 0.9", g)
+	}
+	if elapsed := time.Since(start); elapsed < advice {
+		t.Fatalf("retry waited %v, want at least the advised %v", elapsed, advice)
+	}
+	if got := r.Stats().Retries; got != 1 {
+		t.Fatalf("retries = %d, want 1", got)
+	}
+}
+
+// TestResilientOverloadAdviceOnSortedPath pins the same contract on
+// the batched sorted-access retry site.
+func TestResilientOverloadAdviceOnSortedPath(t *testing.T) {
+	const advice = 60 * time.Millisecond
+	r := Resilient(&pacedSource{Source: pacedList(), failures: 1, advice: advice}, Policy{
+		MaxRetries:  3,
+		BaseBackoff: time.Nanosecond,
+	})
+	start := time.Now()
+	span, err := r.TryEntries(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(span) != 2 {
+		t.Fatalf("span = %v, want 2 entries", span)
+	}
+	if elapsed := time.Since(start); elapsed < advice {
+		t.Fatalf("retry waited %v, want at least the advised %v", elapsed, advice)
+	}
+}
+
+// TestResilientNoAdviceKeepsBackoff pins the fallback: a transient
+// failure without the capability (advice zero) still rides the
+// policy's exponential schedule — no added sleep.
+func TestResilientNoAdviceKeepsBackoff(t *testing.T) {
+	r := Resilient(&pacedSource{Source: pacedList(), failures: 1}, Policy{
+		MaxRetries:  3,
+		BaseBackoff: time.Nanosecond,
+	})
+	start := time.Now()
+	if _, err := r.TryGrade(0); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("zero advice slept %v: the hint path must not add delay", elapsed)
+	}
+}

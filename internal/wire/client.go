@@ -36,6 +36,10 @@ type TransportError struct {
 	Msg string
 	// Temporary is the transience classification (see Transient).
 	Temporary bool
+	// RetryAfterHint is the server's pacing advice on an overload
+	// rejection (a 429's Retry-After header or envelope
+	// retry_after_ms), zero when the server gave none. See RetryAfter.
+	RetryAfterHint time.Duration
 	// Err is the underlying cause, when there is one.
 	Err error
 }
@@ -54,6 +58,13 @@ func (e *TransportError) Error() string {
 
 // Transient implements the retry-decision capability.
 func (e *TransportError) Transient() bool { return e.Temporary }
+
+// RetryAfter implements the optional pacing capability the resilience
+// layer consults (subsys.Resilient): when a shedding server advised a
+// retry interval, honoring it replaces the client's own exponential
+// backoff for that attempt, so a fleet of resilient clients drains at
+// the server's pace instead of re-stampeding it. Zero means no advice.
+func (e *TransportError) RetryAfter() time.Duration { return e.RetryAfterHint }
 
 // Unwrap exposes the underlying cause to errors.Is/As.
 func (e *TransportError) Unwrap() error { return e.Err }
@@ -186,8 +197,9 @@ func (c *Client) Results(ctx context.Context, req QueryRequest) func(yield func(
 			// decode the superset and dispatch on which fields are set.
 			var row struct {
 				Result
-				Message   *string `json:"error"`
-				Transient bool    `json:"transient"`
+				Message      *string `json:"error"`
+				Transient    bool    `json:"transient"`
+				RetryAfterMS int64   `json:"retry_after_ms"`
 			}
 			if err := dec.Decode(&row); err != nil {
 				if err == io.EOF {
@@ -197,7 +209,10 @@ func (c *Client) Results(ctx context.Context, req QueryRequest) func(yield func(
 				return
 			}
 			if row.Message != nil {
-				yield(Result{}, &TransportError{Op: "results", Msg: *row.Message, Temporary: row.Transient})
+				yield(Result{}, &TransportError{
+					Op: "results", Msg: *row.Message, Temporary: row.Transient,
+					RetryAfterHint: time.Duration(row.RetryAfterMS) * time.Millisecond,
+				})
 				return
 			}
 			if !yield(row.Result, nil) {
@@ -227,6 +242,9 @@ func resultsParams(req QueryRequest) string {
 	}
 	if req.Prefetch != nil {
 		fmt.Fprintf(&b, "&prefetch=%d", *req.Prefetch)
+	}
+	if req.Tenant != "" {
+		fmt.Fprintf(&b, "&tenant=%s", url.QueryEscape(req.Tenant))
 	}
 	return b.String()
 }
@@ -300,13 +318,24 @@ func envelopeError(op string, resp *http.Response) *TransportError {
 	// envelope (a proxy's error page with an "error" key) cannot demote
 	// a 5xx to permanent by omitting the field.
 	var f struct {
-		Message   string `json:"error"`
-		Transient *bool  `json:"transient"`
+		Message      string `json:"error"`
+		Transient    *bool  `json:"transient"`
+		RetryAfterMS int64  `json:"retry_after_ms"`
 	}
 	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&f); err == nil && f.Message != "" {
 		te.Msg = f.Message
 		if f.Transient != nil {
 			te.Temporary = *f.Transient
+		}
+		if f.RetryAfterMS > 0 {
+			te.RetryAfterHint = time.Duration(f.RetryAfterMS) * time.Millisecond
+		}
+	}
+	// The standard header is the fallback (whole seconds, so the
+	// envelope's millisecond form wins when both are present).
+	if te.RetryAfterHint == 0 {
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			te.RetryAfterHint = time.Duration(secs) * time.Second
 		}
 	}
 	return te

@@ -43,10 +43,29 @@
 // preserving the subsys.FallibleSource partial-span contract across the
 // wire. As the body of a non-2xx response: the protocol call failed —
 // 400 malformed request or plan error, 404 unknown list, 422 budget
-// exhausted (cost carries the partial spend), 502 source failure during
-// a query, 504 evaluation cancelled or timed out. The transient flag
-// feeds the client-side retry decision (subsys.Resilient): 5xx and 429
-// default transient, other 4xx permanent.
+// exhausted (cost carries the partial spend), 429 admission shed by a
+// scheduled server, 502 source failure during a query, 504 evaluation
+// cancelled or timed out. The transient flag feeds the client-side
+// retry decision (subsys.Resilient): 5xx and 429 default transient,
+// other 4xx permanent.
+//
+// # Overload: 429 and Retry-After
+//
+// A server whose engine runs behind an admission scheduler
+// (fuzzydb.WithScheduler; cmd/fuzzyserve -rate/-tenants) sheds work it
+// cannot serve in time. The shed's typed *sched.OverloadError maps to
+// 429 with the scheduler's pacing advice in two forms: a standard
+// Retry-After header (whole seconds, rounded up) and the envelope's
+// retry_after_ms field (exact milliseconds; it wins when both are
+// present). Requests name their admission tenant in the query body
+// ("tenant"), the X-Fuzzydb-Tenant header, or the results cursor's
+// tenant URL parameter. The client lifts the advice into
+// TransportError.RetryAfterHint, exposed through the optional
+// RetryAfter() capability that subsys.Resilient consults: a retry
+// after a 429 sleeps the server's advised interval instead of the
+// client's own exponential backoff, so a fleet of resilient clients
+// drains at the pace the shedding server asked for rather than
+// re-stampeding it.
 //
 // # Streaming cursor
 //

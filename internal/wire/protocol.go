@@ -38,6 +38,12 @@ type Fault struct {
 	// Cost, when present on a query error, is the partial Section 5
 	// spend of the evaluation that failed (budget stops, cancellation).
 	Cost *Cost `json:"cost,omitempty"`
+	// RetryAfterMS, when present on an overload rejection (HTTP 429),
+	// is the server's pacing advice in milliseconds: how long the
+	// scheduler expects the tenant's token bucket or queue to need
+	// before this request could be admitted. Clients honor it over
+	// their own backoff schedule.
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
 }
 
 // EntriesRequest asks for sorted access: the entries at ranks [Lo, Hi)
@@ -114,6 +120,11 @@ type QueryRequest struct {
 	// Degrade allows dropping up to this many permanently failed lists
 	// (WithDegradedLists); 0 = fail fast.
 	Degrade int `json:"degrade,omitempty"`
+	// Tenant names the admission-control tenant this request bills to
+	// on a scheduled server (WithTenant); the X-Fuzzydb-Tenant header
+	// is an equivalent out-of-band form (the body field wins). Empty
+	// selects the anonymous tenant.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // Result is one answer row: the JSON form of core.Result, and the

@@ -12,6 +12,7 @@ import (
 
 	"fuzzydb/internal/core"
 	"fuzzydb/internal/middleware"
+	"fuzzydb/internal/sched"
 	"fuzzydb/internal/subsys"
 )
 
@@ -94,8 +95,16 @@ func (q QueryRequest) options() []middleware.QueryOption {
 	if q.Degrade > 0 {
 		opts = append(opts, middleware.WithDegradedLists(q.Degrade))
 	}
+	if q.Tenant != "" {
+		opts = append(opts, middleware.WithTenant(q.Tenant))
+	}
 	return opts
 }
+
+// TenantHeader is the out-of-band form of QueryRequest.Tenant: requests
+// that cannot carry the body field (or proxies injecting identity) name
+// the admission tenant here. The body field wins when both are set.
+const TenantHeader = "X-Fuzzydb-Tenant"
 
 func (s *QueryServer) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req QueryRequest
@@ -105,6 +114,9 @@ func (s *QueryServer) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if req.Query == "" {
 		writeFault(w, http.StatusBadRequest, &Fault{Message: "empty query"})
 		return
+	}
+	if req.Tenant == "" {
+		req.Tenant = r.Header.Get(TenantHeader)
 	}
 	s.active.Add(1)
 	defer s.active.Add(-1)
@@ -174,12 +186,24 @@ func responseOf(rep *middleware.Report, elapsed time.Duration) QueryResponse {
 }
 
 // queryFault classifies an engine error onto a status code and wire
-// envelope. Source failures and timeouts are transient (a retry may hit
-// a recovered backend); planning and budget errors are not.
+// envelope. Source failures, timeouts, and admission sheds are
+// transient (a retry may hit a recovered backend or a refilled
+// bucket); planning and budget errors are not. An admission shed
+// (typed *sched.OverloadError) maps to 429 and carries the scheduler's
+// RetryAfter advice so resilient clients pace themselves instead of
+// re-stampeding a shedding server.
 func queryFault(err error) (int, *Fault) {
 	f := &Fault{Message: err.Error()}
 	var se *subsys.SourceError
+	var oe *sched.OverloadError
 	switch {
+	case errors.As(err, &oe):
+		f.Transient = true
+		f.RetryAfterMS = int64(oe.RetryAfter / time.Millisecond)
+		if f.RetryAfterMS < 1 {
+			f.RetryAfterMS = 1
+		}
+		return http.StatusTooManyRequests, f
 	case errors.Is(err, core.ErrBudgetExceeded):
 		return http.StatusUnprocessableEntity, f
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
@@ -199,7 +223,7 @@ func queryFault(err error) (int, *Fault) {
 
 // resultsRequest parses the GET /v1/results URL parameters (the
 // QueryRequest fields flattened: q, k, parallelism, shards, budget,
-// prefetch, degrade, shard_plan, steal).
+// prefetch, degrade, shard_plan, steal, tenant).
 func resultsRequest(r *http.Request) (QueryRequest, error) {
 	q := r.URL.Query()
 	req := QueryRequest{Query: q.Get("q")}
@@ -239,6 +263,7 @@ func resultsRequest(r *http.Request) (QueryRequest, error) {
 		req.Prefetch = &d
 	}
 	req.ShardPlan = q.Get("shard_plan")
+	req.Tenant = q.Get("tenant")
 	if v := q.Get("steal"); v != "" {
 		b, err := strconv.ParseBool(v)
 		if err != nil {
@@ -261,17 +286,33 @@ func (s *QueryServer) handleResults(w http.ResponseWriter, r *http.Request) {
 		writeFault(w, http.StatusBadRequest, &Fault{Message: err.Error()})
 		return
 	}
+	if req.Tenant == "" {
+		req.Tenant = r.Header.Get(TenantHeader)
+	}
 	s.active.Add(1)
 	defer s.active.Add(-1)
+	// The status line is deferred until the first row: an error before
+	// anything streamed (a parse failure, an admission shed) gets its
+	// real status code — 429 with a Retry-After header for a shed —
+	// where an error after rows have flowed can only terminate the
+	// stream with one Fault row.
 	w.Header().Set("Content-Type", "application/x-ndjson")
-	w.WriteHeader(http.StatusOK)
+	streaming := false
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
 	for res, err := range s.eng.ResultsString(r.Context(), req.Query, s.options(req)...) {
 		if err != nil {
-			_, f := queryFault(err)
+			status, f := queryFault(err)
+			if !streaming {
+				writeFault(w, status, f)
+				return
+			}
 			_ = enc.Encode(f)
 			return
+		}
+		if !streaming {
+			w.WriteHeader(http.StatusOK)
+			streaming = true
 		}
 		if encErr := enc.Encode(Result{Object: res.Object, Grade: res.Grade}); encErr != nil {
 			// The client went away; the deferred iterator teardown
@@ -281,5 +322,9 @@ func (s *QueryServer) handleResults(w http.ResponseWriter, r *http.Request) {
 		if flusher != nil {
 			flusher.Flush()
 		}
+	}
+	if !streaming {
+		// An empty result set is still a well-formed empty stream.
+		w.WriteHeader(http.StatusOK)
 	}
 }

@@ -1,0 +1,193 @@
+package wire_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"fuzzydb/internal/middleware"
+	"fuzzydb/internal/sched"
+	"fuzzydb/internal/subsys"
+	"fuzzydb/internal/wire"
+)
+
+// schedServer builds a fuzzyserve-shaped server whose engine runs
+// behind the given scheduler, over a small generated database.
+func schedServer(t *testing.T, s *sched.Scheduler) *httptest.Server {
+	t.Helper()
+	db := testDB(t, 400, 2, 17)
+	subs := make([]subsys.Subsystem, db.M())
+	for i := 0; i < db.M(); i++ {
+		st := subsys.NewStatic(listName(i), db.N())
+		st.Set("*", db.List(i))
+		subs[i] = st
+	}
+	eng, err := middleware.New(subs, middleware.WithScheduler(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := wire.NewSourceServer(dbSources(db), wire.WithEngine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := http.NewServeMux()
+	ss.Register(mux)
+	wire.NewQueryServer(eng).Register(mux)
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// drainTenant spends the named tenant's fixed token pool with one
+// admitted query (the full-bucket allowance), so the next one sheds.
+func drainTenant(t *testing.T, c *wire.Client, tenant string) {
+	t.Helper()
+	if _, err := c.Query(t.Context(), wire.QueryRequest{Query: queryOf(2), K: 5, Tenant: tenant}); err != nil {
+		t.Fatalf("draining query should be admitted: %v", err)
+	}
+}
+
+// TestOverloadShedMapsTo429 pins the wire mapping of an admission
+// shed: HTTP 429, a transient envelope carrying retry_after_ms, a
+// Retry-After header, and a client-side *TransportError exposing the
+// advice through the RetryAfter capability.
+func TestOverloadShedMapsTo429(t *testing.T) {
+	s := sched.New(sched.Config{Tenants: map[string]sched.TenantConfig{
+		"broke": {Burst: 1}, // zero rate: one admission, then dry
+	}})
+	ts := schedServer(t, s)
+	c, err := wire.Dial(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	drainTenant(t, c, "broke")
+
+	_, err = c.Query(t.Context(), wire.QueryRequest{Query: queryOf(2), K: 5, Tenant: "broke"})
+	var te *wire.TransportError
+	if !errors.As(err, &te) {
+		t.Fatalf("got %v, want *TransportError", err)
+	}
+	if te.Status != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", te.Status)
+	}
+	if !te.Transient() {
+		t.Fatal("a shed must be transient: a refilled bucket can admit the retry")
+	}
+	if te.RetryAfter() <= 0 {
+		t.Fatalf("RetryAfter() = %v, want the server's positive advice", te.RetryAfter())
+	}
+}
+
+// TestOverloadShedHeaderAndEnvelope pins the raw HTTP shape of a shed:
+// the Retry-After header (whole seconds, rounded up) and the
+// envelope's exact retry_after_ms travel together, and the header is
+// also honored via the X-Fuzzydb-Tenant header route.
+func TestOverloadShedHeaderAndEnvelope(t *testing.T) {
+	s := sched.New(sched.Config{Tenants: map[string]sched.TenantConfig{
+		"broke": {Burst: 1},
+	}})
+	ts := schedServer(t, s)
+	c, err := wire.Dial(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	drainTenant(t, c, "broke")
+
+	body, _ := json.Marshal(wire.QueryRequest{Query: queryOf(2), K: 5})
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/query", bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(wire.TenantHeader, "broke") // tenant via header, not body
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" || ra == "0" {
+		t.Fatalf("Retry-After header = %q, want a positive whole-second advice", ra)
+	}
+	var f struct {
+		Message      string `json:"error"`
+		Transient    bool   `json:"transient"`
+		RetryAfterMS int64  `json:"retry_after_ms"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&f); err != nil {
+		t.Fatal(err)
+	}
+	if !f.Transient || f.RetryAfterMS <= 0 {
+		t.Fatalf("envelope = %+v, want transient with positive retry_after_ms", f)
+	}
+}
+
+// TestOverloadShedOnResultsCursor pins the streaming route: a shed on
+// GET /v1/results (tenant via URL parameter) happens before the status
+// line, so the client sees a real 429 with the pacing advice, not a
+// 200 with a fault row.
+func TestOverloadShedOnResultsCursor(t *testing.T) {
+	s := sched.New(sched.Config{Tenants: map[string]sched.TenantConfig{
+		"broke": {Burst: 1},
+	}})
+	ts := schedServer(t, s)
+	c, err := wire.Dial(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	drainTenant(t, c, "broke")
+
+	var got error
+	for _, err := range c.Results(t.Context(), wire.QueryRequest{Query: queryOf(2), K: 5, Tenant: "broke"}) {
+		if err != nil {
+			got = err
+			break
+		}
+		t.Fatal("shed stream yielded a result")
+	}
+	var te *wire.TransportError
+	if !errors.As(got, &te) {
+		t.Fatalf("got %v, want *TransportError", got)
+	}
+	if te.Status != http.StatusTooManyRequests || te.RetryAfter() <= 0 {
+		t.Fatalf("shed cursor error = %+v, want status 429 with positive RetryAfter", te)
+	}
+}
+
+// TestRetryAfterHeaderFallback pins the client's header parse: a 429
+// whose body is not a wire envelope (a proxy's error page) still
+// yields the Retry-After header as the pacing hint.
+func TestRetryAfterHeaderFallback(t *testing.T) {
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/meta" {
+			_ = json.NewEncoder(w).Encode(wire.Meta{N: 1, Lists: []string{"A1"}, Engine: true})
+			return
+		}
+		w.Header().Set("Retry-After", "7")
+		w.WriteHeader(http.StatusTooManyRequests)
+		_, _ = w.Write([]byte("<html>rate limited by proxy</html>"))
+	}))
+	t.Cleanup(backend.Close)
+	c, err := wire.Dial(backend.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, err = c.Query(t.Context(), wire.QueryRequest{Query: queryOf(2)})
+	var te *wire.TransportError
+	if !errors.As(err, &te) {
+		t.Fatalf("got %v, want *TransportError", err)
+	}
+	if te.RetryAfter() != 7*time.Second {
+		t.Fatalf("RetryAfter() = %v, want 7s from the header", te.RetryAfter())
+	}
+	if !te.Transient() {
+		t.Fatal("429 without an envelope should stay transient")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
 
 	"fuzzydb/internal/subsys"
 )
@@ -248,7 +249,15 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-// writeFault writes the non-2xx protocol error envelope.
+// writeFault writes the non-2xx protocol error envelope. An overload
+// rejection's pacing advice additionally travels as a standard
+// Retry-After header (whole seconds, rounded up so a sub-second advice
+// never truncates to "retry immediately"), alongside the exact
+// millisecond form in the envelope.
 func writeFault(w http.ResponseWriter, status int, f *Fault) {
+	if f.RetryAfterMS > 0 {
+		secs := (f.RetryAfterMS + 999) / 1000
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	}
 	writeJSON(w, status, f)
 }
